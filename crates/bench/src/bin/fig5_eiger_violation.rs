@@ -1,0 +1,19 @@
+//! Fig. 5: Eiger's READ transactions are not strictly serializable.
+
+use snow_impossibility::{run_fig5, eiger_fig5};
+
+fn main() {
+    let report = run_fig5();
+    println!("# Figure 5 — Eiger counterexample\n");
+    println!("READ returned o0 = {} (w3's value) and o1 = {} (w1's value)", report.read_o0, report.read_o1);
+    println!("Eiger accepted the snapshot in its first round: {}", report.accepted_first_round);
+    println!(
+        "strict serializability: {}",
+        if report.verdict_is_violation { "VIOLATED — w2 completed before w3 started but is not observed" } else { "?!" }
+    );
+    println!("checker detail: {}", report.verdict_detail);
+    println!(
+        "\nsequential control (same transactions, benign schedule) strictly serializable: {}",
+        eiger_fig5::run_fig5_sequential_control()
+    );
+}

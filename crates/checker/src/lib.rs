@@ -1,0 +1,36 @@
+//! # snow-checker
+//!
+//! Execution-history checkers for the SNOW properties (§2.1) and for strict
+//! serializability of the transaction data type `OT` (§7).
+//!
+//! Two strict-serializability engines are provided:
+//!
+//! * [`strict::TagOrderChecker`] — implements the sufficient condition of
+//!   **Lemma 20** (properties P1–P4 over the tag order).  It is linear-time
+//!   and is the engine of choice for Algorithms A, B and C, which expose the
+//!   tag each transaction serializes at.
+//! * [`strict::SearchChecker`] — a backtracking search for *any* total order
+//!   consistent with real time and the sequential semantics of `OT`.  It is
+//!   exponential in the worst case but complete, and is what convicts the
+//!   Eiger counterexample (Fig. 5) and the impossibility constructions,
+//!   whose histories are tiny.
+//!
+//! [`snow::SnowChecker`] verifies the N, O (one-round / one-version) and W
+//! properties from the per-transaction instrumentation the simulator derives
+//! from its trace, and [`metrics`] aggregates the latency / round / version
+//! statistics the benchmark tables report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod ot;
+pub mod report;
+pub mod snow;
+pub mod strict;
+
+pub use metrics::{HistoryMetrics, LatencyStats};
+pub use ot::{ObjectState, SequentialOt};
+pub use report::SnowReport;
+pub use snow::SnowChecker;
+pub use strict::{SearchChecker, TagOrderChecker, Verdict};

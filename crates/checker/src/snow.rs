@@ -1,0 +1,273 @@
+//! Verifiers for the N, O and W properties (§2.1) over a [`History`].
+//!
+//! The per-read instrumentation (rounds, versions per response, non-blocking
+//! flag) is derived by `snow-sim` from its causal trace, so these checks do
+//! not rely on the protocol's own claims.
+
+use crate::strict::{check_strict_serializability, Verdict};
+use snow_core::{
+    History, PropertyReport, SnowProperty, SnowPropertySet, TxKind,
+};
+
+/// Checks all four SNOW properties of a history.
+#[derive(Debug, Clone, Default)]
+pub struct SnowChecker;
+
+impl SnowChecker {
+    /// Creates the checker.
+    pub fn new() -> Self {
+        SnowChecker
+    }
+
+    /// Checks the S property (strict serializability).
+    pub fn check_strict_serializability(&self, history: &History) -> PropertyReport {
+        match check_strict_serializability(history) {
+            Verdict::Serializable(order) => PropertyReport::pass(
+                SnowProperty::StrictSerializability,
+                format!("serialization witness over {} transactions", order.len()),
+            ),
+            Verdict::NotSerializable(why) => {
+                PropertyReport::fail(SnowProperty::StrictSerializability, why)
+            }
+            Verdict::Unknown(why) => PropertyReport::fail(
+                SnowProperty::StrictSerializability,
+                format!("could not verify: {why}"),
+            ),
+        }
+    }
+
+    /// Checks the N property: every read of every READ transaction was
+    /// answered by the server without waiting for other input.
+    pub fn check_non_blocking(&self, history: &History) -> PropertyReport {
+        let mut blocked = Vec::new();
+        for rec in history.reads() {
+            for r in &rec.reads {
+                if !r.nonblocking {
+                    blocked.push(format!("{} at {}", rec.tx_id, r.server));
+                }
+            }
+        }
+        if blocked.is_empty() {
+            PropertyReport::pass(
+                SnowProperty::NonBlocking,
+                format!("all {} READ transactions answered non-blockingly", history.reads().count()),
+            )
+        } else {
+            PropertyReport::fail(
+                SnowProperty::NonBlocking,
+                format!("blocked reads: {}", blocked.join(", ")),
+            )
+        }
+    }
+
+    /// Checks the O property: every READ used exactly one round and every
+    /// response carried exactly one version.
+    pub fn check_one_response(&self, history: &History) -> PropertyReport {
+        let rounds = self.check_one_round(history);
+        let versions = self.check_one_version(history);
+        if rounds.holds && versions.holds {
+            PropertyReport::pass(
+                SnowProperty::OneResponse,
+                "one round and one version per read".to_string(),
+            )
+        } else {
+            PropertyReport::fail(
+                SnowProperty::OneResponse,
+                format!("{} / {}", rounds.detail, versions.detail),
+            )
+        }
+    }
+
+    /// Checks the one-round half of O (the property Algorithm C keeps).
+    pub fn check_one_round(&self, history: &History) -> PropertyReport {
+        let offenders: Vec<String> = history
+            .reads()
+            .filter(|r| r.rounds > 1)
+            .map(|r| format!("{} used {} rounds", r.tx_id, r.rounds))
+            .collect();
+        if offenders.is_empty() {
+            PropertyReport::pass(SnowProperty::OneResponse, "one round per READ".to_string())
+        } else {
+            PropertyReport::fail(SnowProperty::OneResponse, offenders.join(", "))
+        }
+    }
+
+    /// Checks the one-version half of O (the property Algorithm B keeps).
+    pub fn check_one_version(&self, history: &History) -> PropertyReport {
+        let offenders: Vec<String> = history
+            .reads()
+            .filter(|r| r.max_versions_per_read() > 1)
+            .map(|r| format!("{} received {} versions", r.tx_id, r.max_versions_per_read()))
+            .collect();
+        if offenders.is_empty() {
+            PropertyReport::pass(SnowProperty::OneResponse, "one version per response".to_string())
+        } else {
+            PropertyReport::fail(SnowProperty::OneResponse, offenders.join(", "))
+        }
+    }
+
+    /// Checks the W property: WRITE transactions exist alongside READs and
+    /// every invoked WRITE completed.
+    pub fn check_writes_complete(&self, history: &History) -> PropertyReport {
+        let incomplete: Vec<String> = history
+            .records
+            .iter()
+            .filter(|r| r.kind() == TxKind::Write && !r.is_complete())
+            .map(|r| r.tx_id.to_string())
+            .collect();
+        if !incomplete.is_empty() {
+            return PropertyReport::fail(
+                SnowProperty::ConflictingWrites,
+                format!("incomplete WRITE transactions: {}", incomplete.join(", ")),
+            );
+        }
+        let writes = history.writes().count();
+        let overlapping = self.concurrent_read_write_pairs(history);
+        PropertyReport::pass(
+            SnowProperty::ConflictingWrites,
+            format!("{writes} WRITEs completed; {overlapping} READ/WRITE overlaps observed"),
+        )
+    }
+
+    /// Counts READ/WRITE pairs that overlap in time and touch a common
+    /// object — the "conflicting writes" the W property is about.
+    pub fn concurrent_read_write_pairs(&self, history: &History) -> usize {
+        let mut count = 0;
+        for r in history.reads() {
+            for w in history.writes() {
+                let overlap = !r.precedes(w) && !w.precedes(r);
+                let conflict = w.spec.objects().iter().any(|o| r.spec.objects().contains(o));
+                if overlap && conflict {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Runs every check and returns the reports plus the observed property
+    /// set.
+    pub fn check_all(&self, history: &History) -> (Vec<PropertyReport>, SnowPropertySet) {
+        let s = self.check_strict_serializability(history);
+        let n = self.check_non_blocking(history);
+        let o = self.check_one_response(history);
+        let w = self.check_writes_complete(history);
+        let set = SnowPropertySet {
+            s: s.holds,
+            n: n.holds,
+            o: o.holds,
+            w: w.holds,
+        };
+        (vec![s, n, o, w], set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_core::{
+        ClientId, Key, ObjectId, ObjectRead, ReadOutcome, ReadResult, ServerId, Tag, TxId,
+        TxOutcome, TxRecord, TxSpec, Value, WriteOutcome,
+    };
+
+    fn snow_read(id: u64, inv: u64, resp: u64, nonblocking: bool, versions: usize, rounds: u32) -> TxRecord {
+        let mut rec = TxRecord::invoked(TxId(id), ClientId(0), TxSpec::read(vec![ObjectId(0)]), inv);
+        rec.responded_at = Some(resp);
+        rec.outcome = Some(TxOutcome::Read(ReadOutcome {
+            reads: vec![ObjectRead {
+                object: ObjectId(0),
+                key: Key::new(1, ClientId(1)),
+                value: Value(1),
+            }],
+            tag: Some(Tag(2)),
+        }));
+        rec.rounds = rounds;
+        rec.reads = vec![ReadResult {
+            object: ObjectId(0),
+            server: ServerId(0),
+            versions_in_response: versions,
+            nonblocking,
+        }];
+        rec
+    }
+
+    fn snow_write(id: u64, inv: u64, resp: Option<u64>) -> TxRecord {
+        let mut rec = TxRecord::invoked(
+            TxId(id),
+            ClientId(1),
+            TxSpec::write(vec![(ObjectId(0), Value(1))]),
+            inv,
+        );
+        rec.responded_at = resp;
+        if resp.is_some() {
+            rec.outcome = Some(TxOutcome::Write(WriteOutcome {
+                key: Key::new(1, ClientId(1)),
+                tag: Some(Tag(2)),
+            }));
+        }
+        rec
+    }
+
+    #[test]
+    fn all_properties_pass_on_an_ideal_history() {
+        let mut h = History::new();
+        h.push(snow_write(1, 0, Some(10)));
+        h.push(snow_read(2, 20, 30, true, 1, 1));
+        let (reports, set) = SnowChecker::new().check_all(&h);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(set, SnowPropertySet::SNOW, "{reports:?}");
+    }
+
+    #[test]
+    fn blocking_reads_fail_n() {
+        let mut h = History::new();
+        h.push(snow_write(1, 0, Some(10)));
+        h.push(snow_read(2, 20, 30, false, 1, 1));
+        let checker = SnowChecker::new();
+        assert!(!checker.check_non_blocking(&h).holds);
+        let (_, set) = checker.check_all(&h);
+        assert!(!set.n && set.s && set.o && set.w);
+    }
+
+    #[test]
+    fn multi_round_or_multi_version_reads_fail_o() {
+        let checker = SnowChecker::new();
+        let mut two_rounds = History::new();
+        two_rounds.push(snow_write(1, 0, Some(10)));
+        two_rounds.push(snow_read(2, 20, 30, true, 1, 2));
+        assert!(!checker.check_one_round(&two_rounds).holds);
+        assert!(checker.check_one_version(&two_rounds).holds);
+        assert!(!checker.check_one_response(&two_rounds).holds);
+
+        let mut multi_version = History::new();
+        multi_version.push(snow_write(1, 0, Some(10)));
+        multi_version.push(snow_read(2, 20, 30, true, 3, 1));
+        assert!(checker.check_one_round(&multi_version).holds);
+        assert!(!checker.check_one_version(&multi_version).holds);
+        assert!(!checker.check_one_response(&multi_version).holds);
+    }
+
+    #[test]
+    fn incomplete_writes_fail_w() {
+        let mut h = History::new();
+        h.push(snow_write(1, 0, None));
+        h.push(snow_read(2, 20, 30, true, 1, 1));
+        let checker = SnowChecker::new();
+        assert!(!checker.check_writes_complete(&h).holds);
+    }
+
+    #[test]
+    fn concurrency_counting_requires_overlap_and_conflict() {
+        let checker = SnowChecker::new();
+        let mut h = History::new();
+        // Write and read overlap in time and share object 0.
+        h.push(snow_write(1, 0, Some(100)));
+        h.push(snow_read(2, 20, 30, true, 1, 1));
+        assert_eq!(checker.concurrent_read_write_pairs(&h), 1);
+        // Disjoint in time.
+        let mut h2 = History::new();
+        h2.push(snow_write(1, 0, Some(10)));
+        h2.push(snow_read(2, 20, 30, true, 1, 1));
+        assert_eq!(checker.concurrent_read_write_pairs(&h2), 0);
+    }
+}

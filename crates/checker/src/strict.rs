@@ -1,0 +1,502 @@
+//! Strict-serializability checkers.
+//!
+//! * [`TagOrderChecker`] — the executable version of **Lemma 20**: if every
+//!   transaction carries a tag, writes have distinct tags, the tag order is
+//!   consistent with real time, and every READ returns exactly the versions
+//!   written by the latest preceding (by tag) WRITE per object, then the
+//!   history is strictly serializable.
+//! * [`SearchChecker`] — a complete backtracking search for a serialization
+//!   order: a total order of the completed transactions that (i) respects
+//!   real-time precedence and (ii) replays correctly against the sequential
+//!   `OT` semantics.  Incomplete WRITEs may be included or omitted (they may
+//!   or may not have taken effect), mirroring Definition 7.1's treatment of
+//!   incomplete transactions; incomplete READs are ignored.
+
+use crate::ot::SequentialOt;
+use snow_core::{History, Key, ObjectId, Tag, TxId, TxKind, TxOutcome, TxRecord};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The outcome of a strict-serializability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The history is strictly serializable; the witness is one valid
+    /// serialization order.
+    Serializable(Vec<TxId>),
+    /// The history is **not** strictly serializable; the string explains the
+    /// violation found.
+    NotSerializable(String),
+    /// The checker could not decide (history too large for the search
+    /// checker, or missing tags for the tag-order checker).
+    Unknown(String),
+}
+
+impl Verdict {
+    /// True if the verdict is [`Verdict::Serializable`].
+    pub fn is_serializable(&self) -> bool {
+        matches!(self, Verdict::Serializable(_))
+    }
+
+    /// True if the verdict is [`Verdict::NotSerializable`].
+    pub fn is_violation(&self) -> bool {
+        matches!(self, Verdict::NotSerializable(_))
+    }
+}
+
+/// Lemma 20-based checker for histories whose transactions carry tags.
+#[derive(Debug, Clone, Default)]
+pub struct TagOrderChecker;
+
+impl TagOrderChecker {
+    /// Creates the checker.
+    pub fn new() -> Self {
+        TagOrderChecker
+    }
+
+    /// Checks `history` against the P1–P4 conditions of Lemma 20.
+    pub fn check(&self, history: &History) -> Verdict {
+        let completed: Vec<&TxRecord> = history.completed().collect();
+        // Every completed transaction must carry a tag.
+        for rec in &completed {
+            if rec.outcome.as_ref().and_then(|o| o.tag()).is_none() {
+                return Verdict::Unknown(format!(
+                    "transaction {} carries no tag; use the search checker",
+                    rec.tx_id
+                ));
+            }
+        }
+        let tag_of = |rec: &TxRecord| rec.outcome.as_ref().unwrap().tag().unwrap();
+
+        // P3: distinct writes have distinct tags.
+        let mut write_tags: BTreeMap<Tag, TxId> = BTreeMap::new();
+        for rec in completed.iter().filter(|r| r.kind() == TxKind::Write) {
+            let tag = tag_of(rec);
+            if let Some(prev) = write_tags.insert(tag, rec.tx_id) {
+                return Verdict::NotSerializable(format!(
+                    "P3 violated: writes {prev} and {} share tag {tag}",
+                    rec.tx_id
+                ));
+            }
+        }
+
+        // P2: real-time order must not contradict the tag order (`≺`).
+        // φ ≺ π iff tag(φ) < tag(π), or tags are equal and φ is a WRITE while
+        // π is a READ.
+        let precedes = |a: &TxRecord, b: &TxRecord| -> bool {
+            let (ta, tb) = (tag_of(a), tag_of(b));
+            ta < tb || (ta == tb && a.kind() == TxKind::Write && b.kind() == TxKind::Read)
+        };
+        for a in &completed {
+            for b in &completed {
+                if a.tx_id != b.tx_id && a.precedes(b) && precedes(b, a) {
+                    return Verdict::NotSerializable(format!(
+                        "P2 violated: {} completes before {} starts, yet {} ≺ {} in the tag order",
+                        a.tx_id, b.tx_id, b.tx_id, a.tx_id
+                    ));
+                }
+            }
+        }
+
+        // P4: a READ returns, per object, the version of the latest WRITE
+        // (by tag) that precedes it and touches the object, or κ₀.
+        for read in completed.iter().filter(|r| r.kind() == TxKind::Read) {
+            let read_tag = tag_of(read);
+            let outcome = match read.outcome.as_ref() {
+                Some(TxOutcome::Read(r)) => r,
+                _ => continue,
+            };
+            for or in &outcome.reads {
+                let expected: Key = completed
+                    .iter()
+                    .filter(|w| {
+                        w.kind() == TxKind::Write
+                            && w.spec.objects().contains(&or.object)
+                            && tag_of(w) <= read_tag
+                    })
+                    .max_by_key(|w| tag_of(w))
+                    .map(|w| match w.outcome.as_ref() {
+                        Some(TxOutcome::Write(wo)) => wo.key,
+                        _ => Key::initial(),
+                    })
+                    .unwrap_or_else(Key::initial);
+                if or.key != expected {
+                    return Verdict::NotSerializable(format!(
+                        "P4 violated: READ {} (tag {read_tag}) returned version {} for {} but the \
+                         latest preceding write installed {}",
+                        read.tx_id, or.key, or.object, expected
+                    ));
+                }
+            }
+        }
+
+        // A witness order: sort by (tag, writes before reads, invocation).
+        let mut order: Vec<&TxRecord> = completed.clone();
+        order.sort_by_key(|r| {
+            (
+                tag_of(r),
+                match r.kind() {
+                    TxKind::Write => 0u8,
+                    TxKind::Read => 1u8,
+                },
+                r.invoked_at,
+                r.tx_id,
+            )
+        });
+        Verdict::Serializable(order.into_iter().map(|r| r.tx_id).collect())
+    }
+}
+
+/// Complete backtracking checker (no tags needed).
+#[derive(Debug, Clone)]
+pub struct SearchChecker {
+    /// Maximum number of transactions the search will attempt (the search is
+    /// exponential in the worst case).
+    pub max_transactions: usize,
+}
+
+impl Default for SearchChecker {
+    fn default() -> Self {
+        SearchChecker { max_transactions: 24 }
+    }
+}
+
+impl SearchChecker {
+    /// Creates a checker with the default transaction cap.
+    pub fn new() -> Self {
+        SearchChecker::default()
+    }
+
+    /// Creates a checker with an explicit transaction cap.
+    pub fn with_max_transactions(max_transactions: usize) -> Self {
+        SearchChecker { max_transactions }
+    }
+
+    /// Checks `history` by searching for a valid serialization order.
+    pub fn check(&self, history: &History) -> Verdict {
+        // Completed transactions must all be placed; incomplete WRITEs are
+        // optional (they may or may not have taken effect); incomplete READs
+        // are ignored.
+        let mandatory: Vec<&TxRecord> = history.completed().collect();
+        let optional: Vec<&TxRecord> = history
+            .records
+            .iter()
+            .filter(|r| !r.is_complete() && r.kind() == TxKind::Write && r.outcome.is_some())
+            .collect();
+        let all: Vec<&TxRecord> = mandatory.iter().chain(optional.iter()).copied().collect();
+        if all.len() > self.max_transactions {
+            return Verdict::Unknown(format!(
+                "history has {} transactions, above the search cap of {}",
+                all.len(),
+                self.max_transactions
+            ));
+        }
+
+        // Real-time precedence edges among the transactions considered.
+        let n = all.len();
+        let mandatory_count = mandatory.len();
+        let mut preds: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && all[i].precedes(all[j]) {
+                    preds[j].insert(i);
+                }
+            }
+        }
+
+        let mut placed: Vec<bool> = vec![false; n];
+        let mut skipped: Vec<bool> = vec![false; n];
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let found = Self::search(
+            &all,
+            mandatory_count,
+            &preds,
+            &mut placed,
+            &mut skipped,
+            &mut order,
+            &SequentialOt::new(),
+        );
+        match found {
+            Some(witness) => {
+                Verdict::Serializable(witness.into_iter().map(|i| all[i].tx_id).collect())
+            }
+            None => Verdict::NotSerializable(
+                "no total order consistent with real time and the sequential OT semantics exists"
+                    .to_string(),
+            ),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        all: &[&TxRecord],
+        mandatory_count: usize,
+        preds: &[BTreeSet<usize>],
+        placed: &mut Vec<bool>,
+        skipped: &mut Vec<bool>,
+        order: &mut Vec<usize>,
+        state: &SequentialOt,
+    ) -> Option<Vec<usize>> {
+        if (0..mandatory_count).all(|i| placed[i]) {
+            return Some(order.clone());
+        }
+        for i in 0..all.len() {
+            if placed[i] || skipped[i] {
+                continue;
+            }
+            // All real-time predecessors must already be placed or (for
+            // optional transactions) skipped.
+            if !preds[i].iter().all(|p| placed[*p] || skipped[*p]) {
+                continue;
+            }
+            // Try placing i next.
+            let mut next_state = state.clone();
+            if next_state.apply(all[i]).is_ok() {
+                placed[i] = true;
+                order.push(i);
+                if let Some(w) =
+                    Self::search(all, mandatory_count, preds, placed, skipped, order, &next_state)
+                {
+                    return Some(w);
+                }
+                order.pop();
+                placed[i] = false;
+            }
+            // For optional (incomplete write) transactions, also try skipping.
+            if i >= mandatory_count {
+                skipped[i] = true;
+                if let Some(w) =
+                    Self::search(all, mandatory_count, preds, placed, skipped, order, state)
+                {
+                    return Some(w);
+                }
+                skipped[i] = false;
+            }
+        }
+        None
+    }
+}
+
+/// Convenience: run the tag-order checker when every transaction carries a
+/// tag, otherwise the search checker.
+pub fn check_strict_serializability(history: &History) -> Verdict {
+    let all_tagged = history
+        .completed()
+        .all(|r| r.outcome.as_ref().and_then(|o| o.tag()).is_some());
+    if all_tagged && history.completed().count() > 0 {
+        TagOrderChecker::new().check(history)
+    } else {
+        SearchChecker::new().check(history)
+    }
+}
+
+/// Returns the first object on which two completed transactions conflict
+/// (one writes it, the other reads or writes it); used by diagnostics.
+pub fn first_conflict(a: &TxRecord, b: &TxRecord) -> Option<ObjectId> {
+    let wa: BTreeSet<ObjectId> = match a.kind() {
+        TxKind::Write => a.spec.objects().into_iter().collect(),
+        TxKind::Read => BTreeSet::new(),
+    };
+    let wb: BTreeSet<ObjectId> = match b.kind() {
+        TxKind::Write => b.spec.objects().into_iter().collect(),
+        TxKind::Read => BTreeSet::new(),
+    };
+    let ra: BTreeSet<ObjectId> = a.spec.objects().into_iter().collect();
+    let rb: BTreeSet<ObjectId> = b.spec.objects().into_iter().collect();
+    wa.intersection(&rb).next().copied().or_else(|| wb.intersection(&ra).next().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_core::{
+        ClientId, ObjectRead, ReadOutcome, TxOutcome, TxSpec, Value, WriteOutcome,
+    };
+
+    fn write(id: u64, client: u32, seq: u64, objects: &[u32], inv: u64, resp: u64, tag: Option<u64>) -> TxRecord {
+        let spec = TxSpec::write(objects.iter().map(|o| (ObjectId(*o), Value(seq))).collect());
+        let mut rec = TxRecord::invoked(TxId(id), ClientId(client), spec, inv);
+        rec.responded_at = Some(resp);
+        rec.outcome = Some(TxOutcome::Write(WriteOutcome {
+            key: Key::new(seq, ClientId(client)),
+            tag: tag.map(Tag),
+        }));
+        rec
+    }
+
+    fn read(id: u64, reads: Vec<(u32, Key)>, inv: u64, resp: u64, tag: Option<u64>) -> TxRecord {
+        let spec = TxSpec::read(reads.iter().map(|(o, _)| ObjectId(*o)).collect());
+        let mut rec = TxRecord::invoked(TxId(id), ClientId(0), spec, inv);
+        rec.responded_at = Some(resp);
+        rec.outcome = Some(TxOutcome::Read(ReadOutcome {
+            reads: reads
+                .into_iter()
+                .map(|(o, k)| ObjectRead {
+                    object: ObjectId(o),
+                    key: k,
+                    value: Value(0),
+                })
+                .collect(),
+            tag: tag.map(Tag),
+        }));
+        rec
+    }
+
+    fn k(seq: u64, client: u32) -> Key {
+        Key::new(seq, ClientId(client))
+    }
+
+    #[test]
+    fn tag_checker_accepts_a_clean_history() {
+        let mut h = History::new();
+        h.push(write(1, 1, 1, &[0, 1], 0, 10, Some(2)));
+        h.push(read(2, vec![(0, k(1, 1)), (1, k(1, 1))], 20, 30, Some(2)));
+        let v = TagOrderChecker::new().check(&h);
+        assert!(v.is_serializable(), "{v:?}");
+    }
+
+    #[test]
+    fn tag_checker_rejects_stale_reads() {
+        let mut h = History::new();
+        h.push(write(1, 1, 1, &[0, 1], 0, 10, Some(2)));
+        // A read at tag 2 returning κ0 for object 1 is stale (P4).
+        h.push(read(2, vec![(0, k(1, 1)), (1, Key::initial())], 20, 30, Some(2)));
+        let v = TagOrderChecker::new().check(&h);
+        assert!(v.is_violation(), "{v:?}");
+    }
+
+    #[test]
+    fn tag_checker_rejects_real_time_inversions() {
+        let mut h = History::new();
+        // Read at tag 1 completes strictly after a write that carries tag 2
+        // completed... fine.  But a read that *precedes* the write in real
+        // time while carrying a larger tag is fine too.  The violation is a
+        // read that completes before a write begins yet the write's tag is
+        // smaller (write ≺ read impossible?  No: read.tag > write.tag means
+        // write ≺ read, which combined with read-before-write real time is a
+        // P2 violation).
+        h.push(read(1, vec![(0, k(1, 1))], 0, 5, Some(2)));
+        h.push(write(2, 1, 1, &[0], 10, 20, Some(2)));
+        let v = TagOrderChecker::new().check(&h);
+        assert!(v.is_violation(), "{v:?}");
+    }
+
+    #[test]
+    fn tag_checker_rejects_duplicate_write_tags() {
+        let mut h = History::new();
+        h.push(write(1, 1, 1, &[0], 0, 10, Some(2)));
+        h.push(write(2, 2, 1, &[1], 0, 10, Some(2)));
+        let v = TagOrderChecker::new().check(&h);
+        assert!(v.is_violation(), "{v:?}");
+    }
+
+    #[test]
+    fn tag_checker_returns_unknown_without_tags() {
+        let mut h = History::new();
+        h.push(write(1, 1, 1, &[0], 0, 10, None));
+        assert!(matches!(TagOrderChecker::new().check(&h), Verdict::Unknown(_)));
+    }
+
+    #[test]
+    fn search_checker_accepts_a_serializable_untagged_history() {
+        let mut h = History::new();
+        h.push(write(1, 1, 1, &[0, 1], 0, 10, None));
+        h.push(read(2, vec![(0, k(1, 1)), (1, k(1, 1))], 20, 30, None));
+        let v = SearchChecker::new().check(&h);
+        assert!(v.is_serializable(), "{v:?}");
+    }
+
+    #[test]
+    fn search_checker_accepts_concurrent_reads_choosing_either_side() {
+        let mut h = History::new();
+        // Write concurrent with a read that returns the OLD value: fine,
+        // the read serializes before the write.
+        h.push(write(1, 1, 1, &[0, 1], 0, 100, None));
+        h.push(read(2, vec![(0, Key::initial()), (1, Key::initial())], 10, 20, None));
+        assert!(SearchChecker::new().check(&h).is_serializable());
+        // Or the NEW value: serializes after.
+        let mut h2 = History::new();
+        h2.push(write(1, 1, 1, &[0, 1], 0, 100, None));
+        h2.push(read(2, vec![(0, k(1, 1)), (1, k(1, 1))], 10, 20, None));
+        assert!(SearchChecker::new().check(&h2).is_serializable());
+    }
+
+    #[test]
+    fn search_checker_rejects_torn_reads_of_a_completed_write() {
+        let mut h = History::new();
+        h.push(write(1, 1, 1, &[0, 1], 0, 10, None));
+        h.push(read(2, vec![(0, k(1, 1)), (1, Key::initial())], 20, 30, None));
+        let v = SearchChecker::new().check(&h);
+        assert!(v.is_violation(), "{v:?}");
+    }
+
+    #[test]
+    fn search_checker_rejects_the_fig5_shape() {
+        // w1 writes o1; w2 writes o1; w3 writes o0 after w2 completes.
+        // The READ returns w3's value for o0 and w1's for o1 → not strictly
+        // serializable.
+        let mut h = History::new();
+        h.push(write(1, 1, 1, &[1], 0, 10, None)); // w1
+        h.push(write(2, 1, 2, &[1], 20, 30, None)); // w2
+        h.push(write(3, 2, 1, &[0], 40, 50, None)); // w3 (after w2)
+        h.push(read(4, vec![(0, k(1, 2)), (1, k(1, 1))], 5, 60, None));
+        let v = SearchChecker::new().check(&h);
+        assert!(v.is_violation(), "{v:?}");
+    }
+
+    #[test]
+    fn search_checker_rejects_inverted_consecutive_reads() {
+        // The α10 shape of the three-client proof: R2 completes before R1
+        // starts, R2 sees the new version but R1 sees the old one.
+        let mut h = History::new();
+        h.push(write(1, 2, 1, &[0, 1], 0, 10, None)); // W writes both objects
+        h.push(read(2, vec![(0, k(1, 2)), (1, k(1, 2))], 20, 30, None)); // R2 new
+        h.push(read(3, vec![(0, Key::initial()), (1, Key::initial())], 40, 50, None)); // R1 old
+        let v = SearchChecker::new().check(&h);
+        assert!(v.is_violation(), "{v:?}");
+    }
+
+    #[test]
+    fn search_checker_handles_incomplete_writes_both_ways() {
+        // An incomplete write may or may not be visible.
+        let mut pending = write(1, 1, 1, &[0], 0, 0, None);
+        pending.responded_at = None; // incomplete, but outcome (key) known
+        let mut h = History::new();
+        h.push(pending.clone());
+        h.push(read(2, vec![(0, k(1, 1))], 10, 20, None)); // observed it
+        assert!(SearchChecker::new().check(&h).is_serializable());
+
+        let mut h2 = History::new();
+        h2.push(pending);
+        h2.push(read(2, vec![(0, Key::initial())], 10, 20, None)); // did not
+        assert!(SearchChecker::new().check(&h2).is_serializable());
+    }
+
+    #[test]
+    fn search_checker_gives_up_above_the_cap() {
+        let mut h = History::new();
+        for i in 0..30 {
+            h.push(write(i, 1, i, &[0], i * 10, i * 10 + 5, None));
+        }
+        assert!(matches!(SearchChecker::new().check(&h), Verdict::Unknown(_)));
+        assert!(SearchChecker::with_max_transactions(64).check(&h).is_serializable());
+    }
+
+    #[test]
+    fn dispatcher_picks_the_right_engine() {
+        let mut tagged = History::new();
+        tagged.push(write(1, 1, 1, &[0], 0, 10, Some(2)));
+        assert!(check_strict_serializability(&tagged).is_serializable());
+        let mut untagged = History::new();
+        untagged.push(write(1, 1, 1, &[0], 0, 10, None));
+        assert!(check_strict_serializability(&untagged).is_serializable());
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let w = write(1, 1, 1, &[0, 1], 0, 10, None);
+        let r = read(2, vec![(1, Key::initial())], 0, 10, None);
+        assert_eq!(first_conflict(&w, &r), Some(ObjectId(1)));
+        let r2 = read(3, vec![(5, Key::initial())], 0, 10, None);
+        assert_eq!(first_conflict(&w, &r2), None);
+        assert_eq!(first_conflict(&r, &w), Some(ObjectId(1)));
+    }
+}

@@ -1,0 +1,202 @@
+//! The versioned object store kept by a storage server (shard).
+//!
+//! In the paper each server `sᵢ` maintains a set variable
+//! `Vals ⊆ K × Vᵢ` of `(key, value)` pairs, initially `{(κ₀, v⁰ᵢ)}`
+//! (Algorithms A, B, C all share this layout).  [`ObjectVersions`] is exactly
+//! that set for one object; [`ShardStore`] groups the objects hosted by one
+//! server, which generalizes the paper's one-object-per-server presentation
+//! to realistic multi-object shards without changing any protocol logic.
+
+use crate::ids::ObjectId;
+use crate::key::Key;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The multi-version state of a single object: the paper's `Vals` set.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectVersions {
+    /// All versions ever written, keyed by the WRITE transaction's key.
+    vals: BTreeMap<Key, Value>,
+    /// The key of the most recently *installed* version, in arrival order at
+    /// this server.  Only used by baselines (Eiger-style / simple reads);
+    /// Algorithms A, B and C always read by explicit key.
+    latest: Key,
+}
+
+impl ObjectVersions {
+    /// Creates the initial state `{(κ₀, v⁰)}`.
+    pub fn new() -> Self {
+        let mut vals = BTreeMap::new();
+        vals.insert(Key::initial(), Value::INITIAL);
+        ObjectVersions {
+            vals,
+            latest: Key::initial(),
+        }
+    }
+
+    /// Installs a new version `(key, value)` — the server-side effect of a
+    /// `write-val` message.  Returns `true` if the key was not present before.
+    pub fn install(&mut self, key: Key, value: Value) -> bool {
+        let fresh = self.vals.insert(key, value).is_none();
+        self.latest = key;
+        fresh
+    }
+
+    /// Looks up the value stored under `key` (the `read-val` handler).
+    pub fn get(&self, key: &Key) -> Option<Value> {
+        self.vals.get(key).copied()
+    }
+
+    /// The key installed most recently at this server (arrival order).
+    pub fn latest_key(&self) -> Key {
+        self.latest
+    }
+
+    /// The value installed most recently at this server.
+    pub fn latest_value(&self) -> Value {
+        self.vals[&self.latest]
+    }
+
+    /// All `(key, value)` pairs — the full `Vals` set, as returned by
+    /// Algorithm C's `read-vals` handler.
+    pub fn all_versions(&self) -> Vec<(Key, Value)> {
+        self.vals.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Number of versions currently stored (≥ 1: the initial version never
+    /// leaves the set).
+    pub fn version_count(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True if a version with `key` has been installed.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.vals.contains_key(key)
+    }
+}
+
+impl Default for ObjectVersions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The state of one storage server: the versioned stores of every object it
+/// hosts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStore {
+    objects: BTreeMap<ObjectId, ObjectVersions>,
+}
+
+impl ShardStore {
+    /// Creates a store hosting the given objects, each at its initial version.
+    pub fn new(objects: impl IntoIterator<Item = ObjectId>) -> Self {
+        ShardStore {
+            objects: objects
+                .into_iter()
+                .map(|o| (o, ObjectVersions::new()))
+                .collect(),
+        }
+    }
+
+    /// The versioned state of `object`, if hosted here.
+    pub fn object(&self, object: ObjectId) -> Option<&ObjectVersions> {
+        self.objects.get(&object)
+    }
+
+    /// Mutable access to the versioned state of `object`, if hosted here.
+    pub fn object_mut(&mut self, object: ObjectId) -> Option<&mut ObjectVersions> {
+        self.objects.get_mut(&object)
+    }
+
+    /// Installs `(key, value)` for `object`, creating the object lazily if it
+    /// was not declared up front (useful for dynamically sized workloads).
+    pub fn install(&mut self, object: ObjectId, key: Key, value: Value) {
+        self.objects.entry(object).or_default().install(key, value);
+    }
+
+    /// Reads `object` at `key`.
+    pub fn get(&self, object: ObjectId, key: &Key) -> Option<Value> {
+        self.objects.get(&object).and_then(|o| o.get(key))
+    }
+
+    /// The objects hosted by this shard.
+    pub fn hosted_objects(&self) -> Vec<ObjectId> {
+        self.objects.keys().copied().collect()
+    }
+
+    /// True if `object` is hosted by this shard.
+    pub fn hosts(&self, object: ObjectId) -> bool {
+        self.objects.contains_key(&object)
+    }
+
+    /// Total number of versions across all hosted objects.
+    pub fn total_versions(&self) -> usize {
+        self.objects.values().map(|o| o.version_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    #[test]
+    fn object_versions_start_with_initial() {
+        let ov = ObjectVersions::new();
+        assert_eq!(ov.version_count(), 1);
+        assert_eq!(ov.get(&Key::initial()), Some(Value::INITIAL));
+        assert_eq!(ov.latest_key(), Key::initial());
+        assert_eq!(ov.latest_value(), Value::INITIAL);
+    }
+
+    #[test]
+    fn install_adds_versions_and_updates_latest() {
+        let mut ov = ObjectVersions::new();
+        let k1 = Key::new(1, ClientId(0));
+        assert!(ov.install(k1, Value(10)));
+        assert_eq!(ov.version_count(), 2);
+        assert_eq!(ov.get(&k1), Some(Value(10)));
+        assert_eq!(ov.latest_key(), k1);
+        assert_eq!(ov.latest_value(), Value(10));
+        // Re-installing the same key is idempotent in size.
+        assert!(!ov.install(k1, Value(10)));
+        assert_eq!(ov.version_count(), 2);
+        // The initial version is never evicted.
+        assert_eq!(ov.get(&Key::initial()), Some(Value::INITIAL));
+        assert!(ov.contains(&k1));
+    }
+
+    #[test]
+    fn all_versions_returns_full_set() {
+        let mut ov = ObjectVersions::new();
+        ov.install(Key::new(1, ClientId(0)), Value(1));
+        ov.install(Key::new(2, ClientId(0)), Value(2));
+        let all = ov.all_versions();
+        assert_eq!(all.len(), 3);
+        assert!(all.contains(&(Key::initial(), Value::INITIAL)));
+        assert!(all.contains(&(Key::new(2, ClientId(0)), Value(2))));
+    }
+
+    #[test]
+    fn shard_store_hosts_and_installs() {
+        let mut s = ShardStore::new(vec![ObjectId(0), ObjectId(1)]);
+        assert!(s.hosts(ObjectId(0)));
+        assert!(!s.hosts(ObjectId(9)));
+        assert_eq!(s.hosted_objects(), vec![ObjectId(0), ObjectId(1)]);
+        assert_eq!(s.total_versions(), 2);
+
+        let k = Key::new(1, ClientId(7));
+        s.install(ObjectId(0), k, Value(99));
+        assert_eq!(s.get(ObjectId(0), &k), Some(Value(99)));
+        assert_eq!(s.get(ObjectId(1), &k), None);
+        assert_eq!(s.total_versions(), 3);
+
+        // Lazily created object.
+        s.install(ObjectId(5), k, Value(5));
+        assert!(s.hosts(ObjectId(5)));
+        assert_eq!(s.object(ObjectId(5)).unwrap().version_count(), 2);
+        assert!(s.object_mut(ObjectId(5)).is_some());
+    }
+}

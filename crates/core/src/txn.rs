@@ -1,0 +1,292 @@
+//! The transaction data type `OT` of §7.1: READ and WRITE transactions.
+//!
+//! A WRITE transaction `WRITE((o_{i1}, v_{i1}), …, (o_{ip}, v_{ip}))` updates
+//! a set of distinct objects; a READ transaction `READ(o_{i1}, …, o_{iq})`
+//! returns a consistent snapshot of a set of distinct objects.  No
+//! transaction mixes reads and writes, no transaction aborts, and every
+//! object named in a transaction lives on its own shard.
+
+use crate::ids::ObjectId;
+use crate::key::{Key, Tag};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The kind of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxKind {
+    /// A READ transaction (a group of single-object reads).
+    Read,
+    /// A WRITE transaction (a group of single-object writes).
+    Write,
+}
+
+/// Specification of a READ transaction: the distinct objects to read.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadSpec {
+    /// Objects to read, in the order the caller wants them reported.
+    pub objects: Vec<ObjectId>,
+}
+
+impl ReadSpec {
+    /// Creates a READ spec over the given objects.
+    ///
+    /// # Panics
+    /// Panics if `objects` is empty or contains duplicates — both are
+    /// malformed under the `OT` data type.
+    pub fn new(objects: Vec<ObjectId>) -> Self {
+        assert!(!objects.is_empty(), "READ transaction must name at least one object");
+        let distinct: BTreeSet<_> = objects.iter().collect();
+        assert_eq!(
+            distinct.len(),
+            objects.len(),
+            "READ transaction must name distinct objects"
+        );
+        ReadSpec { objects }
+    }
+
+    /// Number of objects read.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if the spec has no objects (never constructible via [`ReadSpec::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+/// Specification of a WRITE transaction: distinct objects and the values to
+/// write to them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteSpec {
+    /// `(object, value)` pairs, one per distinct object.
+    pub writes: Vec<(ObjectId, Value)>,
+}
+
+impl WriteSpec {
+    /// Creates a WRITE spec.
+    ///
+    /// # Panics
+    /// Panics if `writes` is empty or targets the same object twice.
+    pub fn new(writes: Vec<(ObjectId, Value)>) -> Self {
+        assert!(!writes.is_empty(), "WRITE transaction must name at least one object");
+        let distinct: BTreeSet<_> = writes.iter().map(|(o, _)| o).collect();
+        assert_eq!(
+            distinct.len(),
+            writes.len(),
+            "WRITE transaction must name distinct objects"
+        );
+        WriteSpec { writes }
+    }
+
+    /// The objects this WRITE updates.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        self.writes.iter().map(|(o, _)| *o).collect()
+    }
+
+    /// The value this WRITE assigns to `object`, if any.
+    pub fn value_for(&self, object: ObjectId) -> Option<Value> {
+        self.writes.iter().find(|(o, _)| *o == object).map(|(_, v)| *v)
+    }
+
+    /// Number of objects written.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// True if the spec has no writes (never constructible via [`WriteSpec::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+/// A transaction specification: what a client asks the system to do.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxSpec {
+    /// A READ transaction.
+    Read(ReadSpec),
+    /// A WRITE transaction.
+    Write(WriteSpec),
+}
+
+impl TxSpec {
+    /// The kind of this transaction.
+    pub fn kind(&self) -> TxKind {
+        match self {
+            TxSpec::Read(_) => TxKind::Read,
+            TxSpec::Write(_) => TxKind::Write,
+        }
+    }
+
+    /// The objects this transaction touches.
+    pub fn objects(&self) -> Vec<ObjectId> {
+        match self {
+            TxSpec::Read(r) => r.objects.clone(),
+            TxSpec::Write(w) => w.objects(),
+        }
+    }
+
+    /// Convenience constructor for a READ transaction.
+    pub fn read(objects: Vec<ObjectId>) -> Self {
+        TxSpec::Read(ReadSpec::new(objects))
+    }
+
+    /// Convenience constructor for a WRITE transaction.
+    pub fn write(writes: Vec<(ObjectId, Value)>) -> Self {
+        TxSpec::Write(WriteSpec::new(writes))
+    }
+}
+
+/// The outcome of one single-object read inside a READ transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectRead {
+    /// The object that was read.
+    pub object: ObjectId,
+    /// The version key of the value that was returned.
+    pub key: Key,
+    /// The returned value.
+    pub value: Value,
+}
+
+/// The outcome of a completed READ transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReadOutcome {
+    /// One entry per object read, in the order of the [`ReadSpec`].
+    pub reads: Vec<ObjectRead>,
+    /// The tag this READ serializes at, when the protocol exposes one
+    /// (Algorithms A, B and C do; baselines may not).
+    pub tag: Option<Tag>,
+}
+
+impl ReadOutcome {
+    /// The value returned for `object`, if the READ included it.
+    pub fn value_for(&self, object: ObjectId) -> Option<Value> {
+        self.reads.iter().find(|r| r.object == object).map(|r| r.value)
+    }
+
+    /// The version key returned for `object`, if the READ included it.
+    pub fn key_for(&self, object: ObjectId) -> Option<Key> {
+        self.reads.iter().find(|r| r.object == object).map(|r| r.key)
+    }
+}
+
+/// The outcome of a completed WRITE transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteOutcome {
+    /// The key the writer generated for this WRITE.
+    pub key: Key,
+    /// The tag the WRITE obtained (its position in `List`), when the
+    /// protocol exposes one.
+    pub tag: Option<Tag>,
+}
+
+/// The outcome of a completed transaction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxOutcome {
+    /// A READ transaction's returned snapshot.
+    Read(ReadOutcome),
+    /// A WRITE transaction's acknowledgement.
+    Write(WriteOutcome),
+}
+
+impl TxOutcome {
+    /// The READ outcome, if this is a READ.
+    pub fn as_read(&self) -> Option<&ReadOutcome> {
+        match self {
+            TxOutcome::Read(r) => Some(r),
+            TxOutcome::Write(_) => None,
+        }
+    }
+
+    /// The WRITE outcome, if this is a WRITE.
+    pub fn as_write(&self) -> Option<&WriteOutcome> {
+        match self {
+            TxOutcome::Write(w) => Some(w),
+            TxOutcome::Read(_) => None,
+        }
+    }
+
+    /// The tag carried by the outcome, if any.
+    pub fn tag(&self) -> Option<Tag> {
+        match self {
+            TxOutcome::Read(r) => r.tag,
+            TxOutcome::Write(w) => w.tag,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    #[test]
+    fn read_spec_rejects_duplicates() {
+        let ok = ReadSpec::new(vec![ObjectId(0), ObjectId(1)]);
+        assert_eq!(ok.len(), 2);
+        assert!(!ok.is_empty());
+        let dup = std::panic::catch_unwind(|| ReadSpec::new(vec![ObjectId(0), ObjectId(0)]));
+        assert!(dup.is_err());
+        let empty = std::panic::catch_unwind(|| ReadSpec::new(vec![]));
+        assert!(empty.is_err());
+    }
+
+    #[test]
+    fn write_spec_rejects_duplicates_and_exposes_values() {
+        let w = WriteSpec::new(vec![(ObjectId(0), Value(1)), (ObjectId(1), Value(2))]);
+        assert_eq!(w.objects(), vec![ObjectId(0), ObjectId(1)]);
+        assert_eq!(w.value_for(ObjectId(1)), Some(Value(2)));
+        assert_eq!(w.value_for(ObjectId(9)), None);
+        assert_eq!(w.len(), 2);
+        let dup = std::panic::catch_unwind(|| {
+            WriteSpec::new(vec![(ObjectId(0), Value(1)), (ObjectId(0), Value(2))])
+        });
+        assert!(dup.is_err());
+    }
+
+    #[test]
+    fn tx_spec_kind_and_objects() {
+        let r = TxSpec::read(vec![ObjectId(3), ObjectId(4)]);
+        assert_eq!(r.kind(), TxKind::Read);
+        assert_eq!(r.objects(), vec![ObjectId(3), ObjectId(4)]);
+        let w = TxSpec::write(vec![(ObjectId(5), Value(9))]);
+        assert_eq!(w.kind(), TxKind::Write);
+        assert_eq!(w.objects(), vec![ObjectId(5)]);
+    }
+
+    #[test]
+    fn outcomes_expose_lookups_and_tags() {
+        let ro = ReadOutcome {
+            reads: vec![
+                ObjectRead {
+                    object: ObjectId(0),
+                    key: Key::new(1, ClientId(0)),
+                    value: Value(10),
+                },
+                ObjectRead {
+                    object: ObjectId(1),
+                    key: Key::initial(),
+                    value: Value::INITIAL,
+                },
+            ],
+            tag: Some(Tag(2)),
+        };
+        assert_eq!(ro.value_for(ObjectId(0)), Some(Value(10)));
+        assert_eq!(ro.key_for(ObjectId(1)), Some(Key::initial()));
+        assert_eq!(ro.value_for(ObjectId(7)), None);
+
+        let out = TxOutcome::Read(ro.clone());
+        assert_eq!(out.tag(), Some(Tag(2)));
+        assert!(out.as_read().is_some());
+        assert!(out.as_write().is_none());
+
+        let wo = TxOutcome::Write(WriteOutcome {
+            key: Key::new(1, ClientId(0)),
+            tag: Some(Tag(2)),
+        });
+        assert_eq!(wo.tag(), Some(Tag(2)));
+        assert!(wo.as_write().is_some());
+        assert!(wo.as_read().is_none());
+    }
+}

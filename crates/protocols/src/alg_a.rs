@@ -1,0 +1,519 @@
+//! **Algorithm A** (§5.2, Pseudocode 4): SNOW READ transactions in the
+//! multi-writer single-reader (MWSR) setting, using client-to-client
+//! communication.
+//!
+//! * A WRITE transaction runs two phases: `write-value` (send
+//!   `(write-val, (κ, vᵢ))` to every server in `S_I`, await acks) and
+//!   `info-reader` (send `(info-reader, (κ, (b₁,…,b_k)))` **directly to the
+//!   reader**, await its ack carrying the tag).
+//! * The single reader keeps the ordered `List` of registered WRITEs.  A READ
+//!   transaction is one round: for each object the reader looks up the latest
+//!   registered key `κᵢ` in its own `List` and sends `(read-val, κᵢ)` to the
+//!   server; servers answer immediately with exactly that version.
+//!
+//! Because the reader's `List` only ever contains WRITEs whose values are
+//! already installed on every server they touched, the read is non-blocking,
+//! one-round and one-version — all four SNOW properties hold (Theorem 3).
+
+use crate::common::{KeyAllocator, PendingRead, PendingWrite, WriteLog};
+use snow_core::{
+    ClientId, Key, ObjectId, ObjectRead, ProcessId, Result, ServerId, ShardStore, SnowError,
+    SystemConfig, Tag, TxId, TxOutcome, TxSpec, Value, WriteOutcome,
+};
+use snow_sim::{Effects, MsgInfo, Process, SimMessage};
+
+/// Messages exchanged by Algorithm A.
+#[derive(Debug, Clone)]
+pub enum AlgAMsg {
+    /// `write-val`: writer → server, install `(key, value)` for `object`.
+    WriteVal {
+        /// WRITE transaction id.
+        tx: TxId,
+        /// Object to update.
+        object: ObjectId,
+        /// Version key `κ`.
+        key: Key,
+        /// New value.
+        value: Value,
+    },
+    /// `ack`: server → writer, acknowledging a `write-val`.
+    WriteAck {
+        /// WRITE transaction id.
+        tx: TxId,
+        /// Object whose write was installed.
+        object: ObjectId,
+    },
+    /// `info-reader`: writer → reader (client-to-client), registering the
+    /// completed WRITE `(κ, objects)`.
+    InfoReader {
+        /// WRITE transaction id.
+        tx: TxId,
+        /// Version key `κ`.
+        key: Key,
+        /// Objects the WRITE updated (the `(b₁,…,b_k)` bitmap, as a list).
+        objects: Vec<ObjectId>,
+    },
+    /// `ack, t_w`: reader → writer (client-to-client), carrying the tag.
+    InfoAck {
+        /// WRITE transaction id.
+        tx: TxId,
+        /// The tag assigned (`|List|` after the append).
+        tag: Tag,
+    },
+    /// `read-val`: reader → server, requesting the version named by `key`.
+    ReadVal {
+        /// READ transaction id.
+        tx: TxId,
+        /// Object to read.
+        object: ObjectId,
+        /// Version key `κᵢ` selected from the reader's `List`.
+        key: Key,
+    },
+    /// Value response: server → reader.
+    ReadResp {
+        /// READ transaction id.
+        tx: TxId,
+        /// Object read.
+        object: ObjectId,
+        /// Version key of the returned value.
+        key: Key,
+        /// The value.
+        value: Value,
+    },
+}
+
+impl SimMessage for AlgAMsg {
+    fn info(&self) -> MsgInfo {
+        match self {
+            AlgAMsg::WriteVal { tx, object, .. } => MsgInfo::write_request(*tx, Some(*object)),
+            AlgAMsg::WriteAck { tx, object } => MsgInfo::write_ack(*tx, Some(*object)),
+            AlgAMsg::InfoReader { tx, .. } | AlgAMsg::InfoAck { tx, .. } => {
+                MsgInfo::client_to_client(Some(*tx))
+            }
+            AlgAMsg::ReadVal { tx, object, .. } => MsgInfo::read_request(*tx, Some(*object)),
+            AlgAMsg::ReadResp { tx, object, .. } => MsgInfo::read_response(*tx, Some(*object), 1),
+        }
+    }
+}
+
+/// The single reader of Algorithm A: owns the `List` of registered WRITEs.
+#[derive(Debug)]
+pub struct AlgAReader {
+    id: ClientId,
+    config: SystemConfig,
+    log: WriteLog,
+    pending: Option<PendingRead>,
+}
+
+impl AlgAReader {
+    /// Creates the reader.
+    pub fn new(id: ClientId, config: SystemConfig) -> Self {
+        let log = WriteLog::new(config.objects().collect());
+        AlgAReader {
+            id,
+            config,
+            log,
+            pending: None,
+        }
+    }
+
+    /// The number of WRITEs registered so far (excluding the initial entry).
+    pub fn registered_writes(&self) -> usize {
+        self.log.len() - 1
+    }
+
+    fn start_read(&mut self, tx: TxId, objects: Vec<ObjectId>, effects: &mut Effects<AlgAMsg>) {
+        let mut pending = PendingRead::new(tx, objects.clone());
+        let (tag, keys) = self.log.tag_array(&objects);
+        pending.tag = Some(tag);
+        pending.keys = keys.clone();
+        self.pending = Some(pending);
+        for (object, key) in keys {
+            let server = self.config.server_for(object);
+            effects.send(
+                ProcessId::Server(server),
+                AlgAMsg::ReadVal { tx, object, key },
+            );
+        }
+    }
+}
+
+/// A writer of Algorithm A.
+#[derive(Debug)]
+pub struct AlgAWriter {
+    id: ClientId,
+    config: SystemConfig,
+    reader: ClientId,
+    keys: KeyAllocator,
+    pending: Option<PendingWrite>,
+}
+
+impl AlgAWriter {
+    /// Creates a writer that registers its WRITEs with `reader`.
+    pub fn new(id: ClientId, reader: ClientId, config: SystemConfig) -> Self {
+        AlgAWriter {
+            id,
+            config,
+            reader,
+            keys: KeyAllocator::new(id),
+            pending: None,
+        }
+    }
+
+    fn start_write(
+        &mut self,
+        tx: TxId,
+        writes: Vec<(ObjectId, Value)>,
+        effects: &mut Effects<AlgAMsg>,
+    ) {
+        let key = self.keys.next();
+        let objects: Vec<ObjectId> = writes.iter().map(|(o, _)| *o).collect();
+        self.pending = Some(PendingWrite::new(tx, key, objects));
+        for (object, value) in writes {
+            let server = self.config.server_for(object);
+            effects.send(
+                ProcessId::Server(server),
+                AlgAMsg::WriteVal {
+                    tx,
+                    object,
+                    key,
+                    value,
+                },
+            );
+        }
+    }
+}
+
+/// A storage server of Algorithm A.
+#[derive(Debug)]
+pub struct AlgAServer {
+    id: ServerId,
+    store: ShardStore,
+}
+
+impl AlgAServer {
+    /// Creates a server hosting the objects the configuration places on it.
+    pub fn new(id: ServerId, config: &SystemConfig) -> Self {
+        AlgAServer {
+            id,
+            store: ShardStore::new(config.objects_on(id)),
+        }
+    }
+
+    /// Read access to the server's store (tests / inspection).
+    pub fn store(&self) -> &ShardStore {
+        &self.store
+    }
+}
+
+/// A process of an Algorithm A deployment.
+#[derive(Debug)]
+pub enum AlgANode {
+    /// The single reader.
+    Reader(AlgAReader),
+    /// A writer.
+    Writer(AlgAWriter),
+    /// A storage server.
+    Server(AlgAServer),
+}
+
+impl Process for AlgANode {
+    type Msg = AlgAMsg;
+
+    fn id(&self) -> ProcessId {
+        match self {
+            AlgANode::Reader(r) => ProcessId::Client(r.id),
+            AlgANode::Writer(w) => ProcessId::Client(w.id),
+            AlgANode::Server(s) => ProcessId::Server(s.id),
+        }
+    }
+
+    fn on_invoke(&mut self, tx_id: TxId, spec: TxSpec, effects: &mut Effects<AlgAMsg>) {
+        match (self, spec) {
+            (AlgANode::Reader(r), TxSpec::Read(read)) => {
+                assert!(r.pending.is_none(), "reader invoked while a READ is outstanding");
+                r.start_read(tx_id, read.objects, effects);
+            }
+            (AlgANode::Writer(w), TxSpec::Write(write)) => {
+                assert!(w.pending.is_none(), "writer invoked while a WRITE is outstanding");
+                w.start_write(tx_id, write.writes, effects);
+            }
+            (AlgANode::Reader(_), TxSpec::Write(_)) => {
+                panic!("Algorithm A readers only execute READ transactions")
+            }
+            (AlgANode::Writer(_), TxSpec::Read(_)) => {
+                panic!("Algorithm A writers only execute WRITE transactions")
+            }
+            (AlgANode::Server(_), _) => panic!("servers do not accept invocations"),
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: AlgAMsg, effects: &mut Effects<AlgAMsg>) {
+        match self {
+            AlgANode::Server(server) => match msg {
+                AlgAMsg::WriteVal {
+                    tx,
+                    object,
+                    key,
+                    value,
+                } => {
+                    server.store.install(object, key, value);
+                    effects.send(from, AlgAMsg::WriteAck { tx, object });
+                }
+                AlgAMsg::ReadVal { tx, object, key } => {
+                    let value = server
+                        .store
+                        .get(object, &key)
+                        .expect("Algorithm A invariant: requested version is always installed");
+                    effects.send(
+                        from,
+                        AlgAMsg::ReadResp {
+                            tx,
+                            object,
+                            key,
+                            value,
+                        },
+                    );
+                }
+                other => panic!("server received unexpected message {other:?}"),
+            },
+            AlgANode::Reader(reader) => match msg {
+                AlgAMsg::InfoReader { tx, key, objects } => {
+                    let tag = reader.log.append(key, objects);
+                    effects.send(from, AlgAMsg::InfoAck { tx, tag });
+                }
+                AlgAMsg::ReadResp {
+                    tx,
+                    object,
+                    key,
+                    value,
+                } => {
+                    let Some(pending) = reader.pending.as_mut() else {
+                        return;
+                    };
+                    if pending.tx != tx {
+                        return;
+                    }
+                    pending.record(ObjectRead { object, key, value });
+                    if pending.is_complete() {
+                        let pending = reader.pending.take().expect("pending read present");
+                        effects.respond(tx, pending.into_outcome());
+                    }
+                }
+                other => panic!("reader received unexpected message {other:?}"),
+            },
+            AlgANode::Writer(writer) => match msg {
+                AlgAMsg::WriteAck { tx, object } => {
+                    let Some(pending) = writer.pending.as_mut() else {
+                        return;
+                    };
+                    if pending.tx != tx || pending.registering {
+                        return;
+                    }
+                    if pending.ack(object) {
+                        pending.registering = true;
+                        let key = pending.key;
+                        let objects = pending.objects.clone();
+                        effects.send(
+                            ProcessId::Client(writer.reader),
+                            AlgAMsg::InfoReader { tx, key, objects },
+                        );
+                    }
+                }
+                AlgAMsg::InfoAck { tx, tag } => {
+                    let Some(pending) = writer.pending.as_ref() else {
+                        return;
+                    };
+                    if pending.tx != tx {
+                        return;
+                    }
+                    let key = pending.key;
+                    writer.pending = None;
+                    effects.respond(
+                        tx,
+                        TxOutcome::Write(WriteOutcome {
+                            key,
+                            tag: Some(tag),
+                        }),
+                    );
+                }
+                other => panic!("writer received unexpected message {other:?}"),
+            },
+        }
+    }
+}
+
+/// Builds an Algorithm A deployment for `config`.
+///
+/// Requirements (returned as errors): exactly one reader (MWSR) and
+/// client-to-client communication allowed.
+pub fn deploy(config: &SystemConfig) -> Result<Vec<AlgANode>> {
+    config.validate().map_err(SnowError::InvalidConfig)?;
+    if config.num_readers != 1 {
+        return Err(SnowError::InvalidConfig(format!(
+            "Algorithm A requires exactly one reader (MWSR); got {}",
+            config.num_readers
+        )));
+    }
+    if !config.c2c_allowed {
+        return Err(SnowError::C2cDisallowed);
+    }
+    let reader_id = config.readers().next().expect("one reader");
+    let mut nodes = Vec::new();
+    nodes.push(AlgANode::Reader(AlgAReader::new(reader_id, config.clone())));
+    for w in config.writers() {
+        nodes.push(AlgANode::Writer(AlgAWriter::new(w, reader_id, config.clone())));
+    }
+    for s in config.servers() {
+        nodes.push(AlgANode::Server(AlgAServer::new(s, config)));
+    }
+    Ok(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_core::{TxKind, Value};
+    use snow_sim::{FifoScheduler, RandomScheduler, Simulation};
+
+    fn build(config: &SystemConfig, seed: Option<u64>) -> Simulation<AlgANode, RandomScheduler> {
+        let mut sim = Simulation::new(RandomScheduler::new(seed.unwrap_or(0)));
+        for node in deploy(config).unwrap() {
+            sim.add_process(node);
+        }
+        sim
+    }
+
+    #[test]
+    fn deploy_rejects_bad_configs() {
+        let no_c2c = SystemConfig::mwsr(2, 1, false);
+        assert!(matches!(deploy(&no_c2c), Err(SnowError::C2cDisallowed)));
+        let two_readers = SystemConfig::mwmr(2, 1, 2);
+        assert!(deploy(&two_readers).is_err());
+    }
+
+    #[test]
+    fn read_after_write_sees_written_values() {
+        let config = SystemConfig::mwsr(2, 1, true);
+        let mut sim = Simulation::new(FifoScheduler::new());
+        for node in deploy(&config).unwrap() {
+            sim.add_process(node);
+        }
+        let writer = config.writers().next().unwrap();
+        let reader = config.readers().next().unwrap();
+        let w = sim.invoke_at(
+            0,
+            writer,
+            TxSpec::write(vec![(ObjectId(0), Value(10)), (ObjectId(1), Value(20))]),
+        );
+        assert!(sim.run_until_complete(w));
+        let r = sim.invoke_now(reader, TxSpec::read(vec![ObjectId(0), ObjectId(1)]));
+        assert!(sim.run_until_complete(r));
+
+        let history = sim.history();
+        let read = history.get(r).unwrap();
+        let outcome = read.outcome.as_ref().unwrap().as_read().unwrap();
+        assert_eq!(outcome.value_for(ObjectId(0)), Some(Value(10)));
+        assert_eq!(outcome.value_for(ObjectId(1)), Some(Value(20)));
+        assert_eq!(outcome.tag, Some(Tag(2)));
+        // SNOW latency shape: one round, one version, non-blocking, and the
+        // READ itself used no client-to-client messages.
+        assert_eq!(read.rounds, 1);
+        assert_eq!(read.max_versions_per_read(), 1);
+        assert!(read.all_reads_nonblocking());
+        assert_eq!(read.c2c_messages, 0);
+        // The WRITE used C2C messages (info-reader / ack).
+        let write = history.get(w).unwrap();
+        assert_eq!(write.c2c_messages, 2);
+        assert_eq!(write.outcome.as_ref().unwrap().tag(), Some(Tag(2)));
+    }
+
+    #[test]
+    fn read_before_any_write_returns_initial_values() {
+        let config = SystemConfig::mwsr(3, 1, true);
+        let mut sim = build(&config, None);
+        let reader = config.readers().next().unwrap();
+        let r = sim.invoke_at(0, reader, TxSpec::read(vec![ObjectId(0), ObjectId(2)]));
+        assert!(sim.run_until_complete(r));
+        let h = sim.history();
+        let outcome = h.get(r).unwrap().outcome.as_ref().unwrap().as_read().unwrap().clone();
+        assert_eq!(outcome.value_for(ObjectId(0)), Some(Value::INITIAL));
+        assert_eq!(outcome.value_for(ObjectId(2)), Some(Value::INITIAL));
+        assert_eq!(outcome.tag, Some(Tag::INITIAL));
+    }
+
+    #[test]
+    fn concurrent_reads_and_writes_complete_under_many_schedules() {
+        let config = SystemConfig::mwsr(2, 2, true);
+        let writers: Vec<_> = config.writers().collect();
+        let reader = config.readers().next().unwrap();
+        for seed in 0..10u64 {
+            let mut sim = build(&config, Some(seed));
+            let w1 = sim.invoke_at(
+                0,
+                writers[0],
+                TxSpec::write(vec![(ObjectId(0), Value(1)), (ObjectId(1), Value(2))]),
+            );
+            let w2 = sim.invoke_at(
+                1,
+                writers[1],
+                TxSpec::write(vec![(ObjectId(0), Value(3))]),
+            );
+            let r1 = sim.invoke_at(2, reader, TxSpec::read(vec![ObjectId(0), ObjectId(1)]));
+            sim.run_until_quiescent();
+            for tx in [w1, w2, r1] {
+                assert!(sim.is_complete(tx), "seed {seed}: {tx} incomplete");
+            }
+            let h = sim.history();
+            let rec = h.get(r1).unwrap();
+            assert_eq!(rec.rounds, 1, "seed {seed}");
+            assert!(rec.all_reads_nonblocking(), "seed {seed}");
+            assert_eq!(rec.max_versions_per_read(), 1, "seed {seed}");
+            assert_eq!(rec.kind(), TxKind::Read);
+        }
+    }
+
+    #[test]
+    fn sequential_writes_from_one_writer_get_increasing_tags() {
+        let config = SystemConfig::mwsr(2, 1, true);
+        let mut sim = build(&config, Some(3));
+        let writer = config.writers().next().unwrap();
+        let mut last_tag = Tag(0);
+        for i in 1..=4u64 {
+            let w = sim.invoke_now(writer, TxSpec::write(vec![(ObjectId(0), Value(i))]));
+            assert!(sim.run_until_complete(w));
+            let h = sim.history();
+            let tag = h.get(w).unwrap().outcome.as_ref().unwrap().tag().unwrap();
+            assert!(tag > last_tag);
+            last_tag = tag;
+        }
+        assert_eq!(last_tag, Tag(5));
+    }
+
+    #[test]
+    fn reader_registers_writes_from_multiple_writers() {
+        let config = SystemConfig::mwsr(2, 3, true);
+        let mut sim = build(&config, Some(11));
+        let writers: Vec<_> = config.writers().collect();
+        let mut txs = Vec::new();
+        for (i, w) in writers.iter().enumerate() {
+            txs.push(sim.invoke_at(
+                i as u64,
+                *w,
+                TxSpec::write(vec![(ObjectId((i % 2) as u32), Value(i as u64 + 1))]),
+            ));
+        }
+        sim.run_until_quiescent();
+        for tx in txs {
+            assert!(sim.is_complete(tx));
+        }
+        // All three registered with the reader.
+        let reader_node = sim
+            .process(ProcessId::Client(config.readers().next().unwrap()))
+            .unwrap();
+        match reader_node {
+            AlgANode::Reader(r) => assert_eq!(r.registered_writes(), 3),
+            _ => panic!("expected reader"),
+        }
+    }
+}

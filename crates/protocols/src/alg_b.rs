@@ -1,0 +1,516 @@
+//! **Algorithm B** (§8, Pseudocodes 5–6): SNW + *one-version* READ
+//! transactions in the multi-writer multi-reader (MWMR) setting, completing
+//! in exactly **two** non-blocking rounds.
+//!
+//! A designated coordinator server `s*` keeps the ordered `List` of
+//! registered WRITEs (instead of the reader, as Algorithm A does — that is
+//! what removes the need for client-to-client communication and lifts the
+//! single-reader restriction).
+//!
+//! * WRITE: `write-value` phase to the touched servers, then `update-coor`
+//!   to `s*`, which appends to `List` and replies with the tag.
+//! * READ: round 1 `get-tag-array` to `s*` (which key to read for every
+//!   object); round 2 `read-value(κᵢ)` to each server.  Every response
+//!   carries exactly one version, and every server answers immediately.
+
+use crate::common::{KeyAllocator, PendingRead, PendingWrite, WriteLog};
+use snow_core::{
+    ClientId, Key, ObjectId, ObjectRead, ProcessId, Result, ServerId, ShardStore, SnowError,
+    SystemConfig, Tag, TxId, TxOutcome, TxSpec, Value, WriteOutcome,
+};
+use snow_sim::{Effects, MsgInfo, Process, SimMessage};
+
+/// Messages exchanged by Algorithm B.
+#[derive(Debug, Clone)]
+pub enum AlgBMsg {
+    /// `write-val`: writer → server.
+    WriteVal {
+        /// WRITE transaction id.
+        tx: TxId,
+        /// Object to update.
+        object: ObjectId,
+        /// Version key `κ`.
+        key: Key,
+        /// New value.
+        value: Value,
+    },
+    /// `ack`: server → writer.
+    WriteAck {
+        /// WRITE transaction id.
+        tx: TxId,
+        /// Acked object.
+        object: ObjectId,
+    },
+    /// `update-coor`: writer → coordinator `s*`.
+    UpdateCoor {
+        /// WRITE transaction id.
+        tx: TxId,
+        /// Version key `κ`.
+        key: Key,
+        /// Objects updated by the WRITE.
+        objects: Vec<ObjectId>,
+    },
+    /// `(ack, t_w)`: coordinator → writer.
+    CoorAck {
+        /// WRITE transaction id.
+        tx: TxId,
+        /// Tag assigned to the WRITE.
+        tag: Tag,
+    },
+    /// `get-tag-arr`: reader → coordinator `s*`.
+    GetTagArr {
+        /// READ transaction id.
+        tx: TxId,
+        /// Objects the READ will fetch (used to compute `t_r`).
+        objects: Vec<ObjectId>,
+    },
+    /// `(t_r, (κ₁,…,κ_k))`: coordinator → reader.
+    TagArr {
+        /// READ transaction id.
+        tx: TxId,
+        /// The READ's tag `t_r`.
+        tag: Tag,
+        /// Latest key per requested object.
+        keys: Vec<(ObjectId, Key)>,
+    },
+    /// `read-val`: reader → server (round 2).
+    ReadVal {
+        /// READ transaction id.
+        tx: TxId,
+        /// Object to read.
+        object: ObjectId,
+        /// Version key selected by the coordinator.
+        key: Key,
+    },
+    /// Value response: server → reader (exactly one version).
+    ReadResp {
+        /// READ transaction id.
+        tx: TxId,
+        /// Object read.
+        object: ObjectId,
+        /// Version key of the value.
+        key: Key,
+        /// The value.
+        value: Value,
+    },
+}
+
+impl SimMessage for AlgBMsg {
+    fn info(&self) -> MsgInfo {
+        match self {
+            AlgBMsg::WriteVal { tx, object, .. } => MsgInfo::write_request(*tx, Some(*object)),
+            AlgBMsg::WriteAck { tx, object } => MsgInfo::write_ack(*tx, Some(*object)),
+            AlgBMsg::UpdateCoor { tx, .. } => MsgInfo::write_request(*tx, None),
+            AlgBMsg::CoorAck { tx, .. } => MsgInfo::write_ack(*tx, None),
+            AlgBMsg::GetTagArr { tx, .. } => MsgInfo::read_request(*tx, None),
+            AlgBMsg::TagArr { tx, .. } => MsgInfo::read_response(*tx, None, 0),
+            AlgBMsg::ReadVal { tx, object, .. } => MsgInfo::read_request(*tx, Some(*object)),
+            AlgBMsg::ReadResp { tx, object, .. } => MsgInfo::read_response(*tx, Some(*object), 1),
+        }
+    }
+}
+
+/// A reader client of Algorithm B.
+#[derive(Debug)]
+pub struct AlgBReader {
+    id: ClientId,
+    config: SystemConfig,
+    coordinator: ServerId,
+    pending: Option<PendingRead>,
+}
+
+impl AlgBReader {
+    /// Creates a reader that consults coordinator `s*`.
+    pub fn new(id: ClientId, coordinator: ServerId, config: SystemConfig) -> Self {
+        AlgBReader {
+            id,
+            config,
+            coordinator,
+            pending: None,
+        }
+    }
+}
+
+/// A writer client of Algorithm B.
+#[derive(Debug)]
+pub struct AlgBWriter {
+    id: ClientId,
+    config: SystemConfig,
+    coordinator: ServerId,
+    keys: KeyAllocator,
+    pending: Option<PendingWrite>,
+}
+
+impl AlgBWriter {
+    /// Creates a writer that registers WRITEs with coordinator `s*`.
+    pub fn new(id: ClientId, coordinator: ServerId, config: SystemConfig) -> Self {
+        AlgBWriter {
+            id,
+            config,
+            coordinator,
+            keys: KeyAllocator::new(id),
+            pending: None,
+        }
+    }
+}
+
+/// A storage server of Algorithm B.  The coordinator server additionally
+/// maintains the WRITE `List`.
+#[derive(Debug)]
+pub struct AlgBServer {
+    id: ServerId,
+    store: ShardStore,
+    /// `Some` iff this server is the coordinator `s*`.
+    log: Option<WriteLog>,
+}
+
+impl AlgBServer {
+    /// Creates a server; `coordinator` marks whether it is `s*`.
+    pub fn new(id: ServerId, config: &SystemConfig, coordinator: bool) -> Self {
+        AlgBServer {
+            id,
+            store: ShardStore::new(config.objects_on(id)),
+            log: coordinator.then(|| WriteLog::new(config.objects().collect())),
+        }
+    }
+
+    /// The coordinator's `List` length (1 = only the initial entry).
+    pub fn log_len(&self) -> Option<usize> {
+        self.log.as_ref().map(|l| l.len())
+    }
+}
+
+/// A process of an Algorithm B deployment.
+#[derive(Debug)]
+pub enum AlgBNode {
+    /// A reader client.
+    Reader(AlgBReader),
+    /// A writer client.
+    Writer(AlgBWriter),
+    /// A storage server (possibly the coordinator).
+    Server(AlgBServer),
+}
+
+impl Process for AlgBNode {
+    type Msg = AlgBMsg;
+
+    fn id(&self) -> ProcessId {
+        match self {
+            AlgBNode::Reader(r) => ProcessId::Client(r.id),
+            AlgBNode::Writer(w) => ProcessId::Client(w.id),
+            AlgBNode::Server(s) => ProcessId::Server(s.id),
+        }
+    }
+
+    fn on_invoke(&mut self, tx_id: TxId, spec: TxSpec, effects: &mut Effects<AlgBMsg>) {
+        match (self, spec) {
+            (AlgBNode::Reader(r), TxSpec::Read(read)) => {
+                assert!(r.pending.is_none(), "reader invoked while a READ is outstanding");
+                let pending = PendingRead::new(tx_id, read.objects.clone());
+                r.pending = Some(pending);
+                effects.send(
+                    ProcessId::Server(r.coordinator),
+                    AlgBMsg::GetTagArr {
+                        tx: tx_id,
+                        objects: read.objects,
+                    },
+                );
+            }
+            (AlgBNode::Writer(w), TxSpec::Write(write)) => {
+                assert!(w.pending.is_none(), "writer invoked while a WRITE is outstanding");
+                let key = w.keys.next();
+                let objects: Vec<ObjectId> = write.writes.iter().map(|(o, _)| *o).collect();
+                w.pending = Some(PendingWrite::new(tx_id, key, objects));
+                for (object, value) in write.writes {
+                    let server = w.config.server_for(object);
+                    effects.send(
+                        ProcessId::Server(server),
+                        AlgBMsg::WriteVal {
+                            tx: tx_id,
+                            object,
+                            key,
+                            value,
+                        },
+                    );
+                }
+            }
+            (AlgBNode::Reader(_), TxSpec::Write(_)) => {
+                panic!("Algorithm B readers only execute READ transactions")
+            }
+            (AlgBNode::Writer(_), TxSpec::Read(_)) => {
+                panic!("Algorithm B writers only execute WRITE transactions")
+            }
+            (AlgBNode::Server(_), _) => panic!("servers do not accept invocations"),
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: AlgBMsg, effects: &mut Effects<AlgBMsg>) {
+        match self {
+            AlgBNode::Server(server) => match msg {
+                AlgBMsg::WriteVal {
+                    tx,
+                    object,
+                    key,
+                    value,
+                } => {
+                    server.store.install(object, key, value);
+                    effects.send(from, AlgBMsg::WriteAck { tx, object });
+                }
+                AlgBMsg::UpdateCoor { tx, key, objects } => {
+                    let log = server
+                        .log
+                        .as_mut()
+                        .expect("update-coor sent to a non-coordinator server");
+                    let tag = log.append(key, objects);
+                    effects.send(from, AlgBMsg::CoorAck { tx, tag });
+                }
+                AlgBMsg::GetTagArr { tx, objects } => {
+                    let log = server
+                        .log
+                        .as_ref()
+                        .expect("get-tag-arr sent to a non-coordinator server");
+                    let (tag, keys) = log.tag_array(&objects);
+                    effects.send(from, AlgBMsg::TagArr { tx, tag, keys });
+                }
+                AlgBMsg::ReadVal { tx, object, key } => {
+                    let value = server
+                        .store
+                        .get(object, &key)
+                        .expect("Algorithm B invariant: coordinator only names installed versions");
+                    effects.send(
+                        from,
+                        AlgBMsg::ReadResp {
+                            tx,
+                            object,
+                            key,
+                            value,
+                        },
+                    );
+                }
+                other => panic!("server received unexpected message {other:?}"),
+            },
+            AlgBNode::Reader(reader) => match msg {
+                AlgBMsg::TagArr { tx, tag, keys } => {
+                    let Some(pending) = reader.pending.as_mut() else {
+                        return;
+                    };
+                    if pending.tx != tx {
+                        return;
+                    }
+                    pending.tag = Some(tag);
+                    pending.keys = keys.clone();
+                    for (object, key) in keys {
+                        let server = reader.config.server_for(object);
+                        effects.send(
+                            ProcessId::Server(server),
+                            AlgBMsg::ReadVal { tx, object, key },
+                        );
+                    }
+                }
+                AlgBMsg::ReadResp {
+                    tx,
+                    object,
+                    key,
+                    value,
+                } => {
+                    let Some(pending) = reader.pending.as_mut() else {
+                        return;
+                    };
+                    if pending.tx != tx {
+                        return;
+                    }
+                    pending.record(ObjectRead { object, key, value });
+                    if pending.is_complete() {
+                        let pending = reader.pending.take().expect("pending read present");
+                        effects.respond(tx, pending.into_outcome());
+                    }
+                }
+                other => panic!("reader received unexpected message {other:?}"),
+            },
+            AlgBNode::Writer(writer) => match msg {
+                AlgBMsg::WriteAck { tx, object } => {
+                    let Some(pending) = writer.pending.as_mut() else {
+                        return;
+                    };
+                    if pending.tx != tx || pending.registering {
+                        return;
+                    }
+                    if pending.ack(object) {
+                        pending.registering = true;
+                        let key = pending.key;
+                        let objects = pending.objects.clone();
+                        effects.send(
+                            ProcessId::Server(writer.coordinator),
+                            AlgBMsg::UpdateCoor { tx, key, objects },
+                        );
+                    }
+                }
+                AlgBMsg::CoorAck { tx, tag } => {
+                    let Some(pending) = writer.pending.as_ref() else {
+                        return;
+                    };
+                    if pending.tx != tx {
+                        return;
+                    }
+                    let key = pending.key;
+                    writer.pending = None;
+                    effects.respond(
+                        tx,
+                        TxOutcome::Write(WriteOutcome {
+                            key,
+                            tag: Some(tag),
+                        }),
+                    );
+                }
+                other => panic!("writer received unexpected message {other:?}"),
+            },
+        }
+    }
+}
+
+/// The coordinator of an Algorithm B/C deployment: server 0.
+pub const COORDINATOR: ServerId = ServerId(0);
+
+/// Builds an Algorithm B deployment for `config` (any number of readers and
+/// writers; no C2C communication needed).
+pub fn deploy(config: &SystemConfig) -> Result<Vec<AlgBNode>> {
+    config.validate().map_err(SnowError::InvalidConfig)?;
+    let mut nodes = Vec::new();
+    for r in config.readers() {
+        nodes.push(AlgBNode::Reader(AlgBReader::new(r, COORDINATOR, config.clone())));
+    }
+    for w in config.writers() {
+        nodes.push(AlgBNode::Writer(AlgBWriter::new(w, COORDINATOR, config.clone())));
+    }
+    for s in config.servers() {
+        nodes.push(AlgBNode::Server(AlgBServer::new(s, config, s == COORDINATOR)));
+    }
+    Ok(nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_core::Value;
+    use snow_sim::{FifoScheduler, RandomScheduler, Simulation};
+
+    fn build(config: &SystemConfig, seed: u64) -> Simulation<AlgBNode, RandomScheduler> {
+        let mut sim = Simulation::new(RandomScheduler::new(seed));
+        for node in deploy(config).unwrap() {
+            sim.add_process(node);
+        }
+        sim
+    }
+
+    #[test]
+    fn read_after_write_sees_written_values_in_two_rounds() {
+        let config = SystemConfig::mwmr(2, 1, 1);
+        let mut sim = Simulation::new(FifoScheduler::new());
+        for node in deploy(&config).unwrap() {
+            sim.add_process(node);
+        }
+        let writer = config.writers().next().unwrap();
+        let reader = config.readers().next().unwrap();
+        let w = sim.invoke_at(
+            0,
+            writer,
+            TxSpec::write(vec![(ObjectId(0), Value(1)), (ObjectId(1), Value(2))]),
+        );
+        assert!(sim.run_until_complete(w));
+        let r = sim.invoke_now(reader, TxSpec::read(vec![ObjectId(0), ObjectId(1)]));
+        assert!(sim.run_until_complete(r));
+        let h = sim.history();
+        let read = h.get(r).unwrap();
+        let outcome = read.outcome.as_ref().unwrap().as_read().unwrap();
+        assert_eq!(outcome.value_for(ObjectId(0)), Some(Value(1)));
+        assert_eq!(outcome.value_for(ObjectId(1)), Some(Value(2)));
+        // The B signature: exactly two rounds, one version per response,
+        // non-blocking, no C2C.
+        assert_eq!(read.rounds, 2);
+        assert_eq!(read.max_versions_per_read(), 1);
+        assert!(read.all_reads_nonblocking());
+        assert_eq!(read.c2c_messages, 0);
+        assert_eq!(h.get(w).unwrap().c2c_messages, 0);
+    }
+
+    #[test]
+    fn multiple_readers_and_writers_complete_under_random_schedules() {
+        let config = SystemConfig::mwmr(3, 2, 2);
+        let readers: Vec<_> = config.readers().collect();
+        let writers: Vec<_> = config.writers().collect();
+        for seed in 0..10u64 {
+            let mut sim = build(&config, seed);
+            let mut txs = Vec::new();
+            txs.push(sim.invoke_at(
+                0,
+                writers[0],
+                TxSpec::write(vec![(ObjectId(0), Value(1)), (ObjectId(2), Value(3))]),
+            ));
+            txs.push(sim.invoke_at(1, writers[1], TxSpec::write(vec![(ObjectId(1), Value(2))])));
+            txs.push(sim.invoke_at(2, readers[0], TxSpec::read(vec![ObjectId(0), ObjectId(1)])));
+            txs.push(sim.invoke_at(3, readers[1], TxSpec::read(vec![ObjectId(1), ObjectId(2)])));
+            sim.run_until_quiescent();
+            for tx in &txs {
+                assert!(sim.is_complete(*tx), "seed {seed}");
+            }
+            let h = sim.history();
+            for r in h.reads() {
+                assert_eq!(r.rounds, 2, "seed {seed}");
+                assert_eq!(r.max_versions_per_read(), 1, "seed {seed}");
+                assert!(r.all_reads_nonblocking(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn writes_are_totally_ordered_by_coordinator_tags() {
+        let config = SystemConfig::mwmr(2, 3, 1);
+        let mut sim = build(&config, 7);
+        let writers: Vec<_> = config.writers().collect();
+        let mut txs = Vec::new();
+        for (i, w) in writers.iter().enumerate() {
+            txs.push(sim.invoke_at(i as u64, *w, TxSpec::write(vec![(ObjectId(0), Value(i as u64))])));
+        }
+        sim.run_until_quiescent();
+        let h = sim.history();
+        let mut tags: Vec<Tag> = txs
+            .iter()
+            .map(|tx| h.get(*tx).unwrap().outcome.as_ref().unwrap().tag().unwrap())
+            .collect();
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags.len(), 3, "all write tags are distinct");
+        // Coordinator registered all three writes.
+        match sim.process(ProcessId::Server(COORDINATOR)).unwrap() {
+            AlgBNode::Server(s) => assert_eq!(s.log_len(), Some(4)),
+            _ => panic!("expected server"),
+        }
+    }
+
+    #[test]
+    fn read_of_unwritten_objects_returns_initial_values() {
+        let config = SystemConfig::mwmr(4, 1, 1);
+        let mut sim = build(&config, 5);
+        let reader = config.readers().next().unwrap();
+        let r = sim.invoke_at(0, reader, TxSpec::read(vec![ObjectId(1), ObjectId(3)]));
+        assert!(sim.run_until_complete(r));
+        let h = sim.history();
+        let outcome = h.get(r).unwrap().outcome.as_ref().unwrap().as_read().unwrap().clone();
+        assert_eq!(outcome.value_for(ObjectId(1)), Some(Value::INITIAL));
+        assert_eq!(outcome.value_for(ObjectId(3)), Some(Value::INITIAL));
+        assert_eq!(outcome.tag, Some(Tag::INITIAL));
+    }
+
+    #[test]
+    fn deploy_allows_mwmr_without_c2c() {
+        assert!(deploy(&SystemConfig::mwmr(2, 4, 4)).is_ok());
+        let bad = SystemConfig {
+            num_servers: 0,
+            num_objects: 0,
+            num_readers: 1,
+            num_writers: 1,
+            c2c_allowed: false,
+        };
+        assert!(deploy(&bad).is_err());
+    }
+}

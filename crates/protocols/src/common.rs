@@ -1,0 +1,324 @@
+//! State shared by several protocols: the ordered WRITE log (`List`), and
+//! the client-side bookkeeping for in-flight READ and WRITE transactions.
+
+use snow_core::{ClientId, Key, ObjectId, ObjectRead, ReadOutcome, Tag, TxId, TxOutcome, Value};
+use std::collections::BTreeSet;
+
+/// The ordered list of completed WRITE transactions — the paper's `List`
+/// variable, kept by the reader in Algorithm A and by the coordinator `s*`
+/// in Algorithms B and C.
+///
+/// Entry `j` (0-based) records the key of the `j`-th registered WRITE and the
+/// set of objects it updated; the entry's *tag* is `j + 1`, so the initial
+/// entry `(κ₀, all objects)` carries `Tag(1) = Tag::INITIAL`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteLog {
+    entries: Vec<(Key, Vec<ObjectId>)>,
+}
+
+impl WriteLog {
+    /// Creates the initial log: a single entry `(κ₀, objects)` covering every
+    /// object in the system.
+    pub fn new(all_objects: Vec<ObjectId>) -> Self {
+        WriteLog {
+            entries: vec![(Key::initial(), all_objects)],
+        }
+    }
+
+    /// Appends a completed WRITE `(key, objects)` and returns its tag
+    /// (`|List|` after the append, as in the paper).
+    pub fn append(&mut self, key: Key, objects: Vec<ObjectId>) -> Tag {
+        self.entries.push((key, objects));
+        Tag(self.entries.len() as u64)
+    }
+
+    /// Number of entries (`|List|`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if only the initial entry is present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.len() <= 1
+    }
+
+    /// The key of the latest entry that updated `object`
+    /// (`κ_i = List[j*].κ` with `j* = max{ j : List[j].b_i = 1 }`), together
+    /// with that entry's tag.  Falls back to the initial entry when the
+    /// object was never written (or never registered), matching the paper's
+    /// convention that `List[0]` covers all objects.
+    pub fn latest_for(&self, object: ObjectId) -> (Key, Tag) {
+        for (idx, (key, objects)) in self.entries.iter().enumerate().rev() {
+            if objects.contains(&object) {
+                return (*key, Tag(idx as u64 + 1));
+            }
+        }
+        (Key::initial(), Tag::INITIAL)
+    }
+
+    /// The per-object latest keys for a set of objects plus the read tag
+    /// `t_r` — what the coordinator returns to `get-tag-arr` (and what the
+    /// Algorithm A reader computes locally).
+    ///
+    /// The read tag is `|List|` at lookup time.  This is the serialization
+    /// point the Lemma 20 argument needs: it is monotone across the reads a
+    /// reader issues (P2) and, because `latest_for` already selects the
+    /// newest registered key per object, every returned version is the
+    /// latest write with tag ≤ `t_r` touching that object (P4).
+    pub fn tag_array(&self, objects: &[ObjectId]) -> (Tag, Vec<(ObjectId, Key)>) {
+        let keys = objects.iter().map(|&o| (o, self.latest_for(o).0)).collect();
+        (Tag(self.entries.len() as u64), keys)
+    }
+
+    /// Raw access to the entries (used by tests and the impossibility crate).
+    pub fn entries(&self) -> &[(Key, Vec<ObjectId>)] {
+        &self.entries
+    }
+}
+
+/// Client-side bookkeeping for one in-flight READ transaction.
+#[derive(Debug, Clone)]
+pub struct PendingRead {
+    /// The transaction id.
+    pub tx: TxId,
+    /// The objects the READ must return, in caller order.
+    pub objects: Vec<ObjectId>,
+    /// Values collected so far.
+    pub collected: Vec<ObjectRead>,
+    /// The tag this READ serializes at (filled in when known).
+    pub tag: Option<Tag>,
+    /// The per-object keys this READ was told to fetch (Algorithms A/B).
+    pub keys: Vec<(ObjectId, Key)>,
+}
+
+impl PendingRead {
+    /// Starts tracking a READ over `objects`.
+    pub fn new(tx: TxId, objects: Vec<ObjectId>) -> Self {
+        PendingRead {
+            tx,
+            objects,
+            collected: Vec::new(),
+            tag: None,
+            keys: Vec::new(),
+        }
+    }
+
+    /// Records one returned object read.  Duplicate responses for the same
+    /// object are ignored (reliable channels do not duplicate, but a robust
+    /// client guards anyway).
+    pub fn record(&mut self, read: ObjectRead) {
+        if self.collected.iter().any(|r| r.object == read.object) {
+            return;
+        }
+        self.collected.push(read);
+    }
+
+    /// True once a value has been collected for every requested object.
+    pub fn is_complete(&self) -> bool {
+        self.collected.len() == self.objects.len()
+    }
+
+    /// Assembles the final outcome, ordering reads as the caller requested.
+    pub fn into_outcome(mut self) -> TxOutcome {
+        let mut reads = Vec::with_capacity(self.objects.len());
+        for o in &self.objects {
+            if let Some(pos) = self.collected.iter().position(|r| r.object == *o) {
+                reads.push(self.collected.remove(pos));
+            }
+        }
+        TxOutcome::Read(ReadOutcome {
+            reads,
+            tag: self.tag,
+        })
+    }
+
+    /// The key this READ was told to fetch for `object`, if recorded.
+    pub fn key_for(&self, object: ObjectId) -> Option<Key> {
+        self.keys.iter().find(|(o, _)| *o == object).map(|(_, k)| *k)
+    }
+}
+
+/// Client-side bookkeeping for one in-flight WRITE transaction.
+#[derive(Debug, Clone)]
+pub struct PendingWrite {
+    /// The transaction id.
+    pub tx: TxId,
+    /// The key generated for this WRITE.
+    pub key: Key,
+    /// The objects being written.
+    pub objects: Vec<ObjectId>,
+    /// Servers whose `write-val` ack is still outstanding.
+    pub awaiting_acks: BTreeSet<ObjectId>,
+    /// Whether the second phase (`info-reader` / `update-coor`) has started.
+    pub registering: bool,
+}
+
+impl PendingWrite {
+    /// Starts tracking a WRITE of `objects` under `key`.
+    pub fn new(tx: TxId, key: Key, objects: Vec<ObjectId>) -> Self {
+        let awaiting_acks = objects.iter().copied().collect();
+        PendingWrite {
+            tx,
+            key,
+            objects,
+            awaiting_acks,
+            registering: false,
+        }
+    }
+
+    /// Records an ack from the server hosting `object`.  Returns `true` when
+    /// all acks have arrived.
+    pub fn ack(&mut self, object: ObjectId) -> bool {
+        self.awaiting_acks.remove(&object);
+        self.awaiting_acks.is_empty()
+    }
+}
+
+/// Allocates per-writer keys: `κ = (z+1, w)` with a local counter `z`.
+#[derive(Debug, Clone)]
+pub struct KeyAllocator {
+    writer: ClientId,
+    z: u64,
+}
+
+impl KeyAllocator {
+    /// Creates an allocator for `writer` with `z = 0`.
+    pub fn new(writer: ClientId) -> Self {
+        KeyAllocator { writer, z: 0 }
+    }
+
+    /// Allocates the next key.
+    pub fn next(&mut self) -> Key {
+        self.z += 1;
+        Key::new(self.z, self.writer)
+    }
+
+    /// Number of keys allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.z
+    }
+}
+
+/// Derives a deterministic value to write for (writer, seq, object) — used by
+/// tests and examples so outcomes are recognisable.
+pub fn derived_value(writer: ClientId, seq: u64, object: ObjectId) -> Value {
+    Value::derived(writer.0, seq, object.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn objs(ids: &[u32]) -> Vec<ObjectId> {
+        ids.iter().map(|i| ObjectId(*i)).collect()
+    }
+
+    #[test]
+    fn write_log_initial_covers_all_objects() {
+        let log = WriteLog::new(objs(&[0, 1, 2]));
+        assert_eq!(log.len(), 1);
+        assert!(log.is_empty());
+        for o in objs(&[0, 1, 2]) {
+            let (k, t) = log.latest_for(o);
+            assert!(k.is_initial());
+            assert_eq!(t, Tag::INITIAL);
+        }
+    }
+
+    #[test]
+    fn write_log_append_and_latest() {
+        let mut log = WriteLog::new(objs(&[0, 1]));
+        let k1 = Key::new(1, ClientId(5));
+        let t1 = log.append(k1, objs(&[0]));
+        assert_eq!(t1, Tag(2));
+        let k2 = Key::new(1, ClientId(6));
+        let t2 = log.append(k2, objs(&[0, 1]));
+        assert_eq!(t2, Tag(3));
+        assert_eq!(log.latest_for(ObjectId(0)), (k2, Tag(3)));
+        assert_eq!(log.latest_for(ObjectId(1)), (k2, Tag(3)));
+        // Object never written keeps κ0.
+        assert_eq!(log.latest_for(ObjectId(9)).0, Key::initial());
+        assert!(!log.is_empty());
+        assert_eq!(log.entries().len(), 3);
+    }
+
+    #[test]
+    fn tag_array_takes_per_object_latest_and_max_tag() {
+        let mut log = WriteLog::new(objs(&[0, 1, 2]));
+        let ka = Key::new(1, ClientId(5));
+        log.append(ka, objs(&[0]));
+        let kb = Key::new(2, ClientId(5));
+        log.append(kb, objs(&[1]));
+        let (tag, keys) = log.tag_array(&objs(&[0, 1, 2]));
+        assert_eq!(tag, Tag(3));
+        assert_eq!(keys[0], (ObjectId(0), ka));
+        assert_eq!(keys[1], (ObjectId(1), kb));
+        assert_eq!(keys[2], (ObjectId(2), Key::initial()));
+    }
+
+    #[test]
+    fn pending_read_collects_and_orders() {
+        let mut pr = PendingRead::new(TxId(1), objs(&[1, 0]));
+        assert!(!pr.is_complete());
+        pr.record(ObjectRead {
+            object: ObjectId(0),
+            key: Key::initial(),
+            value: Value(7),
+        });
+        // Duplicate for the same object is ignored.
+        pr.record(ObjectRead {
+            object: ObjectId(0),
+            key: Key::initial(),
+            value: Value(8),
+        });
+        assert_eq!(pr.collected.len(), 1);
+        pr.record(ObjectRead {
+            object: ObjectId(1),
+            key: Key::initial(),
+            value: Value(9),
+        });
+        assert!(pr.is_complete());
+        pr.tag = Some(Tag(4));
+        let outcome = pr.into_outcome();
+        let read = outcome.as_read().unwrap();
+        // Caller asked for [1, 0]; outcome respects that order.
+        assert_eq!(read.reads[0].object, ObjectId(1));
+        assert_eq!(read.reads[1].object, ObjectId(0));
+        assert_eq!(read.reads[1].value, Value(7));
+        assert_eq!(read.tag, Some(Tag(4)));
+    }
+
+    #[test]
+    fn pending_read_key_lookup() {
+        let mut pr = PendingRead::new(TxId(1), objs(&[0]));
+        pr.keys.push((ObjectId(0), Key::new(3, ClientId(1))));
+        assert_eq!(pr.key_for(ObjectId(0)), Some(Key::new(3, ClientId(1))));
+        assert_eq!(pr.key_for(ObjectId(5)), None);
+    }
+
+    #[test]
+    fn pending_write_tracks_acks() {
+        let mut pw = PendingWrite::new(TxId(2), Key::new(1, ClientId(3)), objs(&[0, 1]));
+        assert!(!pw.ack(ObjectId(0)));
+        assert!(!pw.ack(ObjectId(0))); // duplicate ack changes nothing
+        assert!(pw.ack(ObjectId(1)));
+        assert!(pw.awaiting_acks.is_empty());
+    }
+
+    #[test]
+    fn key_allocator_is_monotonic_and_writer_scoped() {
+        let mut a = KeyAllocator::new(ClientId(2));
+        let k1 = a.next();
+        let k2 = a.next();
+        assert_eq!(k1, Key::new(1, ClientId(2)));
+        assert_eq!(k2, Key::new(2, ClientId(2)));
+        assert_eq!(a.allocated(), 2);
+        assert!(k1 < k2);
+    }
+
+    #[test]
+    fn derived_values_are_traceable() {
+        let v = derived_value(ClientId(1), 2, ObjectId(3));
+        assert_eq!(v, Value::derived(1, 2, 3));
+    }
+}

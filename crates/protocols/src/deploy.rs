@@ -1,0 +1,253 @@
+//! Uniform deployment interface over every protocol.
+//!
+//! Benchmarks, workloads and the comparison tables need to treat "an
+//! Algorithm A cluster" and "an Eiger cluster" the same way: invoke
+//! transactions, run the simulation, collect the [`History`].  The
+//! [`Cluster`] trait is that interface, and [`build_cluster`] constructs a
+//! boxed cluster from a [`ProtocolKind`], a [`SystemConfig`] and a
+//! [`SchedulerKind`].
+
+use crate::{alg_a, alg_b, alg_c, blocking, eiger, simple};
+use snow_core::{ClientId, History, Result, SystemConfig, TxId, TxSpec};
+use snow_sim::{FifoScheduler, LatencyScheduler, Process, RandomScheduler, Scheduler, Simulation};
+
+/// Which protocol a cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Algorithm A: SNOW, MWSR, client-to-client communication.
+    AlgA,
+    /// Algorithm B: SNW + one-version, two rounds, MWMR.
+    AlgB,
+    /// Algorithm C: SNW + one-round, multi-version, MWMR.
+    AlgC,
+    /// Eiger-style Lamport-clock read-only transactions.
+    Eiger,
+    /// Blocking strict-2PL baseline.
+    Blocking,
+    /// Non-transactional simple reads/writes (latency floor).
+    Simple,
+}
+
+impl ProtocolKind {
+    /// All protocols, in presentation order.
+    pub fn all() -> [ProtocolKind; 6] {
+        [
+            ProtocolKind::AlgA,
+            ProtocolKind::AlgB,
+            ProtocolKind::AlgC,
+            ProtocolKind::Eiger,
+            ProtocolKind::Blocking,
+            ProtocolKind::Simple,
+        ]
+    }
+
+    /// Human-readable name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::AlgA => "Algorithm A (SNOW, MWSR+C2C)",
+            ProtocolKind::AlgB => "Algorithm B (SNW, 1 version, 2 rounds)",
+            ProtocolKind::AlgC => "Algorithm C (SNW, 1 round, |W| versions)",
+            ProtocolKind::Eiger => "Eiger-style (logical clocks)",
+            ProtocolKind::Blocking => "Blocking 2PL",
+            ProtocolKind::Simple => "Simple reads/writes",
+        }
+    }
+
+    /// True if the protocol needs client-to-client communication.
+    pub fn needs_c2c(&self) -> bool {
+        matches!(self, ProtocolKind::AlgA)
+    }
+
+    /// True if the protocol supports more than one reader.
+    pub fn supports_multiple_readers(&self) -> bool {
+        !matches!(self, ProtocolKind::AlgA)
+    }
+}
+
+/// How message delivery is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// FIFO delivery (send order).
+    Fifo,
+    /// Uniformly random delivery, seeded.
+    Random(u64),
+    /// Random per-message latency in `[min, max]` ticks, seeded.
+    Latency {
+        /// RNG seed.
+        seed: u64,
+        /// Minimum latency in ticks.
+        min: u64,
+        /// Maximum latency in ticks.
+        max: u64,
+    },
+}
+
+/// A deployed protocol instance that can execute transactions.
+pub trait Cluster {
+    /// Schedules `spec` for invocation by `client` at simulation time `at`.
+    fn invoke_at(&mut self, at: u64, client: ClientId, spec: TxSpec) -> TxId;
+    /// Runs until nothing remains to do.  Returns the number of steps taken.
+    fn run_until_quiescent(&mut self) -> u64;
+    /// Runs until `tx` completes; returns whether it did.
+    fn run_until_complete(&mut self, tx: TxId) -> bool;
+    /// True if `tx` has completed.
+    fn is_complete(&self, tx: TxId) -> bool;
+    /// The history of the run so far.
+    fn history(&self) -> History;
+    /// Current simulation time.
+    fn now(&self) -> u64;
+}
+
+impl<P, S> Cluster for Simulation<P, S>
+where
+    P: Process,
+    S: Scheduler<P::Msg>,
+{
+    fn invoke_at(&mut self, at: u64, client: ClientId, spec: TxSpec) -> TxId {
+        Simulation::invoke_at(self, at, client, spec)
+    }
+    fn run_until_quiescent(&mut self) -> u64 {
+        Simulation::run_until_quiescent(self)
+    }
+    fn run_until_complete(&mut self, tx: TxId) -> bool {
+        Simulation::run_until_complete(self, tx)
+    }
+    fn is_complete(&self, tx: TxId) -> bool {
+        Simulation::is_complete(self, tx)
+    }
+    fn history(&self) -> History {
+        Simulation::history(self)
+    }
+    fn now(&self) -> u64 {
+        Simulation::now(self)
+    }
+}
+
+fn boxed<P>(nodes: Vec<P>, scheduler: SchedulerKind, max_steps: u64) -> Box<dyn Cluster>
+where
+    P: Process + 'static,
+{
+    match scheduler {
+        SchedulerKind::Fifo => {
+            let mut sim = Simulation::new(FifoScheduler::new()).with_max_steps(max_steps);
+            for n in nodes {
+                sim.add_process(n);
+            }
+            Box::new(sim)
+        }
+        SchedulerKind::Random(seed) => {
+            let mut sim = Simulation::new(RandomScheduler::new(seed)).with_max_steps(max_steps);
+            for n in nodes {
+                sim.add_process(n);
+            }
+            Box::new(sim)
+        }
+        SchedulerKind::Latency { seed, min, max } => {
+            let mut sim =
+                Simulation::new(LatencyScheduler::new(seed, min, max)).with_max_steps(max_steps);
+            for n in nodes {
+                sim.add_process(n);
+            }
+            Box::new(sim)
+        }
+    }
+}
+
+/// Builds a boxed cluster running `protocol` over `config`, with messages
+/// delivered by `scheduler`.
+pub fn build_cluster(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    scheduler: SchedulerKind,
+) -> Result<Box<dyn Cluster>> {
+    build_cluster_with_max_steps(protocol, config, scheduler, 10_000_000)
+}
+
+/// [`build_cluster`] with an explicit step cap (large workloads need more).
+pub fn build_cluster_with_max_steps(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    scheduler: SchedulerKind,
+    max_steps: u64,
+) -> Result<Box<dyn Cluster>> {
+    Ok(match protocol {
+        ProtocolKind::AlgA => boxed(alg_a::deploy(config)?, scheduler, max_steps),
+        ProtocolKind::AlgB => boxed(alg_b::deploy(config)?, scheduler, max_steps),
+        ProtocolKind::AlgC => boxed(alg_c::deploy(config)?, scheduler, max_steps),
+        ProtocolKind::Eiger => boxed(eiger::deploy(config)?, scheduler, max_steps),
+        ProtocolKind::Blocking => boxed(blocking::deploy(config)?, scheduler, max_steps),
+        ProtocolKind::Simple => boxed(simple::deploy(config)?, scheduler, max_steps),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_core::{ObjectId, Value};
+
+    #[test]
+    fn protocol_kind_metadata() {
+        assert_eq!(ProtocolKind::all().len(), 6);
+        assert!(ProtocolKind::AlgA.needs_c2c());
+        assert!(!ProtocolKind::AlgB.needs_c2c());
+        assert!(!ProtocolKind::AlgA.supports_multiple_readers());
+        assert!(ProtocolKind::AlgC.supports_multiple_readers());
+        for k in ProtocolKind::all() {
+            assert!(!k.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_protocol_runs_the_same_tiny_workload() {
+        for protocol in ProtocolKind::all() {
+            let config = if protocol.needs_c2c() {
+                SystemConfig::mwsr(2, 1, true)
+            } else {
+                SystemConfig::mwmr(2, 1, 1)
+            };
+            let mut cluster =
+                build_cluster(protocol, &config, SchedulerKind::Random(9)).unwrap();
+            let writer = config.writers().next().unwrap();
+            let reader = config.readers().next().unwrap();
+            let w = cluster.invoke_at(
+                0,
+                writer,
+                TxSpec::write(vec![(ObjectId(0), Value(1)), (ObjectId(1), Value(2))]),
+            );
+            assert!(cluster.run_until_complete(w), "{}", protocol.name());
+            let r = cluster.invoke_at(
+                cluster.now(),
+                reader,
+                TxSpec::read(vec![ObjectId(0), ObjectId(1)]),
+            );
+            assert!(cluster.run_until_complete(r), "{}", protocol.name());
+            let h = cluster.history();
+            let out = h.get(r).unwrap().outcome.as_ref().unwrap().as_read().unwrap().clone();
+            assert_eq!(out.value_for(ObjectId(0)), Some(Value(1)), "{}", protocol.name());
+            assert_eq!(out.value_for(ObjectId(1)), Some(Value(2)), "{}", protocol.name());
+            assert_eq!(h.incomplete_count(), 0);
+        }
+    }
+
+    #[test]
+    fn scheduler_kinds_all_work() {
+        let config = SystemConfig::mwmr(2, 1, 1);
+        for sched in [
+            SchedulerKind::Fifo,
+            SchedulerKind::Random(1),
+            SchedulerKind::Latency { seed: 1, min: 1, max: 20 },
+        ] {
+            let mut cluster = build_cluster(ProtocolKind::AlgB, &config, sched).unwrap();
+            let writer = config.writers().next().unwrap();
+            let w = cluster.invoke_at(0, writer, TxSpec::write(vec![(ObjectId(0), Value(3))]));
+            assert!(cluster.run_until_complete(w));
+        }
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected() {
+        // Algorithm A in a no-C2C config is refused.
+        let cfg = SystemConfig::mwsr(2, 1, false);
+        assert!(build_cluster(ProtocolKind::AlgA, &cfg, SchedulerKind::Fifo).is_err());
+    }
+}

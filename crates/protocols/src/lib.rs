@@ -1,0 +1,41 @@
+//! # snow-protocols
+//!
+//! Executable implementations of every READ/WRITE transaction protocol the
+//! paper discusses, written as message-driven state machines that run on the
+//! deterministic simulator (`snow-sim`) and, via the same state-machine
+//! types, inside the tokio runtime (`snow-runtime`):
+//!
+//! * [`alg_a`] — **Algorithm A** (§5.2, Pseudocode 4): all four SNOW
+//!   properties in the multi-writer single-reader setting, using
+//!   client-to-client communication (writers push an `info-reader`
+//!   notification to the reader).
+//! * [`alg_b`] — **Algorithm B** (§8, Pseudocodes 5–6): SNW + one-version in
+//!   the multi-writer multi-reader setting; READs take exactly two
+//!   non-blocking rounds (`get-tag-array` then `read-value`).
+//! * [`alg_c`] — **Algorithm C** (§9, Pseudocodes 5, 7): SNW + one-round in
+//!   MWMR; READs take one round but responses carry up to |W| versions.
+//! * [`eiger`] — a Lamport-clock read-only transaction baseline modelled on
+//!   Eiger, faithful enough to reproduce the §6 / Fig. 5 strict
+//!   serializability violation.
+//! * [`blocking`] — a lock-based strictly serializable baseline whose reads
+//!   *block* under conflicting writes: the other side of the SNOW trade-off.
+//! * [`simple`] — non-transactional simple reads/writes: the latency floor
+//!   that "optimal latency" is defined against (§1).
+//!
+//! [`deploy`] provides a uniform [`deploy::Cluster`] interface over all of
+//! them so workloads and benchmarks can be written once.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alg_a;
+pub mod alg_b;
+pub mod alg_c;
+pub mod blocking;
+pub mod common;
+pub mod deploy;
+pub mod eiger;
+pub mod simple;
+
+pub use common::{PendingRead, PendingWrite, WriteLog};
+pub use deploy::{build_cluster, Cluster, ProtocolKind, SchedulerKind};

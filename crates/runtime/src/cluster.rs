@@ -1,0 +1,342 @@
+//! The async cluster: one tokio task per protocol process.
+
+use parking_lot::Mutex;
+use snow_core::{ClientId, History, ProcessId, SnowError, TxId, TxOutcome, TxRecord, TxSpec};
+use snow_protocols::{alg_a, alg_b, alg_c, blocking, eiger, simple, ProtocolKind};
+use snow_core::SystemConfig;
+use snow_sim::{Effects, Process};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tokio::sync::{mpsc, oneshot};
+use tokio::task::JoinHandle;
+
+/// What a node task receives in its mailbox.
+enum Input<M> {
+    /// A protocol message from another process.
+    Msg { from: ProcessId, msg: M },
+    /// A transaction invocation (client processes only).
+    Invoke { tx: TxId, spec: TxSpec },
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+/// Result of one executed transaction on the runtime.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// The transaction id assigned by the cluster.
+    pub tx: TxId,
+    /// The protocol outcome.
+    pub outcome: TxOutcome,
+    /// Wall-clock latency.
+    pub latency: Duration,
+}
+
+struct Shared {
+    waiters: Mutex<HashMap<TxId, oneshot::Sender<TxOutcome>>>,
+}
+
+/// A running cluster of tokio tasks executing one protocol deployment.
+pub struct AsyncCluster<M: Send + 'static> {
+    inboxes: HashMap<ProcessId, mpsc::UnboundedSender<Input<M>>>,
+    handles: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    next_tx: AtomicU64,
+    started: Instant,
+    history: Mutex<History>,
+}
+
+impl<M: Send + 'static> AsyncCluster<M> {
+    /// Spawns one task per process.  Generic over the protocol node type.
+    pub fn spawn<P>(nodes: Vec<P>) -> Self
+    where
+        P: Process<Msg = M> + Send + 'static,
+        M: Clone + std::fmt::Debug,
+    {
+        let shared = Arc::new(Shared {
+            waiters: Mutex::new(HashMap::new()),
+        });
+        let mut inboxes: HashMap<ProcessId, mpsc::UnboundedSender<Input<M>>> = HashMap::new();
+        let mut receivers = Vec::new();
+        for node in &nodes {
+            let (tx, rx) = mpsc::unbounded_channel();
+            inboxes.insert(node.id(), tx);
+            receivers.push(rx);
+        }
+        let mut handles = Vec::new();
+        for (mut node, mut rx) in nodes.into_iter().zip(receivers) {
+            let inboxes = inboxes.clone();
+            let shared = Arc::clone(&shared);
+            handles.push(tokio::spawn(async move {
+                let my_id = node.id();
+                while let Some(input) = rx.recv().await {
+                    let mut effects = Effects::new(0);
+                    match input {
+                        Input::Msg { from, msg } => node.on_message(from, msg, &mut effects),
+                        Input::Invoke { tx, spec } => node.on_invoke(tx, spec, &mut effects),
+                        Input::Shutdown => break,
+                    }
+                    let (sends, responses) = effects.into_parts();
+                    for (to, msg) in sends {
+                        if let Some(inbox) = inboxes.get(&to) {
+                            // A closed peer means the cluster is shutting
+                            // down; dropping the message is fine then.
+                            let _ = inbox.send(Input::Msg { from: my_id, msg });
+                        }
+                    }
+                    for (tx, outcome) in responses {
+                        if let Some(waiter) = shared.waiters.lock().remove(&tx) {
+                            let _ = waiter.send(outcome);
+                        }
+                    }
+                }
+            }));
+        }
+        AsyncCluster {
+            inboxes,
+            handles,
+            shared,
+            next_tx: AtomicU64::new(0),
+            started: Instant::now(),
+            history: Mutex::new(History::new()),
+        }
+    }
+
+    /// Executes one transaction at `client` and awaits its outcome.
+    pub async fn execute(
+        &self,
+        client: ClientId,
+        spec: TxSpec,
+    ) -> Result<ExecReport, SnowError> {
+        let tx = TxId(self.next_tx.fetch_add(1, Ordering::Relaxed));
+        let (done_tx, done_rx) = oneshot::channel();
+        self.shared.waiters.lock().insert(tx, done_tx);
+        let inbox = self
+            .inboxes
+            .get(&ProcessId::Client(client))
+            .ok_or_else(|| SnowError::Transport(format!("unknown client {client}")))?;
+        let invoked_at = self.started.elapsed().as_nanos() as u64;
+        let start = Instant::now();
+        inbox
+            .send(Input::Invoke { tx, spec: spec.clone() })
+            .map_err(|_| SnowError::Transport("client task terminated".into()))?;
+        let outcome = done_rx.await.map_err(|_| SnowError::Incomplete(tx))?;
+        let latency = start.elapsed();
+
+        let mut record = TxRecord::invoked(tx, client, spec, invoked_at);
+        record.responded_at = Some(invoked_at + latency.as_nanos() as u64);
+        record.outcome = Some(outcome.clone());
+        self.history.lock().push(record);
+        Ok(ExecReport { tx, outcome, latency })
+    }
+
+    /// Executes a batch of `(client, spec)` pairs concurrently: every
+    /// invocation is dispatched before any outcome is awaited, so the
+    /// transactions genuinely overlap.  Each client must appear at most once
+    /// per batch (the model's well-formedness requirement).
+    pub async fn execute_all(
+        &self,
+        batch: Vec<(ClientId, TxSpec)>,
+    ) -> Result<Vec<ExecReport>, SnowError> {
+        let mut in_flight = Vec::with_capacity(batch.len());
+        for (client, spec) in batch {
+            let tx = TxId(self.next_tx.fetch_add(1, Ordering::Relaxed));
+            let (done_tx, done_rx) = oneshot::channel();
+            self.shared.waiters.lock().insert(tx, done_tx);
+            let inbox = self
+                .inboxes
+                .get(&ProcessId::Client(client))
+                .ok_or_else(|| SnowError::Transport(format!("unknown client {client}")))?;
+            let invoked_at = self.started.elapsed().as_nanos() as u64;
+            inbox
+                .send(Input::Invoke { tx, spec: spec.clone() })
+                .map_err(|_| SnowError::Transport("client task terminated".into()))?;
+            in_flight.push((tx, client, spec, done_rx, Instant::now(), invoked_at));
+        }
+        let mut out = Vec::with_capacity(in_flight.len());
+        for (tx, client, spec, done_rx, start, invoked_at) in in_flight {
+            let outcome = done_rx.await.map_err(|_| SnowError::Incomplete(tx))?;
+            let latency = start.elapsed();
+            let mut record = TxRecord::invoked(tx, client, spec, invoked_at);
+            record.responded_at = Some(invoked_at + latency.as_nanos() as u64);
+            record.outcome = Some(outcome.clone());
+            self.history.lock().push(record);
+            out.push(ExecReport { tx, outcome, latency });
+        }
+        Ok(out)
+    }
+
+    /// The history of everything executed so far (latencies in nanoseconds).
+    pub fn history(&self) -> History {
+        self.history.lock().clone()
+    }
+
+    /// Shuts the cluster down and waits for every task to exit.
+    pub async fn shutdown(mut self) {
+        for inbox in self.inboxes.values() {
+            let _ = inbox.send(Input::Shutdown);
+        }
+        self.inboxes.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.await;
+        }
+    }
+}
+
+/// Spawns an [`AsyncCluster`] for any [`ProtocolKind`] except Algorithm A
+/// (whose message type differs); use the typed constructors when the
+/// protocol is known statically.
+pub mod typed {
+    use super::*;
+
+    /// Spawns an Algorithm A cluster.
+    pub fn alg_a(config: &SystemConfig) -> Result<AsyncCluster<alg_a::AlgAMsg>, SnowError> {
+        Ok(AsyncCluster::spawn(alg_a::deploy(config)?))
+    }
+    /// Spawns an Algorithm B cluster.
+    pub fn alg_b(config: &SystemConfig) -> Result<AsyncCluster<alg_b::AlgBMsg>, SnowError> {
+        Ok(AsyncCluster::spawn(alg_b::deploy(config)?))
+    }
+    /// Spawns an Algorithm C cluster.
+    pub fn alg_c(config: &SystemConfig) -> Result<AsyncCluster<alg_c::AlgCMsg>, SnowError> {
+        Ok(AsyncCluster::spawn(alg_c::deploy(config)?))
+    }
+    /// Spawns an Eiger-style cluster.
+    pub fn eiger(config: &SystemConfig) -> Result<AsyncCluster<eiger::EigerMsg>, SnowError> {
+        Ok(AsyncCluster::spawn(eiger::deploy(config)?))
+    }
+    /// Spawns a blocking-2PL cluster.
+    pub fn blocking(config: &SystemConfig) -> Result<AsyncCluster<blocking::BlockingMsg>, SnowError> {
+        Ok(AsyncCluster::spawn(blocking::deploy(config)?))
+    }
+    /// Spawns a simple-operations cluster.
+    pub fn simple(config: &SystemConfig) -> Result<AsyncCluster<simple::SimpleMsg>, SnowError> {
+        Ok(AsyncCluster::spawn(simple::deploy(config)?))
+    }
+}
+
+/// Runs `reads` READ transactions (each over `objects`) against a freshly
+/// spawned cluster of `protocol`, after seeding it with `writes` WRITE
+/// transactions, and returns the read latencies in nanoseconds.  This is the
+/// helper the latency benchmarks use.
+pub async fn measure_read_latencies(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    writes: usize,
+    reads: usize,
+) -> Result<Vec<u64>, SnowError> {
+    use snow_core::{ObjectId, Value};
+    let objects: Vec<ObjectId> = config.objects().collect();
+    let reader = config.readers().next().expect("one reader");
+    let writer = config.writers().next().expect("one writer");
+    let write_spec = |i: usize| {
+        TxSpec::write(
+            objects
+                .iter()
+                .map(|o| (*o, Value::derived(writer.0, i as u64 + 1, o.0)))
+                .collect(),
+        )
+    };
+    let read_spec = TxSpec::read(objects.clone());
+
+    macro_rules! run {
+        ($cluster:expr) => {{
+            let cluster = $cluster;
+            for i in 0..writes {
+                cluster.execute(writer, write_spec(i)).await?;
+            }
+            let mut latencies = Vec::with_capacity(reads);
+            for _ in 0..reads {
+                let report = cluster.execute(reader, read_spec.clone()).await?;
+                latencies.push(report.latency.as_nanos() as u64);
+            }
+            cluster.shutdown().await;
+            Ok(latencies)
+        }};
+    }
+
+    match protocol {
+        ProtocolKind::AlgA => run!(typed::alg_a(config)?),
+        ProtocolKind::AlgB => run!(typed::alg_b(config)?),
+        ProtocolKind::AlgC => run!(typed::alg_c(config)?),
+        ProtocolKind::Eiger => run!(typed::eiger(config)?),
+        ProtocolKind::Blocking => run!(typed::blocking(config)?),
+        ProtocolKind::Simple => run!(typed::simple(config)?),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_core::{ObjectId, Value};
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn alg_b_runs_on_tokio_and_reads_see_writes() {
+        let config = SystemConfig::mwmr(2, 1, 1);
+        let cluster = typed::alg_b(&config).unwrap();
+        let writer = config.writers().next().unwrap();
+        let reader = config.readers().next().unwrap();
+        let w = cluster
+            .execute(
+                writer,
+                TxSpec::write(vec![(ObjectId(0), Value(7)), (ObjectId(1), Value(8))]),
+            )
+            .await
+            .unwrap();
+        assert!(w.outcome.as_write().is_some());
+        let r = cluster
+            .execute(reader, TxSpec::read(vec![ObjectId(0), ObjectId(1)]))
+            .await
+            .unwrap();
+        let out = r.outcome.as_read().unwrap();
+        assert_eq!(out.value_for(ObjectId(0)), Some(Value(7)));
+        assert_eq!(out.value_for(ObjectId(1)), Some(Value(8)));
+        assert!(r.latency.as_nanos() > 0);
+        assert_eq!(cluster.history().len(), 2);
+        cluster.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn every_protocol_executes_on_the_runtime() {
+        for protocol in ProtocolKind::all() {
+            let config = if protocol.needs_c2c() {
+                SystemConfig::mwsr(2, 1, true)
+            } else {
+                SystemConfig::mwmr(2, 1, 1)
+            };
+            let latencies = measure_read_latencies(protocol, &config, 3, 5).await.unwrap();
+            assert_eq!(latencies.len(), 5, "{protocol:?}");
+            assert!(latencies.iter().all(|l| *l > 0), "{protocol:?}");
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn concurrent_batch_execution_completes() {
+        let config = SystemConfig::mwmr(4, 2, 2);
+        let cluster = typed::alg_c(&config).unwrap();
+        let readers: Vec<_> = config.readers().collect();
+        let writers: Vec<_> = config.writers().collect();
+        let batch = vec![
+            (writers[0], TxSpec::write(vec![(ObjectId(0), Value(1))])),
+            (writers[1], TxSpec::write(vec![(ObjectId(1), Value(2))])),
+            (readers[0], TxSpec::read(vec![ObjectId(0), ObjectId(1)])),
+            (readers[1], TxSpec::read(vec![ObjectId(2), ObjectId(3)])),
+        ];
+        let reports = cluster.execute_all(batch).await.unwrap();
+        assert_eq!(reports.len(), 4);
+        cluster.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn unknown_client_is_an_error() {
+        let config = SystemConfig::mwmr(2, 1, 1);
+        let cluster = typed::simple(&config).unwrap();
+        let err = cluster
+            .execute(ClientId(99), TxSpec::read(vec![ObjectId(0)]))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, SnowError::Transport(_)));
+        cluster.shutdown().await;
+    }
+}

@@ -1,0 +1,20 @@
+//! # snow-runtime
+//!
+//! A tokio-based asynchronous sharded-storage runtime that executes the
+//! *same protocol state machines* as the deterministic simulator: every
+//! process of a `snow-protocols` deployment runs as its own tokio task with
+//! an unbounded mailbox, messages travel over channels, and transaction
+//! invocations are regular async calls that resolve when the protocol emits
+//! the RESP event.
+//!
+//! This is the substrate for the wall-clock latency and throughput
+//! experiments (E8–E10 in `DESIGN.md`): the simulator measures rounds and
+//! schedules adversarially; the runtime measures what those rounds cost on a
+//! real concurrent executor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+
+pub use cluster::{AsyncCluster, ExecReport};

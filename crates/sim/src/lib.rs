@@ -1,0 +1,39 @@
+//! # snow-sim
+//!
+//! A deterministic discrete-event simulator of asynchronous message-passing
+//! processes, in the style of the I/O-automata model the paper uses (§2,
+//! Appendix A):
+//!
+//! * processes ([`Process`]) are state machines reacting to delivered
+//!   messages and to transaction invocations, emitting sends and responses
+//!   through an [`Effects`] buffer — exactly the "actions at one automaton"
+//!   granularity the paper's fragment arguments rely on;
+//! * the network is **reliable but asynchronous**: every sent message is
+//!   eventually deliverable, but the order and timing of deliveries are under
+//!   the control of a [`Scheduler`] (seeded-random, FIFO, latency-modelled, or
+//!   fully manual/adversarial);
+//! * every external action (INV, RESP, send, recv) is recorded in a
+//!   [`Trace`], with causal parent links from a delivered message to the
+//!   messages its handler sent.  The trace is what lets `snow-checker`
+//!   verify the N (non-blocking) and O (one-response) properties without
+//!   trusting the protocol's self-reporting;
+//! * the simulation also assembles the [`snow_core::History`] of the run.
+//!
+//! The simulator is single-threaded and fully deterministic given
+//! `(configuration, scheduler seed, invocation plan)`, which is what makes
+//! the impossibility constructions of `snow-impossibility` replayable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod message;
+pub mod process;
+pub mod scheduler;
+pub mod sim;
+pub mod trace;
+
+pub use message::{MsgId, MsgInfo, MsgKind, PendingMessage, SimMessage};
+pub use process::{Effects, Process};
+pub use scheduler::{FifoScheduler, LatencyScheduler, RandomScheduler, Scheduler};
+pub use sim::{InvocationPlan, Simulation, StepOutcome};
+pub use trace::{Action, ActionKind, Trace};

@@ -1,0 +1,157 @@
+//! The [`Process`] trait (one I/O automaton) and the [`Effects`] buffer its
+//! handlers write into.
+
+use crate::message::SimMessage;
+use snow_core::{ProcessId, TxId, TxOutcome, TxSpec};
+
+/// A process (I/O automaton) participating in the simulation.
+///
+/// A process reacts to two kinds of input actions:
+///
+/// * [`Process::on_invoke`] — the INV event of a transaction (clients only);
+/// * [`Process::on_message`] — delivery of a message from another process.
+///
+/// Handlers must not block or spin: they update local state and emit output
+/// actions (sends, RESP events) through the [`Effects`] buffer.  This is the
+/// non-blocking handler discipline that makes the N property *checkable*: a
+/// read answered within the handler of its own request is non-blocking by
+/// construction, a read answered from any other handler is not.
+pub trait Process {
+    /// The protocol message type exchanged by processes.
+    type Msg: SimMessage;
+
+    /// The identity of this process.
+    fn id(&self) -> ProcessId;
+
+    /// Handle the invocation of a transaction at this process.
+    ///
+    /// Only client processes receive invocations; the default implementation
+    /// panics to catch mis-wired harnesses early.
+    fn on_invoke(&mut self, tx_id: TxId, spec: TxSpec, effects: &mut Effects<Self::Msg>) {
+        let _ = (tx_id, spec, effects);
+        panic!("process {} does not accept transaction invocations", self.id());
+    }
+
+    /// Handle delivery of `msg` from `from`.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, effects: &mut Effects<Self::Msg>);
+}
+
+/// The output-action buffer a handler writes into.
+///
+/// All sends and responses emitted during one handler call are tagged by the
+/// simulator with the same causal parent (the message or invocation being
+/// handled), which is what produces the causality links in the trace.
+#[derive(Debug)]
+pub struct Effects<M> {
+    /// Current simulation time (read-only for handlers).
+    now: u64,
+    sends: Vec<(ProcessId, M)>,
+    responses: Vec<(TxId, TxOutcome)>,
+}
+
+impl<M> Effects<M> {
+    /// Creates an empty buffer at simulation time `now`.
+    pub fn new(now: u64) -> Self {
+        Effects {
+            now,
+            sends: Vec::new(),
+            responses: Vec::new(),
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Emit a message to `to`.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Emit the RESP event of transaction `tx` with `outcome`.
+    pub fn respond(&mut self, tx: TxId, outcome: TxOutcome) {
+        self.responses.push((tx, outcome));
+    }
+
+    /// Number of sends buffered so far.
+    pub fn send_count(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Number of responses buffered so far.
+    pub fn response_count(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Drains the buffered output actions: `(sends, responses)`.
+    pub fn into_parts(self) -> (Vec<(ProcessId, M)>, Vec<(TxId, TxOutcome)>) {
+        (self.sends, self.responses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_core::{ClientId, Key, Tag, WriteOutcome};
+
+    #[derive(Debug, Clone)]
+    struct Ping;
+    impl crate::message::SimMessage for Ping {}
+
+    struct Echo {
+        id: ProcessId,
+    }
+
+    impl Process for Echo {
+        type Msg = Ping;
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+        fn on_message(&mut self, from: ProcessId, msg: Ping, effects: &mut Effects<Ping>) {
+            effects.send(from, msg);
+        }
+    }
+
+    #[test]
+    fn effects_buffer_sends_and_responses() {
+        let mut e: Effects<Ping> = Effects::new(42);
+        assert_eq!(e.now(), 42);
+        e.send(ProcessId::Client(ClientId(1)), Ping);
+        e.respond(
+            TxId(3),
+            TxOutcome::Write(WriteOutcome {
+                key: Key::new(1, ClientId(0)),
+                tag: Some(Tag(2)),
+            }),
+        );
+        assert_eq!(e.send_count(), 1);
+        assert_eq!(e.response_count(), 1);
+        let (sends, resps) = e.into_parts();
+        assert_eq!(sends.len(), 1);
+        assert_eq!(resps[0].0, TxId(3));
+    }
+
+    #[test]
+    fn default_on_invoke_panics_for_non_clients() {
+        let mut echo = Echo {
+            id: ProcessId::Client(ClientId(0)),
+        };
+        let mut effects = Effects::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            echo.on_invoke(TxId(1), TxSpec::read(vec![snow_core::ObjectId(0)]), &mut effects)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn echo_process_replies_to_sender() {
+        let mut echo = Echo {
+            id: ProcessId::Client(ClientId(9)),
+        };
+        let mut effects = Effects::new(0);
+        echo.on_message(ProcessId::Client(ClientId(1)), Ping, &mut effects);
+        let (sends, _) = effects.into_parts();
+        assert_eq!(sends[0].0, ProcessId::Client(ClientId(1)));
+    }
+}

@@ -1,0 +1,209 @@
+//! Delivery schedulers: who decides which in-flight message is delivered
+//! next.
+//!
+//! The paper's adversary is the asynchronous network: it may delay any
+//! message arbitrarily (but not forever).  Schedulers model different
+//! adversaries:
+//!
+//! * [`FifoScheduler`] — delivers messages in send order (a well-behaved
+//!   network; useful as a baseline and for making examples readable);
+//! * [`RandomScheduler`] — a seeded uniformly random adversary, used by the
+//!   property-based tests to explore many interleavings reproducibly;
+//! * [`LatencyScheduler`] — assigns each message a pseudo-random latency and
+//!   delivers in delivery-time order, which is what the performance-oriented
+//!   simulations use.
+//!
+//! Fully adversarial (scripted) schedules are expressed by driving the
+//! simulation manually via [`crate::Simulation::deliver_where`], which is how
+//! `snow-impossibility` constructs the executions of Figs. 3–5.
+
+use crate::message::PendingMessage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A policy choosing which pending message to deliver next.
+pub trait Scheduler<M> {
+    /// Chooses the index (into `pending`) of the next message to deliver, or
+    /// `None` to deliver nothing (only meaningful if `pending` is empty —
+    /// reliable channels require eventual delivery, which the simulation
+    /// enforces by only stopping when no messages are pending).
+    fn choose(&mut self, pending: &[PendingMessage<M>], now: u64) -> Option<usize>;
+
+    /// Hook called when a message is sent, letting latency-model schedulers
+    /// stamp a delivery time.  Returns the delivery time, if the scheduler
+    /// assigns one.
+    fn on_send(&mut self, sent_at: u64) -> Option<u64> {
+        let _ = sent_at;
+        None
+    }
+}
+
+/// Delivers messages in the order they were sent.
+#[derive(Debug, Default, Clone)]
+pub struct FifoScheduler;
+
+impl FifoScheduler {
+    /// Creates a FIFO scheduler.
+    pub fn new() -> Self {
+        FifoScheduler
+    }
+}
+
+impl<M> Scheduler<M> for FifoScheduler {
+    fn choose(&mut self, pending: &[PendingMessage<M>], _now: u64) -> Option<usize> {
+        if pending.is_empty() {
+            return None;
+        }
+        // Pending messages are kept in send order, so the oldest is index 0;
+        // still scan defensively in case the pool was mutated out of order.
+        let mut best = 0usize;
+        for (i, p) in pending.iter().enumerate() {
+            if p.id < pending[best].id {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+}
+
+/// Delivers a uniformly random pending message; deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct RandomScheduler {
+    rng: StdRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<M> Scheduler<M> for RandomScheduler {
+    fn choose(&mut self, pending: &[PendingMessage<M>], _now: u64) -> Option<usize> {
+        if pending.is_empty() {
+            None
+        } else {
+            Some(self.rng.random_range(0..pending.len()))
+        }
+    }
+}
+
+/// Assigns each message a pseudo-random latency in `[min_latency, max_latency]`
+/// ticks and delivers the message with the earliest delivery time first.
+#[derive(Debug, Clone)]
+pub struct LatencyScheduler {
+    rng: StdRng,
+    min_latency: u64,
+    max_latency: u64,
+}
+
+impl LatencyScheduler {
+    /// Creates a latency-model scheduler.
+    ///
+    /// # Panics
+    /// Panics if `min_latency > max_latency`.
+    pub fn new(seed: u64, min_latency: u64, max_latency: u64) -> Self {
+        assert!(min_latency <= max_latency, "min_latency must be <= max_latency");
+        LatencyScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            min_latency,
+            max_latency,
+        }
+    }
+}
+
+impl<M> Scheduler<M> for LatencyScheduler {
+    fn choose(&mut self, pending: &[PendingMessage<M>], _now: u64) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| (p.deliver_at.unwrap_or(p.sent_at), p.id))
+            .map(|(i, _)| i)
+    }
+
+    fn on_send(&mut self, sent_at: u64) -> Option<u64> {
+        let lat = if self.min_latency == self.max_latency {
+            self.min_latency
+        } else {
+            self.rng.random_range(self.min_latency..=self.max_latency)
+        };
+        Some(sent_at + lat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MsgId;
+    use snow_core::{ClientId, ProcessId, ServerId};
+
+    #[derive(Debug, Clone)]
+    struct M;
+    impl crate::message::SimMessage for M {}
+
+    fn pending(id: u64, sent_at: u64, deliver_at: Option<u64>) -> PendingMessage<M> {
+        PendingMessage {
+            id: MsgId(id),
+            src: ProcessId::Client(ClientId(0)),
+            dst: ProcessId::Server(ServerId(0)),
+            msg: M,
+            sent_at,
+            parent: None,
+            deliver_at,
+        }
+    }
+
+    #[test]
+    fn fifo_picks_lowest_id() {
+        let mut s = FifoScheduler::new();
+        let pool = vec![pending(3, 0, None), pending(1, 1, None), pending(2, 2, None)];
+        assert_eq!(Scheduler::<M>::choose(&mut s, &pool, 5), Some(1));
+        assert_eq!(Scheduler::<M>::choose(&mut s, &[], 5), None);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_in_range() {
+        let pool = vec![pending(0, 0, None), pending(1, 0, None), pending(2, 0, None)];
+        let picks_a: Vec<_> = {
+            let mut s = RandomScheduler::new(7);
+            (0..20).map(|_| Scheduler::<M>::choose(&mut s, &pool, 0).unwrap()).collect()
+        };
+        let picks_b: Vec<_> = {
+            let mut s = RandomScheduler::new(7);
+            (0..20).map(|_| Scheduler::<M>::choose(&mut s, &pool, 0).unwrap()).collect()
+        };
+        assert_eq!(picks_a, picks_b);
+        assert!(picks_a.iter().all(|&i| i < pool.len()));
+        // Different seed should (almost surely) give a different sequence.
+        let picks_c: Vec<_> = {
+            let mut s = RandomScheduler::new(8);
+            (0..20).map(|_| Scheduler::<M>::choose(&mut s, &pool, 0).unwrap()).collect()
+        };
+        assert_ne!(picks_a, picks_c);
+        let mut s = RandomScheduler::new(1);
+        assert_eq!(Scheduler::<M>::choose(&mut s, &[], 0), None);
+    }
+
+    #[test]
+    fn latency_orders_by_delivery_time() {
+        let mut s = LatencyScheduler::new(1, 5, 5);
+        // on_send stamps sent_at + 5.
+        assert_eq!(Scheduler::<M>::on_send(&mut s, 10), Some(15));
+        let pool = vec![
+            pending(0, 0, Some(30)),
+            pending(1, 0, Some(10)),
+            pending(2, 0, Some(20)),
+        ];
+        assert_eq!(Scheduler::<M>::choose(&mut s, &pool, 0), Some(1));
+        assert_eq!(Scheduler::<M>::choose(&mut s, &[], 0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn latency_rejects_inverted_bounds() {
+        let _ = LatencyScheduler::new(0, 10, 1);
+    }
+}

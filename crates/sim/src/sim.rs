@@ -1,0 +1,563 @@
+//! The simulation engine: processes + pending messages + scheduler + trace.
+
+use crate::message::{MsgId, PendingMessage, SimMessage};
+use crate::process::{Effects, Process};
+use crate::scheduler::Scheduler;
+use crate::trace::{ActionKind, Trace};
+use snow_core::{ClientId, History, ProcessId, ReadResult, TxId, TxKind, TxRecord, TxSpec};
+use std::collections::BTreeMap;
+
+/// A planned invocation: at simulation time `at`, client `client` invokes
+/// `spec` (well-formedness — one outstanding transaction per client — is the
+/// harness's responsibility, checked by `snow-checker`).
+#[derive(Debug, Clone)]
+pub struct InvocationPlan {
+    /// Simulation time at which the INV event occurs.
+    pub at: u64,
+    /// The invoking client.
+    pub client: ClientId,
+    /// The transaction body.
+    pub spec: TxSpec,
+}
+
+/// What a single simulation step did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An invocation was dispatched to a client.
+    Invoked(TxId),
+    /// A message was delivered.
+    Delivered(MsgId),
+    /// Nothing left to do: no pending messages and no future invocations.
+    Quiescent,
+}
+
+/// A deterministic simulation of a set of processes exchanging messages over
+/// reliable asynchronous channels.
+pub struct Simulation<P: Process, S> {
+    processes: BTreeMap<ProcessId, P>,
+    pending: Vec<PendingMessage<P::Msg>>,
+    invocations: Vec<(u64, TxId, ClientId, TxSpec)>,
+    scheduler: S,
+    trace: Trace,
+    records: BTreeMap<TxId, TxRecord>,
+    now: u64,
+    next_msg: u64,
+    next_tx: u64,
+    max_steps: u64,
+    steps: u64,
+}
+
+impl<P, S> Simulation<P, S>
+where
+    P: Process,
+    S: Scheduler<P::Msg>,
+{
+    /// Creates an empty simulation driven by `scheduler`.
+    pub fn new(scheduler: S) -> Self {
+        Simulation {
+            processes: BTreeMap::new(),
+            pending: Vec::new(),
+            invocations: Vec::new(),
+            scheduler,
+            trace: Trace::new(),
+            records: BTreeMap::new(),
+            now: 0,
+            next_msg: 0,
+            next_tx: 0,
+            max_steps: 1_000_000,
+            steps: 0,
+        }
+    }
+
+    /// Overrides the safety cap on the number of steps a run may take.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Registers a process.  Panics if a process with the same id exists.
+    pub fn add_process(&mut self, process: P) {
+        let id = process.id();
+        let prev = self.processes.insert(id, process);
+        assert!(prev.is_none(), "duplicate process id {id}");
+    }
+
+    /// Schedules `spec` to be invoked by `client` at simulation time `at`.
+    /// Returns the transaction id the invocation will carry.
+    pub fn invoke_at(&mut self, at: u64, client: ClientId, spec: TxSpec) -> TxId {
+        let tx = TxId(self.next_tx);
+        self.next_tx += 1;
+        self.invocations.push((at, tx, client, spec));
+        // Keep invocations sorted by (time, tx id) so dispatch order is
+        // deterministic.
+        self.invocations.sort_by_key(|(t, tx, _, _)| (*t, *tx));
+        tx
+    }
+
+    /// Schedules `spec` to be invoked immediately (at the current time).
+    pub fn invoke_now(&mut self, client: ClientId, spec: TxSpec) -> TxId {
+        self.invoke_at(self.now, client, spec)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of messages currently in flight.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// A read-only view of the in-flight messages.
+    pub fn pending(&self) -> &[PendingMessage<P::Msg>] {
+        &self.pending
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Access to a registered process (for assertions in tests/harnesses).
+    pub fn process(&self, id: ProcessId) -> Option<&P> {
+        self.processes.get(&id)
+    }
+
+    /// True if transaction `tx` has completed.
+    pub fn is_complete(&self, tx: TxId) -> bool {
+        self.records.get(&tx).map(|r| r.is_complete()).unwrap_or(false)
+    }
+
+    /// True if there is nothing left to do.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_empty() && self.invocations.is_empty()
+    }
+
+    /// Executes one step: dispatches the earliest due invocation if any,
+    /// otherwise delivers the message chosen by the scheduler.
+    pub fn step(&mut self) -> StepOutcome {
+        self.steps += 1;
+        assert!(
+            self.steps <= self.max_steps,
+            "simulation exceeded {} steps; likely livelock",
+            self.max_steps
+        );
+
+        // Dispatch an invocation if one is due at or before `now`, or if
+        // there are no pending messages (time jumps forward to the next
+        // invocation).
+        let due = self
+            .invocations
+            .first()
+            .map(|(t, _, _, _)| *t <= self.now || self.pending.is_empty())
+            .unwrap_or(false);
+        if due {
+            let (at, tx, client, spec) = self.invocations.remove(0);
+            self.now = self.now.max(at) + 1;
+            self.dispatch_invocation(tx, client, spec);
+            return StepOutcome::Invoked(tx);
+        }
+
+        match self.scheduler.choose(&self.pending, self.now) {
+            Some(idx) => {
+                let msg = self.pending.remove(idx);
+                self.now = self.now.max(msg.deliver_at.unwrap_or(self.now)) + 1;
+                let id = msg.id;
+                self.deliver(msg);
+                StepOutcome::Delivered(id)
+            }
+            None => StepOutcome::Quiescent,
+        }
+    }
+
+    /// Runs until no work remains (or the step cap is hit).  Returns the
+    /// number of steps executed.
+    pub fn run_until_quiescent(&mut self) -> u64 {
+        let start = self.steps;
+        while !self.is_quiescent() {
+            if self.step() == StepOutcome::Quiescent {
+                break;
+            }
+        }
+        self.steps - start
+    }
+
+    /// Runs until transaction `tx` completes (or the system goes quiescent).
+    /// Returns `true` if the transaction completed.
+    pub fn run_until_complete(&mut self, tx: TxId) -> bool {
+        while !self.is_complete(tx) {
+            if self.is_quiescent() || self.step() == StepOutcome::Quiescent {
+                break;
+            }
+        }
+        self.is_complete(tx)
+    }
+
+    /// Manual (adversarial) driving: delivers the first pending message
+    /// matching `pred`, bypassing the scheduler.  Returns the delivered
+    /// message id, or `None` if nothing matched.
+    pub fn deliver_where<F>(&mut self, pred: F) -> Option<MsgId>
+    where
+        F: Fn(&PendingMessage<P::Msg>) -> bool,
+    {
+        let idx = self.pending.iter().position(pred)?;
+        let msg = self.pending.remove(idx);
+        self.now += 1;
+        let id = msg.id;
+        self.deliver(msg);
+        Some(id)
+    }
+
+    /// Manual driving: dispatches the next scheduled invocation for `client`
+    /// immediately, regardless of its planned time.  Returns the transaction
+    /// id, or `None` if no invocation is queued for that client.
+    pub fn force_invoke(&mut self, client: ClientId) -> Option<TxId> {
+        let idx = self.invocations.iter().position(|(_, _, c, _)| *c == client)?;
+        let (_, tx, client, spec) = self.invocations.remove(idx);
+        self.now += 1;
+        self.dispatch_invocation(tx, client, spec);
+        Some(tx)
+    }
+
+    fn dispatch_invocation(&mut self, tx: TxId, client: ClientId, spec: TxSpec) {
+        let pid = ProcessId::Client(client);
+        self.trace.record(
+            self.now,
+            pid,
+            ActionKind::Invoke {
+                tx,
+                kind: spec.kind(),
+            },
+        );
+        self.records
+            .insert(tx, TxRecord::invoked(tx, client, spec.clone(), self.now));
+        let mut effects = Effects::new(self.now);
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .unwrap_or_else(|| panic!("invocation for unknown process {pid}"));
+        process.on_invoke(tx, spec, &mut effects);
+        self.apply_effects(pid, None, effects);
+    }
+
+    fn deliver(&mut self, msg: PendingMessage<P::Msg>) {
+        let info = msg.msg.info();
+        self.trace.record(
+            self.now,
+            msg.dst,
+            ActionKind::Recv {
+                msg: msg.id,
+                from: msg.src,
+                info,
+            },
+        );
+        let mut effects = Effects::new(self.now);
+        let process = self
+            .processes
+            .get_mut(&msg.dst)
+            .unwrap_or_else(|| panic!("message to unknown process {}", msg.dst));
+        process.on_message(msg.src, msg.msg, &mut effects);
+        self.apply_effects(msg.dst, Some(msg.id), effects);
+    }
+
+    fn apply_effects(&mut self, at: ProcessId, parent: Option<MsgId>, effects: Effects<P::Msg>) {
+        let (sends, responses) = effects.into_parts();
+        for (to, m) in sends {
+            let id = MsgId(self.next_msg);
+            self.next_msg += 1;
+            let info = m.info();
+            self.trace.record(
+                self.now,
+                at,
+                ActionKind::Send {
+                    msg: id,
+                    to,
+                    parent,
+                    info,
+                },
+            );
+            let deliver_at = self.scheduler.on_send(self.now);
+            self.pending.push(PendingMessage {
+                id,
+                src: at,
+                dst: to,
+                msg: m,
+                sent_at: self.now,
+                parent,
+                deliver_at,
+            });
+        }
+        for (tx, outcome) in responses {
+            self.trace.record(self.now, at, ActionKind::Respond { tx });
+            if let Some(rec) = self.records.get_mut(&tx) {
+                rec.responded_at = Some(self.now);
+                rec.outcome = Some(outcome);
+            }
+        }
+    }
+
+    /// Assembles the [`History`] of the run so far, deriving rounds,
+    /// versions-per-read, non-blocking flags and C2C counts from the trace.
+    pub fn history(&self) -> History {
+        let mut history = History::new();
+        for (tx, rec) in &self.records {
+            let mut rec = rec.clone();
+            let client = ProcessId::Client(rec.client);
+            rec.rounds = self.trace.rounds_of(*tx, client);
+            rec.c2c_messages = self.trace.c2c_count(*tx);
+            if rec.kind() == TxKind::Read {
+                rec.reads = self.read_metrics(*tx, client);
+            }
+            history.push(rec);
+        }
+        history.records.sort_by_key(|r| (r.invoked_at, r.tx_id));
+        history
+    }
+
+    /// Derives per-object read instrumentation for a READ transaction from
+    /// the trace: which server answered, how many versions the response
+    /// carried, and whether the response was sent while handling the read
+    /// request itself (non-blocking) or only later, from some other handler
+    /// (blocking).
+    fn read_metrics(&self, tx: TxId, client: ProcessId) -> Vec<ReadResult> {
+        use crate::message::MsgKind;
+        let mut out = Vec::new();
+        for action in self.trace.actions() {
+            // Consider read responses *received by the reading client*.
+            let (msg_id, from, info) = match &action.kind {
+                ActionKind::Recv { msg, from, info } if action.at == client => (msg, from, info),
+                _ => continue,
+            };
+            if info.kind != MsgKind::ReadResponse || info.tx != Some(tx) {
+                continue;
+            }
+            let object = match info.object {
+                Some(o) => o,
+                None => continue, // metadata response (e.g. get-tag-arr)
+            };
+            let server = match from.as_server() {
+                Some(s) => s,
+                None => continue,
+            };
+            // Non-blocking iff the response's causal parent is a read request
+            // of the same transaction (the server answered within the handler
+            // of the request, without waiting for any other input action).
+            let nonblocking = match self.trace.parent_of(*msg_id) {
+                Some(parent_id) => self
+                    .trace
+                    .send_of(parent_id)
+                    .map(|send| match &send.kind {
+                        ActionKind::Send { info: pinfo, .. } => {
+                            pinfo.kind == MsgKind::ReadRequest && pinfo.tx == Some(tx)
+                        }
+                        _ => false,
+                    })
+                    .unwrap_or(false),
+                None => false,
+            };
+            out.push(ReadResult {
+                object,
+                server,
+                versions_in_response: info.versions.max(1),
+                nonblocking,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MsgInfo, SimMessage};
+    use crate::scheduler::{FifoScheduler, LatencyScheduler, RandomScheduler};
+    use snow_core::{
+        Key, ObjectId, ObjectRead, ReadOutcome, ServerId, TxOutcome, Value,
+    };
+
+    /// A toy read protocol: the client sends one request per object, each
+    /// server replies with the initial value, the client responds when all
+    /// replies are in.
+    #[derive(Debug, Clone)]
+    enum ToyMsg {
+        Req { tx: TxId, object: ObjectId },
+        Resp { tx: TxId, object: ObjectId },
+    }
+
+    impl SimMessage for ToyMsg {
+        fn info(&self) -> MsgInfo {
+            match self {
+                ToyMsg::Req { tx, object } => MsgInfo::read_request(*tx, Some(*object)),
+                ToyMsg::Resp { tx, object } => MsgInfo::read_response(*tx, Some(*object), 1),
+            }
+        }
+    }
+
+    enum ToyNode {
+        Client {
+            id: ClientId,
+            outstanding: Option<(TxId, usize, Vec<ObjectRead>)>,
+        },
+        Server {
+            id: ServerId,
+        },
+    }
+
+    impl Process for ToyNode {
+        type Msg = ToyMsg;
+
+        fn id(&self) -> ProcessId {
+            match self {
+                ToyNode::Client { id, .. } => ProcessId::Client(*id),
+                ToyNode::Server { id } => ProcessId::Server(*id),
+            }
+        }
+
+        fn on_invoke(&mut self, tx_id: TxId, spec: TxSpec, effects: &mut Effects<ToyMsg>) {
+            let ToyNode::Client { outstanding, .. } = self else {
+                panic!("server invoked")
+            };
+            let objects = spec.objects();
+            *outstanding = Some((tx_id, objects.len(), Vec::new()));
+            for o in objects {
+                effects.send(
+                    ProcessId::Server(ServerId(o.0)),
+                    ToyMsg::Req { tx: tx_id, object: o },
+                );
+            }
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: ToyMsg, effects: &mut Effects<ToyMsg>) {
+            match (self, msg) {
+                (ToyNode::Server { .. }, ToyMsg::Req { tx, object }) => {
+                    effects.send(from, ToyMsg::Resp { tx, object });
+                }
+                (ToyNode::Client { outstanding, .. }, ToyMsg::Resp { tx, object }) => {
+                    if let Some((cur, want, got)) = outstanding {
+                        if *cur == tx {
+                            got.push(ObjectRead {
+                                object,
+                                key: Key::initial(),
+                                value: Value::INITIAL,
+                            });
+                            if got.len() == *want {
+                                effects.respond(
+                                    tx,
+                                    TxOutcome::Read(ReadOutcome {
+                                        reads: got.clone(),
+                                        tag: None,
+                                    }),
+                                );
+                                *outstanding = None;
+                            }
+                        }
+                    }
+                }
+                _ => panic!("unexpected message"),
+            }
+        }
+    }
+
+    fn toy_sim<S: Scheduler<ToyMsg>>(scheduler: S) -> Simulation<ToyNode, S> {
+        let mut sim = Simulation::new(scheduler);
+        sim.add_process(ToyNode::Client {
+            id: ClientId(0),
+            outstanding: None,
+        });
+        sim.add_process(ToyNode::Server { id: ServerId(0) });
+        sim.add_process(ToyNode::Server { id: ServerId(1) });
+        sim
+    }
+
+    #[test]
+    fn toy_read_completes_under_fifo() {
+        let mut sim = toy_sim(FifoScheduler::new());
+        let tx = sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(0), ObjectId(1)]));
+        assert!(!sim.is_complete(tx));
+        sim.run_until_quiescent();
+        assert!(sim.is_complete(tx));
+        assert!(sim.is_quiescent());
+
+        let h = sim.history();
+        assert_eq!(h.len(), 1);
+        let rec = h.get(tx).unwrap();
+        assert!(rec.is_complete());
+        assert_eq!(rec.rounds, 1);
+        assert_eq!(rec.reads.len(), 2);
+        assert!(rec.all_reads_nonblocking());
+        assert_eq!(rec.max_versions_per_read(), 1);
+        assert_eq!(rec.c2c_messages, 0);
+    }
+
+    #[test]
+    fn toy_read_completes_under_random_and_latency_schedulers() {
+        for seed in 0..5u64 {
+            let mut sim = toy_sim(RandomScheduler::new(seed));
+            let tx = sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(0), ObjectId(1)]));
+            sim.run_until_quiescent();
+            assert!(sim.is_complete(tx), "seed {seed}");
+        }
+        let mut sim = toy_sim(LatencyScheduler::new(3, 1, 10));
+        let tx = sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(0), ObjectId(1)]));
+        sim.run_until_quiescent();
+        assert!(sim.is_complete(tx));
+        let rec = sim.history();
+        assert!(rec.get(tx).unwrap().latency().unwrap() > 0);
+    }
+
+    #[test]
+    fn manual_delivery_allows_adversarial_ordering() {
+        let mut sim = toy_sim(FifoScheduler::new());
+        let tx = sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(0), ObjectId(1)]));
+        // Dispatch the invocation only.
+        assert_eq!(sim.step(), StepOutcome::Invoked(tx));
+        assert_eq!(sim.pending_count(), 2);
+        // Deliver the request to s1 before the one to s0.
+        let delivered = sim.deliver_where(|p| p.dst == ProcessId::Server(ServerId(1)));
+        assert!(delivered.is_some());
+        // No match for an already-delivered destination+direction.
+        assert!(sim
+            .deliver_where(|p| p.dst == ProcessId::Server(ServerId(99)))
+            .is_none());
+        sim.run_until_quiescent();
+        assert!(sim.is_complete(tx));
+    }
+
+    #[test]
+    fn force_invoke_dispatches_early() {
+        let mut sim = toy_sim(FifoScheduler::new());
+        let tx = sim.invoke_at(1_000, ClientId(0), TxSpec::read(vec![ObjectId(0)]));
+        assert_eq!(sim.force_invoke(ClientId(0)), Some(tx));
+        assert_eq!(sim.force_invoke(ClientId(0)), None);
+        sim.run_until_quiescent();
+        assert!(sim.is_complete(tx));
+    }
+
+    #[test]
+    fn run_until_complete_stops_at_target() {
+        let mut sim = toy_sim(FifoScheduler::new());
+        let tx1 = sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(0)]));
+        let tx2 = sim.invoke_at(50, ClientId(0), TxSpec::read(vec![ObjectId(1)]));
+        assert!(sim.run_until_complete(tx1));
+        assert!(sim.is_complete(tx1));
+        assert!(sim.run_until_complete(tx2));
+    }
+
+    #[test]
+    fn history_sorted_by_invocation_time() {
+        let mut sim = toy_sim(FifoScheduler::new());
+        let _t2 = sim.invoke_at(10, ClientId(0), TxSpec::read(vec![ObjectId(1)]));
+        let t1 = sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(0)]));
+        sim.run_until_quiescent();
+        let h = sim.history();
+        assert_eq!(h.records[0].tx_id, t1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_process_ids_are_rejected() {
+        let mut sim = toy_sim(FifoScheduler::new());
+        sim.add_process(ToyNode::Server { id: ServerId(0) });
+    }
+}

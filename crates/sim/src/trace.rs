@@ -1,0 +1,335 @@
+//! Action traces: the external actions of an execution, in order.
+//!
+//! A [`Trace`] is the executable analogue of the paper's executions
+//! `σ₀, a₁, σ₁, …`: we record only the actions (the paper does the same to
+//! "simplify notation"), each tagged with the automaton at which it occurs,
+//! the simulation time, and — for sends — the causal parent message.
+
+use crate::message::{MsgId, MsgInfo, MsgKind};
+use snow_core::{ProcessId, TxId, TxKind};
+
+/// The kind of an externally visible action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActionKind {
+    /// INV(T): a transaction was invoked at a client.
+    Invoke {
+        /// The transaction.
+        tx: TxId,
+        /// READ or WRITE.
+        kind: TxKind,
+    },
+    /// RESP(T): a transaction completed at a client.
+    Respond {
+        /// The transaction.
+        tx: TxId,
+    },
+    /// `send(m)_{at,to}`: the process emitted a message.
+    Send {
+        /// Message id.
+        msg: MsgId,
+        /// Destination process.
+        to: ProcessId,
+        /// The message (or invocation handler) that causally produced this
+        /// send; `None` if it was produced while handling an invocation.
+        parent: Option<MsgId>,
+        /// Classification of the message.
+        info: MsgInfo,
+    },
+    /// `recv(m)_{from,at}`: the process received a message.
+    Recv {
+        /// Message id.
+        msg: MsgId,
+        /// Originating process.
+        from: ProcessId,
+        /// Classification of the message.
+        info: MsgInfo,
+    },
+}
+
+/// One externally visible action of an execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Action {
+    /// Position of the action in the execution (0-based).
+    pub seq: u64,
+    /// Simulation time at which the action occurred.
+    pub time: u64,
+    /// The automaton at which the action occurred.
+    pub at: ProcessId,
+    /// What happened.
+    pub kind: ActionKind,
+}
+
+impl Action {
+    /// The transaction this action belongs to, if it can be attributed.
+    pub fn tx(&self) -> Option<TxId> {
+        match &self.kind {
+            ActionKind::Invoke { tx, .. } | ActionKind::Respond { tx } => Some(*tx),
+            ActionKind::Send { info, .. } | ActionKind::Recv { info, .. } => info.tx,
+        }
+    }
+}
+
+/// The ordered list of external actions of one execution.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    actions: Vec<Action>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an action, assigning it the next sequence number.
+    pub fn record(&mut self, time: u64, at: ProcessId, kind: ActionKind) {
+        let seq = self.actions.len() as u64;
+        self.actions.push(Action { seq, time, at, kind });
+    }
+
+    /// All actions in order.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Number of actions recorded.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The actions occurring at one automaton, in order — the projection
+    /// `trace(α)|p` the indistinguishability arguments use.
+    pub fn at(&self, p: ProcessId) -> Vec<&Action> {
+        self.actions.iter().filter(|a| a.at == p).collect()
+    }
+
+    /// The actions attributable to one transaction, in order.
+    pub fn of_tx(&self, tx: TxId) -> Vec<&Action> {
+        self.actions.iter().filter(|a| a.tx() == Some(tx)).collect()
+    }
+
+    /// Finds the send action for a given message id.
+    pub fn send_of(&self, msg: MsgId) -> Option<&Action> {
+        self.actions.iter().find(|a| matches!(&a.kind, ActionKind::Send { msg: m, .. } if *m == msg))
+    }
+
+    /// Finds the receive action for a given message id.
+    pub fn recv_of(&self, msg: MsgId) -> Option<&Action> {
+        self.actions.iter().find(|a| matches!(&a.kind, ActionKind::Recv { msg: m, .. } if *m == msg))
+    }
+
+    /// The causal parent of a message: the message whose handler sent it.
+    pub fn parent_of(&self, msg: MsgId) -> Option<MsgId> {
+        self.send_of(msg).and_then(|a| match &a.kind {
+            ActionKind::Send { parent, .. } => *parent,
+            _ => None,
+        })
+    }
+
+    /// Number of client-to-client messages attributed to `tx`.
+    pub fn c2c_count(&self, tx: TxId) -> u32 {
+        self.actions
+            .iter()
+            .filter(|a| {
+                matches!(
+                    &a.kind,
+                    ActionKind::Send { info, .. }
+                        if info.kind == MsgKind::ClientToClient && info.tx == Some(tx)
+                )
+            })
+            .count() as u32
+    }
+
+    /// The number of client↔server round trips transaction `tx` used,
+    /// derived purely from causality: a send by the client whose parent
+    /// chain passes through `d` prior server responses belongs to round
+    /// `d + 1`.
+    pub fn rounds_of(&self, tx: TxId, client: ProcessId) -> u32 {
+        let mut max_round = 0u32;
+        for a in &self.actions {
+            if a.at != client || a.tx() != Some(tx) {
+                continue;
+            }
+            if let ActionKind::Send { parent, info, .. } = &a.kind {
+                if info.kind == MsgKind::ClientToClient {
+                    continue;
+                }
+                let mut depth = 1u32;
+                let mut cur = *parent;
+                while let Some(p) = cur {
+                    // Each parent hop that is a message received by the
+                    // client (i.e. a server response it was handling when it
+                    // sent the next request) adds a round.
+                    if let Some(send) = self.send_of(p) {
+                        if let ActionKind::Send { to, parent, .. } = &send.kind {
+                            if *to == client {
+                                depth += 1;
+                            }
+                            cur = *parent;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                max_round = max_round.max(depth);
+            }
+        }
+        max_round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_core::{ClientId, ObjectId, ServerId};
+
+    fn client(i: u32) -> ProcessId {
+        ProcessId::Client(ClientId(i))
+    }
+    fn server(i: u32) -> ProcessId {
+        ProcessId::Server(ServerId(i))
+    }
+
+    /// Builds a small two-round trace:
+    ///  c0: INV(tx1), send m0 -> s0 (round 1)
+    ///  s0: recv m0, send m1 -> c0
+    ///  c0: recv m1, send m2 -> s1 (round 2, parent m1)
+    ///  s1: recv m2, send m3 -> c0
+    ///  c0: recv m3, RESP(tx1)
+    fn two_round_trace() -> Trace {
+        let tx = TxId(1);
+        let mut t = Trace::new();
+        t.record(0, client(0), ActionKind::Invoke { tx, kind: TxKind::Read });
+        t.record(
+            1,
+            client(0),
+            ActionKind::Send {
+                msg: MsgId(0),
+                to: server(0),
+                parent: None,
+                info: MsgInfo::read_request(tx, Some(ObjectId(0))),
+            },
+        );
+        t.record(
+            2,
+            server(0),
+            ActionKind::Recv {
+                msg: MsgId(0),
+                from: client(0),
+                info: MsgInfo::read_request(tx, Some(ObjectId(0))),
+            },
+        );
+        t.record(
+            3,
+            server(0),
+            ActionKind::Send {
+                msg: MsgId(1),
+                to: client(0),
+                parent: Some(MsgId(0)),
+                info: MsgInfo::read_response(tx, Some(ObjectId(0)), 1),
+            },
+        );
+        t.record(
+            4,
+            client(0),
+            ActionKind::Recv {
+                msg: MsgId(1),
+                from: server(0),
+                info: MsgInfo::read_response(tx, Some(ObjectId(0)), 1),
+            },
+        );
+        t.record(
+            5,
+            client(0),
+            ActionKind::Send {
+                msg: MsgId(2),
+                to: server(1),
+                parent: Some(MsgId(1)),
+                info: MsgInfo::read_request(tx, Some(ObjectId(1))),
+            },
+        );
+        t.record(
+            6,
+            server(1),
+            ActionKind::Recv {
+                msg: MsgId(2),
+                from: client(0),
+                info: MsgInfo::read_request(tx, Some(ObjectId(1))),
+            },
+        );
+        t.record(
+            7,
+            server(1),
+            ActionKind::Send {
+                msg: MsgId(3),
+                to: client(0),
+                parent: Some(MsgId(2)),
+                info: MsgInfo::read_response(tx, Some(ObjectId(1)), 1),
+            },
+        );
+        t.record(
+            8,
+            client(0),
+            ActionKind::Recv {
+                msg: MsgId(3),
+                from: server(1),
+                info: MsgInfo::read_response(tx, Some(ObjectId(1)), 1),
+            },
+        );
+        t.record(9, client(0), ActionKind::Respond { tx });
+        t
+    }
+
+    #[test]
+    fn projections_and_lookup() {
+        let t = two_round_trace();
+        assert_eq!(t.len(), 10);
+        assert!(!t.is_empty());
+        assert_eq!(t.at(client(0)).len(), 6);
+        assert_eq!(t.at(server(0)).len(), 2);
+        assert_eq!(t.of_tx(TxId(1)).len(), 10);
+        assert_eq!(t.of_tx(TxId(9)).len(), 0);
+        assert!(t.send_of(MsgId(2)).is_some());
+        assert!(t.recv_of(MsgId(3)).is_some());
+        assert_eq!(t.parent_of(MsgId(2)), Some(MsgId(1)));
+        assert_eq!(t.parent_of(MsgId(0)), None);
+    }
+
+    #[test]
+    fn round_counting_follows_causality() {
+        let t = two_round_trace();
+        // m0 is round 1; m2's parent chain passes through m1 (a response to
+        // the client), so it is round 2.
+        assert_eq!(t.rounds_of(TxId(1), client(0)), 2);
+        assert_eq!(t.rounds_of(TxId(9), client(0)), 0);
+    }
+
+    #[test]
+    fn c2c_counting() {
+        let mut t = two_round_trace();
+        assert_eq!(t.c2c_count(TxId(1)), 0);
+        t.record(
+            10,
+            client(1),
+            ActionKind::Send {
+                msg: MsgId(4),
+                to: client(0),
+                parent: None,
+                info: MsgInfo::client_to_client(Some(TxId(1))),
+            },
+        );
+        assert_eq!(t.c2c_count(TxId(1)), 1);
+    }
+
+    #[test]
+    fn action_tx_attribution() {
+        let t = two_round_trace();
+        assert_eq!(t.actions()[0].tx(), Some(TxId(1)));
+        assert_eq!(t.actions()[9].tx(), Some(TxId(1)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Drives a generated workload against any [`Cluster`].
+//!
+//! The driver issues transactions in *rounds*: each round, every client that
+//! has work gets exactly one transaction, all invoked at the same simulation
+//! time, and the cluster then runs until quiescent.  Within a round the
+//! transactions are concurrent (the scheduler interleaves their messages
+//! arbitrarily); across rounds the per-client well-formedness requirement of
+//! the model (one outstanding transaction per client) is preserved by
+//! construction.
+
+use crate::generator::WorkloadGenerator;
+use serde::{Deserialize, Serialize};
+use snow_core::{History, TxId};
+use snow_protocols::Cluster;
+
+/// Summary of a driven workload run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriverReport {
+    /// Number of transactions issued.
+    pub issued: usize,
+    /// Number of transactions that completed.
+    pub completed: usize,
+    /// Number of rounds driven.
+    pub rounds: usize,
+    /// Total simulated duration (ticks).
+    pub duration: u64,
+}
+
+/// Drives workloads against a cluster.
+pub struct WorkloadDriver {
+    /// Transactions issued per round (at most one per client).
+    pub per_round: usize,
+}
+
+impl Default for WorkloadDriver {
+    fn default() -> Self {
+        WorkloadDriver { per_round: 8 }
+    }
+}
+
+impl WorkloadDriver {
+    /// Creates a driver issuing at most `per_round` transactions per round.
+    pub fn new(per_round: usize) -> Self {
+        WorkloadDriver { per_round }
+    }
+
+    /// Runs `total` transactions from `generator` against `cluster` and
+    /// returns the history plus a summary.
+    pub fn run(
+        &self,
+        cluster: &mut dyn Cluster,
+        generator: &mut WorkloadGenerator,
+        total: usize,
+    ) -> (History, DriverReport) {
+        let mut issued = 0usize;
+        let mut rounds = 0usize;
+        let start = cluster.now();
+        let mut all_tx: Vec<TxId> = Vec::with_capacity(total);
+        while issued < total {
+            let this_round = self.per_round.min(total - issued);
+            rounds += 1;
+            let mut seen_clients = std::collections::BTreeSet::new();
+            let now = cluster.now();
+            let mut in_round = 0usize;
+            // Draw until we have `this_round` transactions from distinct
+            // clients (a client gets at most one per round to stay
+            // well-formed).
+            let mut guard = 0usize;
+            while in_round < this_round && guard < this_round * 50 {
+                guard += 1;
+                let tx = generator.next_tx();
+                if !seen_clients.insert(tx.client) {
+                    continue;
+                }
+                let id = cluster.invoke_at(now, tx.client, tx.spec);
+                all_tx.push(id);
+                issued += 1;
+                in_round += 1;
+            }
+            cluster.run_until_quiescent();
+        }
+        let history = cluster.history();
+        let completed = all_tx.iter().filter(|tx| cluster.is_complete(**tx)).count();
+        let report = DriverReport {
+            issued,
+            completed,
+            rounds,
+            duration: cluster.now().saturating_sub(start),
+        };
+        (history, report)
+    }
+
+    /// Runs a read-latency probe: `writes_per_round` WRITEs and one READ are
+    /// issued concurrently each round, `rounds` times.  This is the shape
+    /// used by the latency tables (reads under conflicting writes).
+    pub fn run_read_probe(
+        &self,
+        cluster: &mut dyn Cluster,
+        generator: &mut WorkloadGenerator,
+        rounds: usize,
+        writes_per_round: usize,
+    ) -> (History, DriverReport) {
+        let start = cluster.now();
+        let mut issued = 0usize;
+        let mut all_tx = Vec::new();
+        for _ in 0..rounds {
+            let now = cluster.now();
+            let mut seen_writers = std::collections::BTreeSet::new();
+            let mut placed = 0usize;
+            let mut guard = 0usize;
+            while placed < writes_per_round && guard < writes_per_round * 50 {
+                guard += 1;
+                let w = generator.next_write();
+                if !seen_writers.insert(w.client) {
+                    continue;
+                }
+                all_tx.push(cluster.invoke_at(now, w.client, w.spec));
+                issued += 1;
+                placed += 1;
+            }
+            let r = generator.next_read();
+            all_tx.push(cluster.invoke_at(now, r.client, r.spec));
+            issued += 1;
+            cluster.run_until_quiescent();
+        }
+        let history = cluster.history();
+        let completed = all_tx.iter().filter(|tx| cluster.is_complete(**tx)).count();
+        let report = DriverReport {
+            issued,
+            completed,
+            rounds,
+            duration: cluster.now().saturating_sub(start),
+        };
+        (history, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadSpec;
+    use snow_core::SystemConfig;
+    use snow_protocols::{build_cluster, ProtocolKind, SchedulerKind};
+
+    #[test]
+    fn driver_completes_everything_it_issues() {
+        let config = SystemConfig::mwmr(4, 2, 2);
+        for protocol in [ProtocolKind::AlgB, ProtocolKind::AlgC, ProtocolKind::Eiger] {
+            let mut cluster =
+                build_cluster(protocol, &config, SchedulerKind::Latency { seed: 1, min: 1, max: 20 })
+                    .unwrap();
+            let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+            let (history, report) =
+                WorkloadDriver::new(4).run(cluster.as_mut(), &mut generator, 60);
+            assert_eq!(report.issued, 60, "{protocol:?}");
+            assert_eq!(report.completed, 60, "{protocol:?}");
+            assert_eq!(history.incomplete_count(), 0, "{protocol:?}");
+            assert!(report.rounds >= 15, "{protocol:?}");
+            assert!(report.duration > 0);
+        }
+    }
+
+    #[test]
+    fn read_probe_issues_reads_under_concurrent_writes() {
+        let config = SystemConfig::mwmr(4, 3, 1);
+        let mut cluster = build_cluster(
+            ProtocolKind::AlgC,
+            &config,
+            SchedulerKind::Latency { seed: 3, min: 1, max: 10 },
+        )
+        .unwrap();
+        let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+        let (history, report) =
+            WorkloadDriver::default().run_read_probe(cluster.as_mut(), &mut generator, 10, 3);
+        assert_eq!(report.completed, report.issued);
+        assert_eq!(history.reads().count(), 10);
+        assert!(history.writes().count() >= 20);
+    }
+
+    #[test]
+    fn driver_works_for_algorithm_a_mwsr() {
+        let config = SystemConfig::mwsr(3, 3, true);
+        let mut cluster =
+            build_cluster(ProtocolKind::AlgA, &config, SchedulerKind::Random(5)).unwrap();
+        let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::uniform_read_mostly());
+        let (history, report) = WorkloadDriver::new(4).run(cluster.as_mut(), &mut generator, 40);
+        assert_eq!(report.completed, 40);
+        assert_eq!(history.incomplete_count(), 0);
+    }
+}

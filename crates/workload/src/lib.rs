@@ -1,0 +1,23 @@
+//! # snow-workload
+//!
+//! Workload generation and driving for the SNOW protocol comparisons:
+//!
+//! * [`zipf`] — a Zipfian popularity sampler (hot keys dominate, as in the
+//!   TAO / Spanner workloads the paper's introduction cites);
+//! * [`generator`] — read/write transaction mixes (e.g. the 500:1 read:write
+//!   ratio Facebook reports for TAO), with configurable objects-per-READ and
+//!   objects-per-WRITE;
+//! * [`driver`] — drives a generated workload against any
+//!   [`snow_protocols::Cluster`] in rounds of concurrent transactions,
+//!   returning the merged history for the checker and the metrics tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod generator;
+pub mod zipf;
+
+pub use driver::{DriverReport, WorkloadDriver};
+pub use generator::{GeneratedTx, WorkloadGenerator, WorkloadSpec};
+pub use zipf::Zipf;

@@ -1,0 +1,20 @@
+//! Integration test for experiment E5 (Fig. 5): the Eiger-style baseline
+//! accepts a non-strictly-serializable snapshot under the paper's schedule,
+//! while every SNOW/SNW algorithm stays strictly serializable under the same
+//! kind of adversarial pressure.
+
+use snow::impossibility::{eiger_fig5, run_fig5};
+
+#[test]
+fn eiger_fig5_violates_strict_serializability() {
+    let report = run_fig5();
+    assert_eq!(report.read_o0, eiger_fig5::W3_VALUE);
+    assert_eq!(report.read_o1, eiger_fig5::W1_VALUE);
+    assert!(report.accepted_first_round);
+    assert!(report.verdict_is_violation, "{}", report.verdict_detail);
+}
+
+#[test]
+fn eiger_is_fine_when_the_schedule_is_benign() {
+    assert!(eiger_fig5::run_fig5_sequential_control());
+}
