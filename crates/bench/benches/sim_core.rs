@@ -1,0 +1,29 @@
+//! Criterion bench: simulator step-loop throughput at 1k/10k/100k in-flight
+//! messages (the flood scenario; see `snow_bench::simcore`).
+//!
+//! This is the hot path of every figure/table binary: with the event-queue
+//! engine each step is an O(log n) delivery-queue pop plus an O(1)
+//! swap-remove, so throughput should stay near-flat as in-flight count
+//! grows; a regression to linear scanning shows up as collapse at 100k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use snow_bench::simcore::run_flood;
+
+fn bench_sim_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_core");
+    group.sample_size(10);
+    for in_flight in [1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(2 * in_flight as u64 + 1));
+        group.bench_with_input(
+            BenchmarkId::new("flood", in_flight),
+            &in_flight,
+            |b, &in_flight| {
+                b.iter(|| run_flood(in_flight, 11).steps)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_core);
+criterion_main!(benches);

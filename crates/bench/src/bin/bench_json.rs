@@ -1,0 +1,59 @@
+//! Machine-readable simulator-core benchmark: writes `BENCH_simcore.json`
+//! at the workspace root (and prints it) so the engine's perf trajectory is
+//! tracked across PRs.
+//!
+//! Run with `cargo run -p snow-bench --release --bin bench_json`.
+//! Pass `--no-write` to print without touching the file.
+
+use snow_bench::simcore::{run_flood, FloodStats};
+use std::fmt::Write as _;
+
+/// Runs `reps` floods at `in_flight` and keeps the fastest (least noisy)
+/// measurement.
+fn best_of(in_flight: usize, reps: usize) -> FloodStats {
+    (0..reps)
+        .map(|rep| run_flood(in_flight, 11 + rep as u64))
+        .max_by(|a, b| {
+            a.steps_per_sec()
+                .partial_cmp(&b.steps_per_sec())
+                .expect("finite rates")
+        })
+        .expect("at least one rep")
+}
+
+fn main() {
+    let write = !std::env::args().any(|a| a == "--no-write");
+    let sizes = [1_000usize, 10_000, 100_000];
+    let mut results = String::new();
+    for (i, &in_flight) in sizes.iter().enumerate() {
+        let stats = best_of(in_flight, 3);
+        eprintln!(
+            "flood in_flight={:>6}  steps={:>6}  wall={:?}  {:.0} steps/s",
+            stats.in_flight,
+            stats.steps,
+            stats.wall,
+            stats.steps_per_sec()
+        );
+        if i > 0 {
+            results.push_str(",\n");
+        }
+        write!(
+            results,
+            "    {{\"in_flight\": {}, \"steps\": {}, \"wall_ns\": {}, \"steps_per_sec\": {:.1}}}",
+            stats.in_flight,
+            stats.steps,
+            stats.wall.as_nanos(),
+            stats.steps_per_sec()
+        )
+        .expect("string write");
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"sim_core\",\n  \"scenario\": \"flood\",\n  \"engine\": \"event-queue\",\n  \"results\": [\n{results}\n  ]\n}}\n"
+    );
+    if write {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json");
+        std::fs::write(path, &json).expect("write BENCH_simcore.json");
+        eprintln!("wrote {path}");
+    }
+    print!("{json}");
+}

@@ -1,0 +1,24 @@
+//! Regenerates (or prints) the golden seeded-history fixtures used by the
+//! `determinism` integration test.
+//!
+//! * `cargo run -p snow-bench --release --bin golden_histories` — print the
+//!   fixture file to stdout for inspection.
+//! * `… -- --write` — overwrite `tests/golden_histories.txt` at the
+//!   workspace root.  Only do this when schedule semantics intentionally
+//!   change; the point of the fixture is to make accidental changes loud.
+
+use snow_bench::golden;
+
+fn main() {
+    let write = std::env::args().any(|a| a == "--write");
+    let contents = golden::fixture_file();
+    if write {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/golden_histories.txt"
+        );
+        std::fs::write(path, &contents).expect("write fixture file");
+        eprintln!("wrote {path}");
+    }
+    print!("{contents}");
+}

@@ -1,0 +1,156 @@
+//! Golden-history fixtures: seeded determinism across engine refactors.
+//!
+//! The simulator promises that a run is a pure function of
+//! `(protocol, scheduler, seeds)`.  This module pins that promise down: it
+//! runs a fixed workload for every (protocol × scheduler) combination and
+//! renders the resulting [`snow_core::History`] into a canonical text whose
+//! FNV-1a fingerprint is stored in `tests/golden_histories.txt` at the
+//! workspace root.  The `determinism` integration test re-runs every combo
+//! and compares fingerprints, so any engine change that silently perturbs
+//! schedules (and therefore histories) fails loudly.
+//!
+//! The fixtures were captured from the pre-event-queue (linear-scan) engine;
+//! the indexed engine reproduces them bit-for-bit, which is the refactor's
+//! equivalence proof.  Regenerate with
+//! `cargo run -p snow-bench --release --bin golden_histories -- --write`
+//! (only legitimate when the schedule semantics intentionally change, e.g.
+//! a different `rand` backend — see `vendor/README.md`).
+
+use snow_core::SystemConfig;
+use snow_protocols::{build_cluster, ProtocolKind, SchedulerKind};
+use snow_workload::{WorkloadDriver, WorkloadGenerator, WorkloadSpec};
+use std::fmt::Write as _;
+
+/// One pinned (protocol, scheduler) execution.
+#[derive(Debug, Clone)]
+pub struct Combo {
+    /// The protocol under test.
+    pub protocol: ProtocolKind,
+    /// The delivery schedule.
+    pub scheduler: SchedulerKind,
+    /// Stable identifier used as the fixture key.
+    pub label: String,
+}
+
+/// Transactions driven per combo.
+pub const COMBO_TXNS: usize = 20;
+
+/// Every pinned combination: six protocols × five schedules.
+pub fn combos() -> Vec<Combo> {
+    let schedulers = [
+        ("fifo", SchedulerKind::Fifo),
+        ("random7", SchedulerKind::Random(7)),
+        ("random42", SchedulerKind::Random(42)),
+        ("latency7", SchedulerKind::Latency { seed: 7, min: 1, max: 20 }),
+        ("latency42", SchedulerKind::Latency { seed: 42, min: 1, max: 20 }),
+    ];
+    let mut out = Vec::new();
+    for protocol in ProtocolKind::all() {
+        for (sched_name, scheduler) in &schedulers {
+            out.push(Combo {
+                protocol,
+                scheduler: *scheduler,
+                label: format!("{protocol:?}/{sched_name}"),
+            });
+        }
+    }
+    out
+}
+
+/// Runs one combo and renders its history canonically: the full `Debug` form
+/// of every record (spec, outcome, timings, rounds, C2C, read
+/// instrumentation) plus the final simulation clock.
+pub fn run_combo(combo: &Combo) -> String {
+    let config = if combo.protocol.needs_c2c() {
+        SystemConfig::mwsr(3, 2, true)
+    } else {
+        SystemConfig::mwmr(3, 2, 2)
+    };
+    let mut cluster =
+        build_cluster(combo.protocol, &config, combo.scheduler).expect("valid combo config");
+    let spec = WorkloadSpec {
+        read_fraction: 0.5,
+        objects_per_read: 2,
+        objects_per_write: 2,
+        zipf_exponent: 0.9,
+        seed: 13,
+    };
+    let mut generator = WorkloadGenerator::new(&config, spec);
+    let (history, report) =
+        WorkloadDriver::new(4).run(cluster.as_mut(), &mut generator, COMBO_TXNS);
+    assert_eq!(
+        report.completed, report.issued,
+        "{}: combo workload must fully complete",
+        combo.label
+    );
+    let mut canon = String::new();
+    for record in &history.records {
+        writeln!(canon, "{record:?}").expect("string write");
+    }
+    writeln!(canon, "now={}", cluster.now()).expect("string write");
+    canon
+}
+
+/// 64-bit FNV-1a over the canonical text.
+pub fn fingerprint(canonical: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in canonical.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Renders the full fixture file: one `label ntx=<n> hash=<hex>` line per
+/// combo, sorted by label.
+pub fn fixture_file() -> String {
+    let mut lines: Vec<String> = combos()
+        .iter()
+        .map(|combo| {
+            let canon = run_combo(combo);
+            format!(
+                "{} ntx={} hash={:016x}",
+                combo.label,
+                COMBO_TXNS,
+                fingerprint(&canon)
+            )
+        })
+        .collect();
+    lines.sort();
+    let mut out = String::from(
+        "# Golden history fingerprints per (protocol, scheduler, seed).\n\
+         # Regenerate: cargo run -p snow-bench --release --bin golden_histories -- --write\n",
+    );
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combos_cover_every_protocol_and_are_unique() {
+        let combos = combos();
+        assert_eq!(combos.len(), 30);
+        let mut labels: Vec<&str> = combos.iter().map(|c| c.label.as_str()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 30, "combo labels must be unique");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+        assert_ne!(fingerprint("abc"), fingerprint("abd"));
+    }
+
+    #[test]
+    fn one_combo_is_reproducible_within_a_process() {
+        let combo = &combos()[6]; // AlgB/fifo
+        assert_eq!(run_combo(combo), run_combo(combo));
+    }
+}

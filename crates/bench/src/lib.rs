@@ -19,6 +19,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod golden;
+pub mod simcore;
+
 use snow_checker::{HistoryMetrics, SnowReport};
 use snow_core::{History, SystemConfig};
 use snow_protocols::{build_cluster, Cluster, ProtocolKind, SchedulerKind};

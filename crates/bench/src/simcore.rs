@@ -1,0 +1,143 @@
+//! Step-loop microbenchmark scenario for the simulator core.
+//!
+//! The "flood" scenario measures raw engine throughput with a controlled
+//! number of in-flight messages: one client fans out `in_flight` requests to
+//! a server in a single invocation; the server answers each, so the run
+//! executes `2 * in_flight + 1` steps while the pending pool holds up to
+//! `in_flight` messages.  A latency-model scheduler is used so every send
+//! and every delivery exercises the engine's scheduling data structures
+//! (delivery-queue insert + pop), which is exactly the hot path of every
+//! figure/table binary in this workspace.
+
+use snow_core::{
+    ClientId, ObjectId, ProcessId, ReadOutcome, ServerId, TxId, TxOutcome, TxSpec,
+};
+use snow_sim::{Effects, LatencyScheduler, Process, Simulation};
+use std::time::{Duration, Instant};
+
+/// Protocol-less flood message: a request or response carrying its index.
+#[derive(Debug, Clone)]
+pub enum FloodMsg {
+    /// Client→server request.
+    Req(u32),
+    /// Server→client response.
+    Resp(u32),
+}
+
+impl snow_sim::SimMessage for FloodMsg {}
+
+/// Flood node: one client fanning out, or one server echoing back.
+pub enum FloodNode {
+    /// The fan-out client.
+    Client {
+        /// Client id.
+        id: ClientId,
+        /// Outstanding (transaction, responses still expected).
+        outstanding: Option<(TxId, usize)>,
+    },
+    /// The echo server.
+    Server {
+        /// Server id.
+        id: ServerId,
+    },
+}
+
+impl Process for FloodNode {
+    type Msg = FloodMsg;
+
+    fn id(&self) -> ProcessId {
+        match self {
+            FloodNode::Client { id, .. } => ProcessId::Client(*id),
+            FloodNode::Server { id } => ProcessId::Server(*id),
+        }
+    }
+
+    fn on_invoke(&mut self, tx: TxId, spec: TxSpec, effects: &mut Effects<FloodMsg>) {
+        let FloodNode::Client { outstanding, .. } = self else {
+            panic!("flood server invoked")
+        };
+        let objects = spec.objects();
+        *outstanding = Some((tx, objects.len()));
+        for object in objects {
+            effects.send(ProcessId::Server(ServerId(0)), FloodMsg::Req(object.0));
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: FloodMsg, effects: &mut Effects<FloodMsg>) {
+        match (self, msg) {
+            (FloodNode::Server { .. }, FloodMsg::Req(i)) => {
+                effects.send(from, FloodMsg::Resp(i));
+            }
+            (FloodNode::Client { outstanding, .. }, FloodMsg::Resp(_)) => {
+                if let Some((tx, remaining)) = outstanding {
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        effects.respond(
+                            *tx,
+                            TxOutcome::Read(ReadOutcome {
+                                reads: Vec::new(),
+                                tag: None,
+                            }),
+                        );
+                        *outstanding = None;
+                    }
+                }
+            }
+            _ => panic!("unexpected flood message"),
+        }
+    }
+}
+
+/// One flood measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct FloodStats {
+    /// Peak in-flight messages (= fan-out width).
+    pub in_flight: usize,
+    /// Steps the engine executed.
+    pub steps: u64,
+    /// Wall-clock time of the step loop.
+    pub wall: Duration,
+}
+
+impl FloodStats {
+    /// Steps per second.
+    pub fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Runs the flood scenario with `in_flight` concurrent messages.
+pub fn run_flood(in_flight: usize, seed: u64) -> FloodStats {
+    let mut sim = Simulation::new(LatencyScheduler::new(seed, 1, 64))
+        .with_max_steps(4 * in_flight as u64 + 16);
+    sim.add_process(FloodNode::Client {
+        id: ClientId(0),
+        outstanding: None,
+    });
+    sim.add_process(FloodNode::Server { id: ServerId(0) });
+    let objects: Vec<ObjectId> = (0..in_flight).map(|i| ObjectId(i as u32)).collect();
+    let tx = sim.invoke_at(0, ClientId(0), TxSpec::read(objects));
+    let start = Instant::now();
+    let steps = sim.run_until_quiescent();
+    let wall = start.elapsed();
+    assert!(sim.is_complete(tx), "flood transaction must complete");
+    FloodStats {
+        in_flight,
+        steps,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flood_executes_expected_step_count() {
+        let stats = run_flood(100, 3);
+        // 1 invocation + 100 requests + 100 responses.
+        assert_eq!(stats.steps, 201);
+        assert_eq!(stats.in_flight, 100);
+        assert!(stats.steps_per_sec() > 0.0);
+    }
+}

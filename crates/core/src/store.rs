@@ -59,9 +59,11 @@ impl ObjectVersions {
     }
 
     /// All `(key, value)` pairs — the full `Vals` set, as returned by
-    /// Algorithm C's `read-vals` handler.
-    pub fn all_versions(&self) -> Vec<(Key, Value)> {
-        self.vals.iter().map(|(k, v)| (*k, *v)).collect()
+    /// Algorithm C's `read-vals` handler.  Borrowing iterator in key order;
+    /// callers that need ownership collect at the use site, so hot paths
+    /// that only inspect or count versions allocate nothing.
+    pub fn all_versions(&self) -> impl Iterator<Item = (Key, Value)> + '_ {
+        self.vals.iter().map(|(k, v)| (*k, *v))
     }
 
     /// Number of versions currently stored (≥ 1: the initial version never
@@ -121,9 +123,10 @@ impl ShardStore {
         self.objects.get(&object).and_then(|o| o.get(key))
     }
 
-    /// The objects hosted by this shard.
-    pub fn hosted_objects(&self) -> Vec<ObjectId> {
-        self.objects.keys().copied().collect()
+    /// The objects hosted by this shard, in id order (borrowing iterator —
+    /// no per-call allocation).
+    pub fn hosted_objects(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.objects.keys().copied()
     }
 
     /// True if `object` is hosted by this shard.
@@ -173,7 +176,7 @@ mod tests {
         let mut ov = ObjectVersions::new();
         ov.install(Key::new(1, ClientId(0)), Value(1));
         ov.install(Key::new(2, ClientId(0)), Value(2));
-        let all = ov.all_versions();
+        let all: Vec<(Key, Value)> = ov.all_versions().collect();
         assert_eq!(all.len(), 3);
         assert!(all.contains(&(Key::initial(), Value::INITIAL)));
         assert!(all.contains(&(Key::new(2, ClientId(0)), Value(2))));
@@ -184,7 +187,10 @@ mod tests {
         let mut s = ShardStore::new(vec![ObjectId(0), ObjectId(1)]);
         assert!(s.hosts(ObjectId(0)));
         assert!(!s.hosts(ObjectId(9)));
-        assert_eq!(s.hosted_objects(), vec![ObjectId(0), ObjectId(1)]);
+        assert_eq!(
+            s.hosted_objects().collect::<Vec<_>>(),
+            vec![ObjectId(0), ObjectId(1)]
+        );
         assert_eq!(s.total_versions(), 2);
 
         let k = Key::new(1, ClientId(7));

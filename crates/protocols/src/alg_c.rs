@@ -418,7 +418,7 @@ impl Process for AlgCNode {
                     let versions = server
                         .store
                         .object(object)
-                        .map(|o| o.all_versions())
+                        .map(|o| o.all_versions().collect())
                         .unwrap_or_default();
                     effects.send(
                         from,

@@ -11,7 +11,10 @@
 //! * the network is **reliable but asynchronous**: every sent message is
 //!   eventually deliverable, but the order and timing of deliveries are under
 //!   the control of a [`Scheduler`] (seeded-random, FIFO, latency-modelled, or
-//!   fully manual/adversarial);
+//!   fully manual/adversarial).  In-flight messages live in an indexed
+//!   [`MessagePool`] (delivery heap + Fenwick rank index + O(1) slot
+//!   removal), so every scheduler decides in O(log n) — see [`pool`] and
+//!   [`scheduler`] for the complexity contract;
 //! * every external action (INV, RESP, send, recv) is recorded in a
 //!   [`Trace`], with causal parent links from a delivered message to the
 //!   messages its handler sent.  The trace is what lets `snow-checker`
@@ -27,12 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod message;
+pub mod pool;
 pub mod process;
 pub mod scheduler;
 pub mod sim;
 pub mod trace;
 
 pub use message::{MsgId, MsgInfo, MsgKind, PendingMessage, SimMessage};
+pub use pool::MessagePool;
 pub use process::{Effects, Process};
 pub use scheduler::{FifoScheduler, LatencyScheduler, RandomScheduler, Scheduler};
 pub use sim::{InvocationPlan, Simulation, StepOutcome};

@@ -1,0 +1,346 @@
+//! The indexed in-flight message pool: the simulator's event-queue core.
+//!
+//! [`MessagePool`] keeps every sent-but-undelivered message and answers the
+//! three access patterns the engine needs, each with its own index:
+//!
+//! * **Earliest-delivery pop** — a [`BinaryHeap`] keyed by
+//!   `(delivery_time, MsgId)` gives `FifoScheduler`/`LatencyScheduler` an
+//!   O(log n) [`MessagePool::pop_earliest`] instead of the old O(n) scan +
+//!   O(n) `Vec::remove`.  Entries are removed lazily: an entry whose id is
+//!   no longer live (delivered adversarially via
+//!   [`crate::Simulation::deliver_where`]) is skipped on pop.
+//! * **Removal by id** — messages live in a slot vector with O(1)
+//!   swap-remove; a dense `MsgId → slot` table keeps slots addressable.
+//! * **Rank selection in send order** — a Fenwick (binary indexed) tree over
+//!   the id space marks live ids, giving O(log n)
+//!   [`MessagePool::nth_live`] / [`MessagePool::min_live`] and an ascending
+//!   id-order iterator.  `RandomScheduler` uses rank selection so a uniform
+//!   draw over the pool picks *the k-th message in send order* — exactly
+//!   the semantics of indexing the old send-ordered `Vec`, which keeps
+//!   seeded schedules (and therefore golden histories) bit-identical across
+//!   the engine refactor.
+//!
+//! Memory: the id-indexed tables grow with the total number of messages
+//! ever sent (like the trace itself).  The heap holds at most one entry per
+//! sent message; heap-popping schedulers drain it as the run progresses,
+//! while schedulers that never pop (e.g. the random adversary) leave one
+//! stale entry per send until the pool is dropped — the same order of
+//! growth as the trace's action log.
+
+use crate::message::{MsgId, PendingMessage};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A Fenwick (binary indexed) tree over a growable 0/1 array, supporting
+/// O(log n) set/clear, prefix counts, and rank selection.
+#[derive(Debug, Clone, Default)]
+pub struct Fenwick {
+    /// 1-indexed partial sums: `tree[i]` covers `(i - lowbit(i), i]`.
+    tree: Vec<u32>,
+    /// Number of live (set) positions.
+    count: usize,
+}
+
+impl Fenwick {
+    /// An empty tree over an empty id space.
+    pub fn new() -> Self {
+        Fenwick::default()
+    }
+
+    /// Number of positions the tree covers (the id space so far).
+    pub fn capacity(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Number of set positions.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Extends the id space by one (unset) position.
+    pub fn append_zero(&mut self) {
+        // Appending index n (1-based) must initialise tree[n] to the sum of
+        // the range (n - lowbit(n), n], all of whose members already exist.
+        let n = self.tree.len() + 1;
+        let lowbit = n & n.wrapping_neg();
+        let value = self.prefix(n - 1) - self.prefix(n - lowbit);
+        self.tree.push(value as u32);
+    }
+
+    /// Sum of positions `1..=i` (1-based internal indexing).
+    fn prefix(&self, mut i: usize) -> usize {
+        let mut sum = 0usize;
+        while i > 0 {
+            sum += self.tree[i - 1] as usize;
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    fn add(&mut self, index: usize, delta: i32) {
+        let mut i = index + 1;
+        while i <= self.tree.len() {
+            self.tree[i - 1] = (self.tree[i - 1] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Marks position `index` live.  The position must be within capacity
+    /// and currently unset.
+    pub fn set(&mut self, index: usize) {
+        self.add(index, 1);
+        self.count += 1;
+    }
+
+    /// Clears position `index`.  The position must be currently set.
+    pub fn clear(&mut self, index: usize) {
+        self.add(index, -1);
+        self.count -= 1;
+    }
+
+    /// The position holding the `k`-th live entry (0-based, ascending), or
+    /// `None` if fewer than `k + 1` entries are live.
+    pub fn kth(&self, k: usize) -> Option<usize> {
+        if k >= self.count {
+            return None;
+        }
+        let mut remaining = k + 1;
+        let mut pos = 0usize; // 1-based prefix position
+        let mut step = self.tree.len().next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.tree.len() && (self.tree[next - 1] as usize) < remaining {
+                remaining -= self.tree[next - 1] as usize;
+                pos = next;
+            }
+            step >>= 1;
+        }
+        Some(pos) // pos is 1-based index of the match, i.e. 0-based position
+    }
+}
+
+/// The set of in-flight messages, indexed for O(log n) scheduling.
+#[derive(Debug, Clone)]
+pub struct MessagePool<M> {
+    /// Live messages in arbitrary slot order (swap-remove).
+    slots: Vec<PendingMessage<M>>,
+    /// Dense `MsgId → slot` table; [`DEAD`] marks delivered/unknown ids.
+    slot_of: Vec<usize>,
+    /// Live-id marks over the id space, for rank selection.
+    live: Fenwick,
+    /// Delivery queue keyed by `(delivery_time, id)`; entries for dead ids
+    /// are skipped lazily on pop.
+    queue: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+const DEAD: usize = usize::MAX;
+
+impl<M> Default for MessagePool<M> {
+    fn default() -> Self {
+        MessagePool {
+            slots: Vec::new(),
+            slot_of: Vec::new(),
+            live: Fenwick::new(),
+            queue: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<M> MessagePool<M> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        MessagePool::default()
+    }
+
+    /// Number of in-flight messages.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no messages are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Inserts a newly sent message.  Its delivery-queue key is
+    /// `deliver_at` when the scheduler stamped one, else the send time
+    /// (under a monotone clock both orders FIFO delivery by send order).
+    ///
+    /// # Panics
+    /// Panics if a message with the same id is already live.
+    pub fn insert(&mut self, msg: PendingMessage<M>) {
+        let id = msg.id.0 as usize;
+        while self.slot_of.len() <= id {
+            self.slot_of.push(DEAD);
+            self.live.append_zero();
+        }
+        assert!(self.slot_of[id] == DEAD, "duplicate in-flight message {}", msg.id);
+        let key = msg.deliver_at.unwrap_or(msg.sent_at);
+        self.slot_of[id] = self.slots.len();
+        self.live.set(id);
+        self.queue.push(Reverse((key, msg.id.0)));
+        self.slots.push(msg);
+    }
+
+    /// True if `id` is in flight.
+    pub fn contains(&self, id: MsgId) -> bool {
+        self.slot_of
+            .get(id.0 as usize)
+            .is_some_and(|slot| *slot != DEAD)
+    }
+
+    /// The in-flight message `id`, if any.
+    pub fn get(&self, id: MsgId) -> Option<&PendingMessage<M>> {
+        let slot = *self.slot_of.get(id.0 as usize)?;
+        if slot == DEAD {
+            None
+        } else {
+            Some(&self.slots[slot])
+        }
+    }
+
+    /// Removes and returns message `id` in O(1) (swap-remove) plus an
+    /// O(log n) live-index update.  Any delivery-queue entry for `id`
+    /// becomes stale and is skipped lazily.
+    pub fn remove(&mut self, id: MsgId) -> Option<PendingMessage<M>> {
+        let index = id.0 as usize;
+        let slot = *self.slot_of.get(index)?;
+        if slot == DEAD {
+            return None;
+        }
+        self.slot_of[index] = DEAD;
+        self.live.clear(index);
+        let msg = self.slots.swap_remove(slot);
+        if let Some(moved) = self.slots.get(slot) {
+            self.slot_of[moved.id.0 as usize] = slot;
+        }
+        Some(msg)
+    }
+
+    /// Pops the live message with the smallest `(delivery_time, id)` key
+    /// from the delivery queue — amortized O(log n).  The message stays in
+    /// the pool (callers deliver it via [`MessagePool::remove`]); its queue
+    /// entry is consumed, so each call yields a distinct message.
+    pub fn pop_earliest(&mut self) -> Option<MsgId> {
+        while let Some(Reverse((_, id))) = self.queue.pop() {
+            if self.contains(MsgId(id)) {
+                return Some(MsgId(id));
+            }
+        }
+        None
+    }
+
+    /// The `k`-th live message in ascending id (send) order — O(log n).
+    pub fn nth_live(&self, k: usize) -> Option<MsgId> {
+        self.live.kth(k).map(|index| MsgId(index as u64))
+    }
+
+    /// Iterates over in-flight messages in ascending id (send) order.
+    /// Each step costs O(log n); adversarial drivers that scan for a
+    /// matching message pay O(matches-scanned · log n) in total.
+    pub fn iter(&self) -> impl Iterator<Item = &PendingMessage<M>> + '_ {
+        (0..self.len()).map_while(move |k| self.nth_live(k).and_then(|id| self.get(id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_core::{ClientId, ProcessId, ServerId};
+
+    #[derive(Debug, Clone)]
+    struct M;
+    impl crate::message::SimMessage for M {}
+
+    fn pending(id: u64, sent_at: u64, deliver_at: Option<u64>) -> PendingMessage<M> {
+        PendingMessage {
+            id: MsgId(id),
+            src: ProcessId::Client(ClientId(0)),
+            dst: ProcessId::Server(ServerId(0)),
+            msg: M,
+            sent_at,
+            parent: None,
+            deliver_at,
+        }
+    }
+
+    #[test]
+    fn fenwick_set_clear_select() {
+        let mut f = Fenwick::new();
+        for _ in 0..10 {
+            f.append_zero();
+        }
+        for i in [2usize, 3, 5, 7] {
+            f.set(i);
+        }
+        assert_eq!(f.count(), 4);
+        assert_eq!(f.kth(0), Some(2));
+        assert_eq!(f.kth(1), Some(3));
+        assert_eq!(f.kth(2), Some(5));
+        assert_eq!(f.kth(3), Some(7));
+        assert_eq!(f.kth(4), None);
+        f.clear(3);
+        assert_eq!(f.kth(1), Some(5));
+        // Appending after sets keeps partial sums correct.
+        f.append_zero();
+        f.set(10);
+        assert_eq!(f.kth(3), Some(10));
+        assert_eq!(f.count(), 4);
+    }
+
+    #[test]
+    fn insert_remove_and_rank_selection() {
+        let mut pool: MessagePool<M> = MessagePool::new();
+        for id in 0..5 {
+            pool.insert(pending(id, id, None));
+        }
+        assert_eq!(pool.len(), 5);
+        assert!(pool.contains(MsgId(3)));
+        // Rank order is id order regardless of slot shuffling.
+        let removed = pool.remove(MsgId(1)).unwrap();
+        assert_eq!(removed.id, MsgId(1));
+        assert_eq!(pool.remove(MsgId(1)).map(|m| m.id), None);
+        assert_eq!(pool.nth_live(0), Some(MsgId(0)));
+        assert_eq!(pool.nth_live(1), Some(MsgId(2)));
+        assert_eq!(pool.nth_live(3), Some(MsgId(4)));
+        assert_eq!(pool.nth_live(4), None);
+        let ids: Vec<u64> = pool.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_earliest_orders_by_delivery_time_then_id() {
+        let mut pool: MessagePool<M> = MessagePool::new();
+        pool.insert(pending(0, 0, Some(30)));
+        pool.insert(pending(1, 0, Some(10)));
+        pool.insert(pending(2, 0, Some(10)));
+        pool.insert(pending(3, 0, Some(20)));
+        let a = pool.pop_earliest().unwrap();
+        pool.remove(a).unwrap();
+        let b = pool.pop_earliest().unwrap();
+        pool.remove(b).unwrap();
+        let c = pool.pop_earliest().unwrap();
+        pool.remove(c).unwrap();
+        assert_eq!((a, b, c), (MsgId(1), MsgId(2), MsgId(3)));
+    }
+
+    #[test]
+    fn pop_earliest_skips_adversarially_removed_messages() {
+        let mut pool: MessagePool<M> = MessagePool::new();
+        pool.insert(pending(0, 0, Some(5)));
+        pool.insert(pending(1, 0, Some(6)));
+        pool.remove(MsgId(0)).unwrap(); // delivered via deliver_where
+        assert_eq!(pool.pop_earliest(), Some(MsgId(1)));
+        pool.remove(MsgId(1)).unwrap();
+        assert_eq!(pool.pop_earliest(), None);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_ids_rejected() {
+        let mut pool: MessagePool<M> = MessagePool::new();
+        pool.insert(pending(4, 0, None));
+        pool.insert(pending(4, 1, None));
+    }
+}

@@ -16,29 +16,56 @@
 //! Fully adversarial (scripted) schedules are expressed by driving the
 //! simulation manually via [`crate::Simulation::deliver_where`], which is how
 //! `snow-impossibility` constructs the executions of Figs. 3–5.
+//!
+//! # Event-queue architecture and complexity contract
+//!
+//! Schedulers no longer scan a `&[PendingMessage]` slice; they pick directly
+//! from the engine's indexed [`MessagePool`]:
+//!
+//! * [`Scheduler::on_send`] optionally stamps a delivery time when a message
+//!   is sent.  The pool keys its delivery queue by
+//!   `(deliver_at | sent_at, MsgId)`.
+//! * [`Scheduler::next`] returns the id of the message to deliver.  FIFO and
+//!   latency scheduling are a single O(log n) heap pop
+//!   ([`MessagePool::pop_earliest`]): under the engine's monotone clock, the
+//!   `(sent_at, id)` key order *is* send order, so FIFO needs no scan — the
+//!   old "defensive" O(n) minimum scan is gone by construction (the heap
+//!   tie-breaks equal keys by id, which is exactly the minimum the scan
+//!   computed).  The random adversary draws a uniform rank and selects the
+//!   k-th live message in send order via the pool's Fenwick index
+//!   ([`MessagePool::nth_live`], O(log n)) — the same distribution *and the
+//!   same per-seed choices* as indexing the old send-ordered `Vec`.
+//!
+//! Every scheduler is therefore O(log n) per step; the engine's removal of
+//! the chosen message is O(1) (slot swap-remove).  A custom scheduler must
+//! return a live id and must not remove messages itself.
 
-use crate::message::PendingMessage;
+use crate::message::MsgId;
+use crate::pool::MessagePool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A policy choosing which pending message to deliver next.
 pub trait Scheduler<M> {
-    /// Chooses the index (into `pending`) of the next message to deliver, or
-    /// `None` to deliver nothing (only meaningful if `pending` is empty —
-    /// reliable channels require eventual delivery, which the simulation
-    /// enforces by only stopping when no messages are pending).
-    fn choose(&mut self, pending: &[PendingMessage<M>], now: u64) -> Option<usize>;
+    /// Chooses the next message to deliver from the live pool, or `None` if
+    /// the pool is empty (reliable channels require eventual delivery, which
+    /// the simulation enforces by only stopping when nothing is pending).
+    ///
+    /// Implementations must return the id of a live message and must not
+    /// remove it themselves — the engine performs the removal/delivery.
+    fn next(&mut self, pool: &mut MessagePool<M>, now: u64) -> Option<MsgId>;
 
     /// Hook called when a message is sent, letting latency-model schedulers
     /// stamp a delivery time.  Returns the delivery time, if the scheduler
-    /// assigns one.
+    /// assigns one; `None` keys the message by its send time (FIFO order).
     fn on_send(&mut self, sent_at: u64) -> Option<u64> {
         let _ = sent_at;
         None
     }
 }
 
-/// Delivers messages in the order they were sent.
+/// Delivers messages in the order they were sent: one O(log n) pop of the
+/// `(sent_at, id)`-keyed delivery queue per step.
 #[derive(Debug, Default, Clone)]
 pub struct FifoScheduler;
 
@@ -50,23 +77,16 @@ impl FifoScheduler {
 }
 
 impl<M> Scheduler<M> for FifoScheduler {
-    fn choose(&mut self, pending: &[PendingMessage<M>], _now: u64) -> Option<usize> {
-        if pending.is_empty() {
-            return None;
-        }
-        // Pending messages are kept in send order, so the oldest is index 0;
-        // still scan defensively in case the pool was mutated out of order.
-        let mut best = 0usize;
-        for (i, p) in pending.iter().enumerate() {
-            if p.id < pending[best].id {
-                best = i;
-            }
-        }
-        Some(best)
+    fn next(&mut self, pool: &mut MessagePool<M>, _now: u64) -> Option<MsgId> {
+        pool.pop_earliest()
     }
 }
 
 /// Delivers a uniformly random pending message; deterministic per seed.
+///
+/// The draw selects a uniform *rank* in send order (Fenwick selection,
+/// O(log n)), so the choice sequence for a given seed is identical to the
+/// historical behaviour of indexing the send-ordered pending `Vec`.
 #[derive(Debug, Clone)]
 pub struct RandomScheduler {
     rng: StdRng,
@@ -82,17 +102,18 @@ impl RandomScheduler {
 }
 
 impl<M> Scheduler<M> for RandomScheduler {
-    fn choose(&mut self, pending: &[PendingMessage<M>], _now: u64) -> Option<usize> {
-        if pending.is_empty() {
+    fn next(&mut self, pool: &mut MessagePool<M>, _now: u64) -> Option<MsgId> {
+        if pool.is_empty() {
             None
         } else {
-            Some(self.rng.random_range(0..pending.len()))
+            pool.nth_live(self.rng.random_range(0..pool.len()))
         }
     }
 }
 
 /// Assigns each message a pseudo-random latency in `[min_latency, max_latency]`
-/// ticks and delivers the message with the earliest delivery time first.
+/// ticks and delivers the message with the earliest delivery time first —
+/// one O(log n) pop of the `(deliver_at, id)`-keyed queue per step.
 #[derive(Debug, Clone)]
 pub struct LatencyScheduler {
     rng: StdRng,
@@ -116,12 +137,8 @@ impl LatencyScheduler {
 }
 
 impl<M> Scheduler<M> for LatencyScheduler {
-    fn choose(&mut self, pending: &[PendingMessage<M>], _now: u64) -> Option<usize> {
-        pending
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, p)| (p.deliver_at.unwrap_or(p.sent_at), p.id))
-            .map(|(i, _)| i)
+    fn next(&mut self, pool: &mut MessagePool<M>, _now: u64) -> Option<MsgId> {
+        pool.pop_earliest()
     }
 
     fn on_send(&mut self, sent_at: u64) -> Option<u64> {
@@ -137,7 +154,7 @@ impl<M> Scheduler<M> for LatencyScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::MsgId;
+    use crate::message::{MsgId, PendingMessage};
     use snow_core::{ClientId, ProcessId, ServerId};
 
     #[derive(Debug, Clone)]
@@ -156,35 +173,57 @@ mod tests {
         }
     }
 
+    fn pool_of(msgs: Vec<PendingMessage<M>>) -> MessagePool<M> {
+        let mut pool = MessagePool::new();
+        for m in msgs {
+            pool.insert(m);
+        }
+        pool
+    }
+
+    /// Drains the pool through a scheduler, returning delivery order.
+    fn drain<S: Scheduler<M>>(s: &mut S, pool: &mut MessagePool<M>) -> Vec<u64> {
+        let mut order = Vec::new();
+        while let Some(id) = s.next(pool, 0) {
+            pool.remove(id).expect("scheduler returns live ids");
+            order.push(id.0);
+        }
+        order
+    }
+
     #[test]
-    fn fifo_picks_lowest_id() {
+    fn fifo_delivers_in_send_order() {
         let mut s = FifoScheduler::new();
-        let pool = vec![pending(3, 0, None), pending(1, 1, None), pending(2, 2, None)];
-        assert_eq!(Scheduler::<M>::choose(&mut s, &pool, 5), Some(1));
-        assert_eq!(Scheduler::<M>::choose(&mut s, &[], 5), None);
+        let mut pool = pool_of(vec![pending(0, 0, None), pending(1, 1, None), pending(2, 2, None)]);
+        assert_eq!(drain(&mut s, &mut pool), vec![0, 1, 2]);
+        assert_eq!(Scheduler::<M>::next(&mut s, &mut pool, 5), None);
     }
 
     #[test]
     fn random_is_deterministic_per_seed_and_in_range() {
-        let pool = vec![pending(0, 0, None), pending(1, 0, None), pending(2, 0, None)];
-        let picks_a: Vec<_> = {
-            let mut s = RandomScheduler::new(7);
-            (0..20).map(|_| Scheduler::<M>::choose(&mut s, &pool, 0).unwrap()).collect()
+        let make_pool = || {
+            pool_of(vec![
+                pending(0, 0, None),
+                pending(1, 0, None),
+                pending(2, 0, None),
+                pending(3, 0, None),
+            ])
         };
-        let picks_b: Vec<_> = {
-            let mut s = RandomScheduler::new(7);
-            (0..20).map(|_| Scheduler::<M>::choose(&mut s, &pool, 0).unwrap()).collect()
-        };
-        assert_eq!(picks_a, picks_b);
-        assert!(picks_a.iter().all(|&i| i < pool.len()));
-        // Different seed should (almost surely) give a different sequence.
-        let picks_c: Vec<_> = {
-            let mut s = RandomScheduler::new(8);
-            (0..20).map(|_| Scheduler::<M>::choose(&mut s, &pool, 0).unwrap()).collect()
-        };
-        assert_ne!(picks_a, picks_c);
-        let mut s = RandomScheduler::new(1);
-        assert_eq!(Scheduler::<M>::choose(&mut s, &[], 0), None);
+        let order_a = drain(&mut RandomScheduler::new(7), &mut make_pool());
+        let order_b = drain(&mut RandomScheduler::new(7), &mut make_pool());
+        assert_eq!(order_a, order_b);
+        let mut sorted = order_a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3], "every message delivered once");
+        // Different seed should (almost surely) give a different sequence
+        // over enough draws.
+        let big_pool = || pool_of((0..16).map(|i| pending(i, 0, None)).collect());
+        assert_ne!(
+            drain(&mut RandomScheduler::new(7), &mut big_pool()),
+            drain(&mut RandomScheduler::new(8), &mut big_pool()),
+        );
+        let mut empty: MessagePool<M> = MessagePool::new();
+        assert_eq!(RandomScheduler::new(1).next(&mut empty, 0), None);
     }
 
     #[test]
@@ -192,13 +231,12 @@ mod tests {
         let mut s = LatencyScheduler::new(1, 5, 5);
         // on_send stamps sent_at + 5.
         assert_eq!(Scheduler::<M>::on_send(&mut s, 10), Some(15));
-        let pool = vec![
+        let mut pool = pool_of(vec![
             pending(0, 0, Some(30)),
             pending(1, 0, Some(10)),
             pending(2, 0, Some(20)),
-        ];
-        assert_eq!(Scheduler::<M>::choose(&mut s, &pool, 0), Some(1));
-        assert_eq!(Scheduler::<M>::choose(&mut s, &[], 0), None);
+        ]);
+        assert_eq!(drain(&mut s, &mut pool), vec![1, 2, 0]);
     }
 
     #[test]

@@ -1,11 +1,43 @@
-//! The simulation engine: processes + pending messages + scheduler + trace.
+//! The simulation engine: processes + indexed message pool + scheduler +
+//! trace.
+//!
+//! # Event-queue architecture and complexity contract
+//!
+//! The engine keeps three indexed structures so the step loop does no
+//! linear scanning:
+//!
+//! * in-flight messages live in a [`MessagePool`] — a slot vector with O(1)
+//!   swap-remove, a `(delivery_time, MsgId)` binary heap for O(log n)
+//!   earliest-delivery pops, and a Fenwick live-index for O(log n) rank
+//!   selection in send order (see [`crate::pool`]);
+//! * planned invocations live in a [`BinaryHeap`] keyed by `(at, TxId)`, so
+//!   scheduling n invocations is O(n log n) total (the old sorted-`Vec`
+//!   insert was O(n² log n)) and the next due invocation is an O(1) peek;
+//! * the [`Trace`] folds every recorded action into per-transaction indexes
+//!   (rounds, C2C counts, read instrumentation, parent links), so
+//!   [`Simulation::history`] is a single pass over the transaction records
+//!   instead of O(transactions × actions).
+//!
+//! Per step the engine therefore does O(log n) work plus the process
+//! handler's own cost, for any scheduler.  Adversarial driving
+//! ([`Simulation::deliver_where`], [`Simulation::force_invoke`]) trades this
+//! for expressiveness: it scans in send order (O(matches · log n)) exactly
+//! like the historical `Vec`-based engine, which keeps the
+//! `snow-impossibility` constructions unchanged.
+//!
+//! Determinism: a run is a pure function of `(configuration, scheduler
+//! seed, invocation plan)`.  The indexed engine reproduces the linear-scan
+//! engine's schedules bit-for-bit — verified by the `determinism`
+//! integration test against committed golden histories.
 
 use crate::message::{MsgId, PendingMessage, SimMessage};
+use crate::pool::MessagePool;
 use crate::process::{Effects, Process};
 use crate::scheduler::Scheduler;
 use crate::trace::{ActionKind, Trace};
-use snow_core::{ClientId, History, ProcessId, ReadResult, TxId, TxKind, TxRecord, TxSpec};
-use std::collections::BTreeMap;
+use snow_core::{ClientId, History, ProcessId, TxId, TxKind, TxRecord, TxSpec};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, BTreeMap};
 
 /// A planned invocation: at simulation time `at`, client `client` invokes
 /// `spec` (well-formedness — one outstanding transaction per client — is the
@@ -18,6 +50,34 @@ pub struct InvocationPlan {
     pub client: ClientId,
     /// The transaction body.
     pub spec: TxSpec,
+}
+
+/// A scheduled invocation, ordered by `(at, tx)` for the invocation queue.
+#[derive(Debug, Clone)]
+struct QueuedInvocation {
+    at: u64,
+    tx: TxId,
+    client: ClientId,
+    spec: TxSpec,
+}
+
+impl PartialEq for QueuedInvocation {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.tx) == (other.at, other.tx)
+    }
+}
+impl Eq for QueuedInvocation {}
+impl PartialOrd for QueuedInvocation {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedInvocation {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (at, tx) on top.
+        (other.at, other.tx).cmp(&(self.at, self.tx))
+    }
 }
 
 /// What a single simulation step did.
@@ -35,8 +95,8 @@ pub enum StepOutcome {
 /// reliable asynchronous channels.
 pub struct Simulation<P: Process, S> {
     processes: BTreeMap<ProcessId, P>,
-    pending: Vec<PendingMessage<P::Msg>>,
-    invocations: Vec<(u64, TxId, ClientId, TxSpec)>,
+    pool: MessagePool<P::Msg>,
+    invocations: BinaryHeap<QueuedInvocation>,
     scheduler: S,
     trace: Trace,
     records: BTreeMap<TxId, TxRecord>,
@@ -56,8 +116,8 @@ where
     pub fn new(scheduler: S) -> Self {
         Simulation {
             processes: BTreeMap::new(),
-            pending: Vec::new(),
-            invocations: Vec::new(),
+            pool: MessagePool::new(),
+            invocations: BinaryHeap::new(),
             scheduler,
             trace: Trace::new(),
             records: BTreeMap::new(),
@@ -82,15 +142,14 @@ where
         assert!(prev.is_none(), "duplicate process id {id}");
     }
 
-    /// Schedules `spec` to be invoked by `client` at simulation time `at`.
-    /// Returns the transaction id the invocation will carry.
+    /// Schedules `spec` to be invoked by `client` at simulation time `at` —
+    /// an O(log n) heap push.  Returns the transaction id the invocation
+    /// will carry.  Dispatch order is deterministic: earliest `(at, tx)`
+    /// first.
     pub fn invoke_at(&mut self, at: u64, client: ClientId, spec: TxSpec) -> TxId {
         let tx = TxId(self.next_tx);
         self.next_tx += 1;
-        self.invocations.push((at, tx, client, spec));
-        // Keep invocations sorted by (time, tx id) so dispatch order is
-        // deterministic.
-        self.invocations.sort_by_key(|(t, tx, _, _)| (*t, *tx));
+        self.invocations.push(QueuedInvocation { at, tx, client, spec });
         tx
     }
 
@@ -106,12 +165,12 @@ where
 
     /// Number of messages currently in flight.
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.pool.len()
     }
 
-    /// A read-only view of the in-flight messages.
-    pub fn pending(&self) -> &[PendingMessage<P::Msg>] {
-        &self.pending
+    /// The in-flight messages, in send (id) order.
+    pub fn pending(&self) -> impl Iterator<Item = &PendingMessage<P::Msg>> + '_ {
+        self.pool.iter()
     }
 
     /// The trace recorded so far.
@@ -131,11 +190,11 @@ where
 
     /// True if there is nothing left to do.
     pub fn is_quiescent(&self) -> bool {
-        self.pending.is_empty() && self.invocations.is_empty()
+        self.pool.is_empty() && self.invocations.is_empty()
     }
 
     /// Executes one step: dispatches the earliest due invocation if any,
-    /// otherwise delivers the message chosen by the scheduler.
+    /// otherwise delivers the message chosen by the scheduler.  O(log n).
     pub fn step(&mut self) -> StepOutcome {
         self.steps += 1;
         assert!(
@@ -149,21 +208,23 @@ where
         // invocation).
         let due = self
             .invocations
-            .first()
-            .map(|(t, _, _, _)| *t <= self.now || self.pending.is_empty())
+            .peek()
+            .map(|inv| inv.at <= self.now || self.pool.is_empty())
             .unwrap_or(false);
         if due {
-            let (at, tx, client, spec) = self.invocations.remove(0);
-            self.now = self.now.max(at) + 1;
-            self.dispatch_invocation(tx, client, spec);
-            return StepOutcome::Invoked(tx);
+            let inv = self.invocations.pop().expect("peeked invocation");
+            self.now = self.now.max(inv.at) + 1;
+            self.dispatch_invocation(inv.tx, inv.client, inv.spec);
+            return StepOutcome::Invoked(inv.tx);
         }
 
-        match self.scheduler.choose(&self.pending, self.now) {
-            Some(idx) => {
-                let msg = self.pending.remove(idx);
+        match self.scheduler.next(&mut self.pool, self.now) {
+            Some(id) => {
+                let msg = self
+                    .pool
+                    .remove(id)
+                    .expect("scheduler must choose a live message");
                 self.now = self.now.max(msg.deliver_at.unwrap_or(self.now)) + 1;
-                let id = msg.id;
                 self.deliver(msg);
                 StepOutcome::Delivered(id)
             }
@@ -194,17 +255,16 @@ where
         self.is_complete(tx)
     }
 
-    /// Manual (adversarial) driving: delivers the first pending message
-    /// matching `pred`, bypassing the scheduler.  Returns the delivered
-    /// message id, or `None` if nothing matched.
+    /// Manual (adversarial) driving: delivers the first pending message (in
+    /// send order) matching `pred`, bypassing the scheduler.  Returns the
+    /// delivered message id, or `None` if nothing matched.
     pub fn deliver_where<F>(&mut self, pred: F) -> Option<MsgId>
     where
         F: Fn(&PendingMessage<P::Msg>) -> bool,
     {
-        let idx = self.pending.iter().position(pred)?;
-        let msg = self.pending.remove(idx);
+        let id = self.pool.iter().find(|p| pred(p)).map(|p| p.id)?;
+        let msg = self.pool.remove(id).expect("matched message is live");
         self.now += 1;
-        let id = msg.id;
         self.deliver(msg);
         Some(id)
     }
@@ -213,11 +273,19 @@ where
     /// immediately, regardless of its planned time.  Returns the transaction
     /// id, or `None` if no invocation is queued for that client.
     pub fn force_invoke(&mut self, client: ClientId) -> Option<TxId> {
-        let idx = self.invocations.iter().position(|(_, _, c, _)| *c == client)?;
-        let (_, tx, client, spec) = self.invocations.remove(idx);
+        // "Next" = smallest (at, tx) among that client's plans, matching the
+        // engine's dispatch order.  Heap iteration is unordered, so take the
+        // minimum explicitly; this adversarial path may be O(n).
+        let target = self
+            .invocations
+            .iter()
+            .filter(|inv| inv.client == client)
+            .max() // QueuedInvocation's Ord is reversed: max = earliest
+            .cloned()?;
+        self.invocations.retain(|inv| inv.tx != target.tx);
         self.now += 1;
-        self.dispatch_invocation(tx, client, spec);
-        Some(tx)
+        self.dispatch_invocation(target.tx, target.client, target.spec);
+        Some(target.tx)
     }
 
     fn dispatch_invocation(&mut self, tx: TxId, client: ClientId, spec: TxSpec) {
@@ -278,7 +346,7 @@ where
                 },
             );
             let deliver_at = self.scheduler.on_send(self.now);
-            self.pending.push(PendingMessage {
+            self.pool.insert(PendingMessage {
                 id,
                 src: at,
                 dst: to,
@@ -297,8 +365,11 @@ where
         }
     }
 
-    /// Assembles the [`History`] of the run so far, deriving rounds,
-    /// versions-per-read, non-blocking flags and C2C counts from the trace.
+    /// Assembles the [`History`] of the run so far.  Rounds,
+    /// versions-per-read, non-blocking flags and C2C counts come from the
+    /// trace's per-transaction indexes, so this is a single pass over the
+    /// transaction records (plus the final sort), not a trace rescan per
+    /// transaction.
     pub fn history(&self) -> History {
         let mut history = History::new();
         for (tx, rec) in &self.records {
@@ -307,63 +378,12 @@ where
             rec.rounds = self.trace.rounds_of(*tx, client);
             rec.c2c_messages = self.trace.c2c_count(*tx);
             if rec.kind() == TxKind::Read {
-                rec.reads = self.read_metrics(*tx, client);
+                rec.reads = self.trace.read_results(*tx).to_vec();
             }
             history.push(rec);
         }
         history.records.sort_by_key(|r| (r.invoked_at, r.tx_id));
         history
-    }
-
-    /// Derives per-object read instrumentation for a READ transaction from
-    /// the trace: which server answered, how many versions the response
-    /// carried, and whether the response was sent while handling the read
-    /// request itself (non-blocking) or only later, from some other handler
-    /// (blocking).
-    fn read_metrics(&self, tx: TxId, client: ProcessId) -> Vec<ReadResult> {
-        use crate::message::MsgKind;
-        let mut out = Vec::new();
-        for action in self.trace.actions() {
-            // Consider read responses *received by the reading client*.
-            let (msg_id, from, info) = match &action.kind {
-                ActionKind::Recv { msg, from, info } if action.at == client => (msg, from, info),
-                _ => continue,
-            };
-            if info.kind != MsgKind::ReadResponse || info.tx != Some(tx) {
-                continue;
-            }
-            let object = match info.object {
-                Some(o) => o,
-                None => continue, // metadata response (e.g. get-tag-arr)
-            };
-            let server = match from.as_server() {
-                Some(s) => s,
-                None => continue,
-            };
-            // Non-blocking iff the response's causal parent is a read request
-            // of the same transaction (the server answered within the handler
-            // of the request, without waiting for any other input action).
-            let nonblocking = match self.trace.parent_of(*msg_id) {
-                Some(parent_id) => self
-                    .trace
-                    .send_of(parent_id)
-                    .map(|send| match &send.kind {
-                        ActionKind::Send { info: pinfo, .. } => {
-                            pinfo.kind == MsgKind::ReadRequest && pinfo.tx == Some(tx)
-                        }
-                        _ => false,
-                    })
-                    .unwrap_or(false),
-                None => false,
-            };
-            out.push(ReadResult {
-                object,
-                server,
-                versions_in_response: info.versions.max(1),
-                nonblocking,
-            });
-        }
-        out
     }
 }
 
@@ -513,6 +533,12 @@ mod tests {
         // Dispatch the invocation only.
         assert_eq!(sim.step(), StepOutcome::Invoked(tx));
         assert_eq!(sim.pending_count(), 2);
+        // The pending view iterates in send order.
+        let dsts: Vec<ProcessId> = sim.pending().map(|p| p.dst).collect();
+        assert_eq!(
+            dsts,
+            vec![ProcessId::Server(ServerId(0)), ProcessId::Server(ServerId(1))]
+        );
         // Deliver the request to s1 before the one to s0.
         let delivered = sim.deliver_where(|p| p.dst == ProcessId::Server(ServerId(1)));
         assert!(delivered.is_some());
@@ -535,6 +561,15 @@ mod tests {
     }
 
     #[test]
+    fn force_invoke_takes_the_earliest_plan_for_the_client() {
+        let mut sim = toy_sim(FifoScheduler::new());
+        let late = sim.invoke_at(500, ClientId(0), TxSpec::read(vec![ObjectId(0)]));
+        let early = sim.invoke_at(100, ClientId(0), TxSpec::read(vec![ObjectId(1)]));
+        assert_eq!(sim.force_invoke(ClientId(0)), Some(early));
+        assert_eq!(sim.force_invoke(ClientId(0)), Some(late));
+    }
+
+    #[test]
     fn run_until_complete_stops_at_target() {
         let mut sim = toy_sim(FifoScheduler::new());
         let tx1 = sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(0)]));
@@ -552,6 +587,25 @@ mod tests {
         sim.run_until_quiescent();
         let h = sim.history();
         assert_eq!(h.records[0].tx_id, t1);
+    }
+
+    #[test]
+    fn bulk_invocation_scheduling_dispatches_in_time_order() {
+        let mut sim = toy_sim(FifoScheduler::new());
+        // Schedule in reverse time order; dispatch must be (at, tx) order.
+        let txs: Vec<TxId> = (0..10u64)
+            .rev()
+            .map(|at| sim.invoke_at(at * 10, ClientId(0), TxSpec::read(vec![ObjectId(0)])))
+            .collect();
+        let mut invoked = Vec::new();
+        while !sim.is_quiescent() {
+            if let StepOutcome::Invoked(tx) = sim.step() {
+                invoked.push(tx);
+            }
+        }
+        let mut expected = txs.clone();
+        expected.reverse(); // earliest planned time = last created
+        assert_eq!(invoked, expected);
     }
 
     #[test]

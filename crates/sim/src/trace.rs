@@ -4,9 +4,32 @@
 //! `σ₀, a₁, σ₁, …`: we record only the actions (the paper does the same to
 //! "simplify notation"), each tagged with the automaton at which it occurs,
 //! the simulation time, and — for sends — the causal parent message.
+//!
+//! # Incremental indexes
+//!
+//! Derived quantities are maintained *as actions are recorded*, so the
+//! per-transaction queries the history assembly needs are O(1)/O(answer)
+//! instead of O(actions) rescans:
+//!
+//! * `MsgId → send/recv action` lookup tables make [`Trace::send_of`],
+//!   [`Trace::recv_of`] and [`Trace::parent_of`] O(1);
+//! * per-transaction counters accumulate C2C sends, round depths (the causal
+//!   parent-chain walk runs at record time, each hop now O(1)), and the
+//!   [`ReadResult`] instrumentation of read responses received by the
+//!   invoking client;
+//! * per-transaction and per-process action lists back [`Trace::of_tx`] and
+//!   [`Trace::at`] without scanning.
+//!
+//! With these indexes, [`crate::Simulation::history`] is a single pass over
+//! the recorded transactions rather than O(transactions × actions).
+//!
+//! Read-response instrumentation requires the transaction's `Invoke` action
+//! to be recorded before its message actions (always true for engine-driven
+//! traces; hand-built traces must follow the same order).
 
 use crate::message::{MsgId, MsgInfo, MsgKind};
-use snow_core::{ProcessId, TxId, TxKind};
+use snow_core::{ProcessId, ReadResult, TxId, TxKind};
+use std::collections::HashMap;
 
 /// The kind of an externally visible action.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,10 +92,35 @@ impl Action {
     }
 }
 
-/// The ordered list of external actions of one execution.
+/// Per-transaction incrementally maintained statistics.
+#[derive(Debug, Clone, Default)]
+struct TxIndex {
+    /// Indexes into `actions` of this transaction's actions, in order.
+    actions: Vec<usize>,
+    /// The process at which the transaction's INV occurred.
+    invoker: Option<ProcessId>,
+    /// Client-to-client sends attributed to this transaction.
+    c2c_sends: u32,
+    /// Max causal round depth per sending process (tiny: one client plus,
+    /// rarely, helpers).
+    rounds_by_sender: Vec<(ProcessId, u32)>,
+    /// Read-response instrumentation, in receive order at the invoker.
+    reads: Vec<ReadResult>,
+}
+
+/// The ordered list of external actions of one execution, with incremental
+/// per-transaction indexes (see the module docs).
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     actions: Vec<Action>,
+    /// `MsgId → index of its Send action`.
+    send_seq: HashMap<MsgId, usize>,
+    /// `MsgId → index of its Recv action`.
+    recv_seq: HashMap<MsgId, usize>,
+    /// Per-transaction statistics.
+    by_tx: HashMap<TxId, TxIndex>,
+    /// Per-process action indexes (the projection `trace(α)|p`).
+    by_proc: HashMap<ProcessId, Vec<usize>>,
 }
 
 impl Trace {
@@ -81,10 +129,110 @@ impl Trace {
         Trace::default()
     }
 
-    /// Appends an action, assigning it the next sequence number.
+    /// Appends an action, assigning it the next sequence number and folding
+    /// it into the derived indexes.
     pub fn record(&mut self, time: u64, at: ProcessId, kind: ActionKind) {
-        let seq = self.actions.len() as u64;
-        self.actions.push(Action { seq, time, at, kind });
+        let index = self.actions.len();
+        let action = Action {
+            seq: index as u64,
+            time,
+            at,
+            kind,
+        };
+        self.index_action(index, &action);
+        self.actions.push(action);
+    }
+
+    fn index_action(&mut self, index: usize, action: &Action) {
+        self.by_proc.entry(action.at).or_default().push(index);
+        if let Some(tx) = action.tx() {
+            self.by_tx.entry(tx).or_default().actions.push(index);
+        }
+        match &action.kind {
+            ActionKind::Invoke { tx, .. } => {
+                self.by_tx.entry(*tx).or_default().invoker = Some(action.at);
+            }
+            ActionKind::Respond { .. } => {}
+            ActionKind::Send { msg, parent, info, .. } => {
+                self.send_seq.insert(*msg, index);
+                let Some(tx) = info.tx else { return };
+                if info.kind == MsgKind::ClientToClient {
+                    self.by_tx.entry(tx).or_default().c2c_sends += 1;
+                    return;
+                }
+                // Round depth of this send relative to its sender: 1 plus
+                // the number of parent-chain hops that were sends *to* the
+                // sender (i.e. responses it was handling).  Parents are
+                // always recorded before children, so each hop is an O(1)
+                // table lookup and chains are as short as the round count.
+                let depth = self.chain_depth(action.at, *parent);
+                let entry = self.by_tx.entry(tx).or_default();
+                match entry
+                    .rounds_by_sender
+                    .iter_mut()
+                    .find(|(sender, _)| *sender == action.at)
+                {
+                    Some((_, max)) => *max = (*max).max(depth),
+                    None => entry.rounds_by_sender.push((action.at, depth)),
+                }
+            }
+            ActionKind::Recv { msg, from, info } => {
+                self.recv_seq.insert(*msg, index);
+                let Some(tx) = info.tx else { return };
+                if info.kind != MsgKind::ReadResponse {
+                    return;
+                }
+                // Only responses received by the invoking client count as
+                // read instrumentation.
+                if self.by_tx.get(&tx).and_then(|t| t.invoker) != Some(action.at) {
+                    return;
+                }
+                let Some(object) = info.object else {
+                    return; // metadata response (e.g. get-tag-arr)
+                };
+                let Some(server) = from.as_server() else {
+                    return;
+                };
+                // Non-blocking iff the response's causal parent is a read
+                // request of the same transaction (the server answered
+                // within the handler of the request, without waiting for
+                // any other input action).
+                let nonblocking = self
+                    .parent_of(*msg)
+                    .and_then(|parent| self.send_of(parent))
+                    .map(|send| match &send.kind {
+                        ActionKind::Send { info: pinfo, .. } => {
+                            pinfo.kind == MsgKind::ReadRequest && pinfo.tx == Some(tx)
+                        }
+                        _ => false,
+                    })
+                    .unwrap_or(false);
+                self.by_tx.entry(tx).or_default().reads.push(ReadResult {
+                    object,
+                    server,
+                    versions_in_response: info.versions.max(1),
+                    nonblocking,
+                });
+            }
+        }
+    }
+
+    /// Walks a send's causal parent chain, counting `1 +` the hops whose
+    /// send was addressed to `sender`.
+    fn chain_depth(&self, sender: ProcessId, parent: Option<MsgId>) -> u32 {
+        let mut depth = 1u32;
+        let mut cur = parent;
+        while let Some(p) = cur {
+            let Some(send) = self.send_of(p) else { break };
+            let ActionKind::Send { to, parent, .. } = &send.kind else {
+                break;
+            };
+            if *to == sender {
+                depth += 1;
+            }
+            cur = *parent;
+        }
+        depth
     }
 
     /// All actions in order.
@@ -105,25 +253,32 @@ impl Trace {
     /// The actions occurring at one automaton, in order — the projection
     /// `trace(α)|p` the indistinguishability arguments use.
     pub fn at(&self, p: ProcessId) -> Vec<&Action> {
-        self.actions.iter().filter(|a| a.at == p).collect()
+        self.by_proc
+            .get(&p)
+            .map(|indexes| indexes.iter().map(|&i| &self.actions[i]).collect())
+            .unwrap_or_default()
     }
 
     /// The actions attributable to one transaction, in order.
     pub fn of_tx(&self, tx: TxId) -> Vec<&Action> {
-        self.actions.iter().filter(|a| a.tx() == Some(tx)).collect()
+        self.by_tx
+            .get(&tx)
+            .map(|t| t.actions.iter().map(|&i| &self.actions[i]).collect())
+            .unwrap_or_default()
     }
 
-    /// Finds the send action for a given message id.
+    /// Finds the send action for a given message id — O(1).
     pub fn send_of(&self, msg: MsgId) -> Option<&Action> {
-        self.actions.iter().find(|a| matches!(&a.kind, ActionKind::Send { msg: m, .. } if *m == msg))
+        self.send_seq.get(&msg).map(|&i| &self.actions[i])
     }
 
-    /// Finds the receive action for a given message id.
+    /// Finds the receive action for a given message id — O(1).
     pub fn recv_of(&self, msg: MsgId) -> Option<&Action> {
-        self.actions.iter().find(|a| matches!(&a.kind, ActionKind::Recv { msg: m, .. } if *m == msg))
+        self.recv_seq.get(&msg).map(|&i| &self.actions[i])
     }
 
-    /// The causal parent of a message: the message whose handler sent it.
+    /// The causal parent of a message: the message whose handler sent it —
+    /// O(1).
     pub fn parent_of(&self, msg: MsgId) -> Option<MsgId> {
         self.send_of(msg).and_then(|a| match &a.kind {
             ActionKind::Send { parent, .. } => *parent,
@@ -131,55 +286,35 @@ impl Trace {
         })
     }
 
-    /// Number of client-to-client messages attributed to `tx`.
+    /// Number of client-to-client messages attributed to `tx` — O(1).
     pub fn c2c_count(&self, tx: TxId) -> u32 {
-        self.actions
-            .iter()
-            .filter(|a| {
-                matches!(
-                    &a.kind,
-                    ActionKind::Send { info, .. }
-                        if info.kind == MsgKind::ClientToClient && info.tx == Some(tx)
-                )
-            })
-            .count() as u32
+        self.by_tx.get(&tx).map(|t| t.c2c_sends).unwrap_or(0)
     }
 
     /// The number of client↔server round trips transaction `tx` used,
     /// derived purely from causality: a send by the client whose parent
     /// chain passes through `d` prior server responses belongs to round
-    /// `d + 1`.
+    /// `d + 1`.  O(1): depths are accumulated at record time.
     pub fn rounds_of(&self, tx: TxId, client: ProcessId) -> u32 {
-        let mut max_round = 0u32;
-        for a in &self.actions {
-            if a.at != client || a.tx() != Some(tx) {
-                continue;
-            }
-            if let ActionKind::Send { parent, info, .. } = &a.kind {
-                if info.kind == MsgKind::ClientToClient {
-                    continue;
-                }
-                let mut depth = 1u32;
-                let mut cur = *parent;
-                while let Some(p) = cur {
-                    // Each parent hop that is a message received by the
-                    // client (i.e. a server response it was handling when it
-                    // sent the next request) adds a round.
-                    if let Some(send) = self.send_of(p) {
-                        if let ActionKind::Send { to, parent, .. } = &send.kind {
-                            if *to == client {
-                                depth += 1;
-                            }
-                            cur = *parent;
-                            continue;
-                        }
-                    }
-                    break;
-                }
-                max_round = max_round.max(depth);
-            }
-        }
-        max_round
+        self.by_tx
+            .get(&tx)
+            .and_then(|t| {
+                t.rounds_by_sender
+                    .iter()
+                    .find(|(sender, _)| *sender == client)
+                    .map(|(_, depth)| *depth)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Read-response instrumentation for `tx`: one [`ReadResult`] per
+    /// response received by the invoking client, in receive order —
+    /// O(answer).
+    pub fn read_results(&self, tx: TxId) -> &[ReadResult] {
+        self.by_tx
+            .get(&tx)
+            .map(|t| t.reads.as_slice())
+            .unwrap_or(&[])
     }
 }
 
@@ -301,12 +436,25 @@ mod tests {
     }
 
     #[test]
+    fn projections_preserve_action_order() {
+        let t = two_round_trace();
+        let seqs: Vec<u64> = t.at(client(0)).iter().map(|a| a.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 4, 5, 8, 9]);
+        let tx_seqs: Vec<u64> = t.of_tx(TxId(1)).iter().map(|a| a.seq).collect();
+        assert_eq!(tx_seqs, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
     fn round_counting_follows_causality() {
         let t = two_round_trace();
         // m0 is round 1; m2's parent chain passes through m1 (a response to
         // the client), so it is round 2.
         assert_eq!(t.rounds_of(TxId(1), client(0)), 2);
         assert_eq!(t.rounds_of(TxId(9), client(0)), 0);
+        // Server sends count rounds relative to themselves: m1's parent m0
+        // was addressed to s0, so s0's send depth is 2 (same as the
+        // historical scan-based computation).
+        assert_eq!(t.rounds_of(TxId(1), server(0)), 2);
     }
 
     #[test]
@@ -324,6 +472,20 @@ mod tests {
             },
         );
         assert_eq!(t.c2c_count(TxId(1)), 1);
+    }
+
+    #[test]
+    fn read_results_accumulate_at_the_invoker() {
+        let t = two_round_trace();
+        let reads = t.read_results(TxId(1));
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].object, ObjectId(0));
+        assert_eq!(reads[0].server, ServerId(0));
+        assert!(reads[0].nonblocking, "parent is the read request itself");
+        assert_eq!(reads[1].object, ObjectId(1));
+        assert_eq!(reads[1].server, ServerId(1));
+        assert_eq!(reads[1].versions_in_response, 1);
+        assert!(t.read_results(TxId(9)).is_empty());
     }
 
     #[test]

@@ -61,22 +61,21 @@ impl WorkloadDriver {
             rounds += 1;
             let mut seen_clients = std::collections::BTreeSet::new();
             let now = cluster.now();
-            let mut in_round = 0usize;
             // Draw until we have `this_round` transactions from distinct
             // clients (a client gets at most one per round to stay
-            // well-formed).
+            // well-formed), then schedule the round as one batch.
             let mut guard = 0usize;
-            while in_round < this_round && guard < this_round * 50 {
+            let mut batch = Vec::with_capacity(this_round);
+            while batch.len() < this_round && guard < this_round * 50 {
                 guard += 1;
                 let tx = generator.next_tx();
                 if !seen_clients.insert(tx.client) {
                     continue;
                 }
-                let id = cluster.invoke_at(now, tx.client, tx.spec);
-                all_tx.push(id);
-                issued += 1;
-                in_round += 1;
+                batch.push((tx.client, tx.spec));
             }
+            issued += batch.len();
+            all_tx.extend(cluster.invoke_batch(now, batch));
             cluster.run_until_quiescent();
         }
         let history = cluster.history();
@@ -106,21 +105,20 @@ impl WorkloadDriver {
         for _ in 0..rounds {
             let now = cluster.now();
             let mut seen_writers = std::collections::BTreeSet::new();
-            let mut placed = 0usize;
             let mut guard = 0usize;
-            while placed < writes_per_round && guard < writes_per_round * 50 {
+            let mut batch = Vec::with_capacity(writes_per_round + 1);
+            while batch.len() < writes_per_round && guard < writes_per_round * 50 {
                 guard += 1;
                 let w = generator.next_write();
                 if !seen_writers.insert(w.client) {
                     continue;
                 }
-                all_tx.push(cluster.invoke_at(now, w.client, w.spec));
-                issued += 1;
-                placed += 1;
+                batch.push((w.client, w.spec));
             }
             let r = generator.next_read();
-            all_tx.push(cluster.invoke_at(now, r.client, r.spec));
-            issued += 1;
+            batch.push((r.client, r.spec));
+            issued += batch.len();
+            all_tx.extend(cluster.invoke_batch(now, batch));
             cluster.run_until_quiescent();
         }
         let history = cluster.history();

@@ -1,0 +1,33 @@
+//! Offline shim for `serde` (see `vendor/README.md`).
+//!
+//! Exposes `Serialize` / `Deserialize` as (a) marker traits blanket-implemented
+//! for every type, and (b) no-op derive macros, so `#[derive(Serialize,
+//! Deserialize)]` and `T: Serialize` bounds compile unchanged.  No actual
+//! serialization is performed anywhere.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(Debug, Clone, PartialEq, super::Serialize, super::Deserialize)]
+    struct Probe {
+        #[serde(rename = "x")]
+        a: u32,
+    }
+
+    #[test]
+    fn derives_are_inert() {
+        let p = Probe { a: 1 };
+        assert_eq!(p.clone(), p);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive` (see `vendor/README.md`): the derives
+//! accept the same syntax as the real crate (including `#[serde(...)]`
+//! helper attributes) but expand to nothing, so deriving types compile
+//! without any serialization support actually existing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

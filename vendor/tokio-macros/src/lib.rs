@@ -1,0 +1,48 @@
+//! Offline shim for `tokio-macros` (see `vendor/README.md`).
+//!
+//! `#[tokio::test]` / `#[tokio::main]` rewrite `async fn f() { body }` into a
+//! synchronous fn whose body is `Runtime::block_on(async move { body })`.
+//! Attribute arguments (`flavor`, `worker_threads`, …) are accepted and
+//! ignored — the shim runtime is global and cooperative.
+//!
+//! Implementation note: with no `syn`/`quote` available the transformation
+//! is textual over the token stream's canonical rendering, which is adequate
+//! for the simple `async fn name() { ... }` items this workspace contains.
+
+use proc_macro::TokenStream;
+
+fn wrap(item: TokenStream, is_test: bool) -> TokenStream {
+    let src = item.to_string();
+    let async_pos = src
+        .find("async")
+        .unwrap_or_else(|| panic!("#[tokio::test]/#[tokio::main] requires an async fn: {src}"));
+    // Drop the `async` keyword, keeping any preceding attributes/visibility.
+    let sync_src = format!("{}{}", &src[..async_pos], &src[async_pos + "async".len()..]);
+    // The body starts at the first `{` after the signature's parameter list.
+    let params_end = sync_src[async_pos..]
+        .find(')')
+        .map(|i| async_pos + i)
+        .expect("fn parameter list");
+    let body_start = sync_src[params_end..]
+        .find('{')
+        .map(|i| params_end + i)
+        .expect("fn body");
+    let (signature, body) = sync_src.split_at(body_start);
+    let test_attr = if is_test { "#[::core::prelude::v1::test]\n" } else { "" };
+    let out = format!(
+        "{test_attr}{signature}{{\n    ::tokio::runtime::Runtime::new()\n        .expect(\"shim runtime\")\n        .block_on(async move {body})\n}}"
+    );
+    out.parse().expect("generated fn parses")
+}
+
+/// Shim for `#[tokio::test]`.
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    wrap(item, true)
+}
+
+/// Shim for `#[tokio::main]`.
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    wrap(item, false)
+}

@@ -1,0 +1,131 @@
+//! The global cooperative executor backing [`crate::spawn`] and
+//! [`crate::runtime::Runtime::block_on`].
+//!
+//! Design: one process-wide run queue of ready tasks plus a condvar.  Every
+//! thread currently inside `block_on` drains the queue between polls of its
+//! own root future, so spawned tasks make progress whenever any runtime
+//! thread is active.  Wakers flip a `queued` bit before pushing, so a task
+//! is never in the queue twice; waking during a poll simply re-queues it.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+pub(crate) type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    cv: Condvar,
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| Shared {
+        queue: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+    })
+}
+
+pub(crate) struct Task {
+    future: Mutex<Option<BoxFuture>>,
+    queued: AtomicBool,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        schedule(self);
+    }
+}
+
+fn schedule(task: Arc<Task>) {
+    if !task.queued.swap(true, Ordering::AcqRel) {
+        let s = shared();
+        s.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(task);
+        s.cv.notify_all();
+    }
+}
+
+/// Submits a future to the global queue; it runs inside any `block_on`.
+pub(crate) fn spawn_boxed(future: BoxFuture) {
+    schedule(Arc::new(Task {
+        future: Mutex::new(Some(future)),
+        queued: AtomicBool::new(false),
+    }));
+}
+
+fn poll_task(task: Arc<Task>) {
+    task.queued.store(false, Ordering::Release);
+    let taken = task
+        .future
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take();
+    let Some(mut fut) = taken else { return };
+    let waker = Waker::from(Arc::clone(&task));
+    let mut cx = Context::from_waker(&waker);
+    // Task futures are join-handle wrappers (see `task::spawn`) that catch
+    // panics internally, so poll cannot unwind into an unrelated thread.
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(()) => {}
+        Poll::Pending => {
+            *task.future.lock().unwrap_or_else(|e| e.into_inner()) = Some(fut);
+        }
+    }
+}
+
+struct RootWaker {
+    woken: Arc<AtomicBool>,
+}
+
+impl Wake for RootWaker {
+    fn wake(self: Arc<Self>) {
+        let s = shared();
+        // Flip the flag under the queue lock so a parked `block_on` cannot
+        // miss the notification between its check and its wait.
+        let _guard = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+        self.woken.store(true, Ordering::Release);
+        s.cv.notify_all();
+    }
+}
+
+/// Drives `future` to completion, running queued tasks in between.
+pub(crate) fn block_on<F: Future>(future: F) -> F::Output {
+    let woken = Arc::new(AtomicBool::new(true));
+    let waker = Waker::from(Arc::new(RootWaker {
+        woken: Arc::clone(&woken),
+    }));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        if woken.swap(false, Ordering::AcqRel) {
+            if let Poll::Ready(out) = future.as_mut().poll(&mut cx) {
+                return out;
+            }
+        }
+        let next = shared()
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front();
+        match next {
+            Some(task) => poll_task(task),
+            None => {
+                let s = shared();
+                let guard = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if guard.is_empty() && !woken.load(Ordering::Acquire) {
+                    // Timed wait as a backstop: other runtime threads may
+                    // retire tasks this thread is waiting on without a
+                    // matching notification.
+                    let _ = s
+                        .cv
+                        .wait_timeout(guard, Duration::from_millis(20))
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline shim for `tokio` (see `vendor/README.md`).
+//!
+//! A small, std-only cooperative executor exposing the subset of tokio's API
+//! this workspace uses: [`spawn`] / [`task::JoinHandle`],
+//! [`runtime::Runtime`] / [`runtime::Builder`], unbounded
+//! [`sync::mpsc`] channels and [`sync::oneshot`] channels, plus the
+//! `#[tokio::test]` / `#[tokio::main]` attribute macros.
+//!
+//! Tasks are scheduled on a global run queue and driven by whichever
+//! thread(s) are inside [`runtime::Runtime::block_on`]; `worker_threads` and
+//! flavor knobs are accepted and ignored.  Panics inside spawned tasks are
+//! caught and surfaced as [`task::JoinError`]s, as with real tokio.
+
+#![forbid(unsafe_code)]
+
+mod executor;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+
+pub use task::spawn;
+pub use tokio_macros::{main, test};

@@ -1,0 +1,58 @@
+//! Runtime construction: [`Builder`] and [`Runtime::block_on`].
+
+use crate::executor;
+use std::future::Future;
+use std::io;
+
+/// Handle to the (global) executor.
+#[derive(Debug, Default)]
+pub struct Runtime {
+    _priv: (),
+}
+
+impl Runtime {
+    /// Creates a runtime handle.
+    pub fn new() -> io::Result<Runtime> {
+        Ok(Runtime { _priv: () })
+    }
+
+    /// Drives `future` to completion on the calling thread, running spawned
+    /// tasks in between polls.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        executor::block_on(future)
+    }
+}
+
+/// Mirrors `tokio::runtime::Builder`; every knob is accepted and ignored
+/// (the shim executor is global and cooperative).
+#[derive(Debug, Default)]
+pub struct Builder {
+    _priv: (),
+}
+
+impl Builder {
+    /// Multi-thread flavor (ignored).
+    pub fn new_multi_thread() -> Builder {
+        Builder::default()
+    }
+
+    /// Current-thread flavor (ignored).
+    pub fn new_current_thread() -> Builder {
+        Builder::default()
+    }
+
+    /// Worker-thread count (ignored).
+    pub fn worker_threads(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Enables IO/time drivers (no-op).
+    pub fn enable_all(&mut self) -> &mut Self {
+        self
+    }
+
+    /// Builds the runtime handle.
+    pub fn build(&mut self) -> io::Result<Runtime> {
+        Runtime::new()
+    }
+}

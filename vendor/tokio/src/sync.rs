@@ -1,0 +1,233 @@
+//! Channels: unbounded [`mpsc`] and [`oneshot`].
+
+/// Multi-producer single-consumer unbounded channel.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Poll, Waker};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        rx_waker: Option<Waker>,
+        senders: usize,
+        rx_alive: bool,
+    }
+
+    fn lock<T>(chan: &Mutex<Inner<T>>) -> std::sync::MutexGuard<'_, Inner<T>> {
+        chan.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Sending half; clonable.
+    pub struct UnboundedSender<T> {
+        chan: Arc<Mutex<Inner<T>>>,
+    }
+
+    /// Receiving half.
+    pub struct UnboundedReceiver<T> {
+        chan: Arc<Mutex<Inner<T>>>,
+    }
+
+    /// Error types, mirroring `tokio::sync::mpsc::error`.
+    pub mod error {
+        use std::fmt;
+
+        /// The receiver was dropped; the value comes back.
+        pub struct SendError<T>(pub T);
+
+        impl<T> fmt::Debug for SendError<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("SendError(..)")
+            }
+        }
+
+        impl<T> fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("channel closed")
+            }
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let chan = Arc::new(Mutex::new(Inner {
+            queue: VecDeque::new(),
+            rx_waker: None,
+            senders: 1,
+            rx_alive: true,
+        }));
+        (
+            UnboundedSender {
+                chan: Arc::clone(&chan),
+            },
+            UnboundedReceiver { chan },
+        )
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Enqueues `value`; fails if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), error::SendError<T>> {
+            let mut inner = lock(&self.chan);
+            if !inner.rx_alive {
+                return Err(error::SendError(value));
+            }
+            inner.queue.push_back(value);
+            if let Some(waker) = inner.rx_waker.take() {
+                drop(inner);
+                waker.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            lock(&self.chan).senders += 1;
+            UnboundedSender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            let mut inner = lock(&self.chan);
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Receiver must observe disconnection.
+                if let Some(waker) = inner.rx_waker.take() {
+                    drop(inner);
+                    waker.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Awaits the next value; `None` once all senders are gone and the
+        /// queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            std::future::poll_fn(|cx| {
+                let mut inner = lock(&self.chan);
+                if let Some(value) = inner.queue.pop_front() {
+                    Poll::Ready(Some(value))
+                } else if inner.senders == 0 {
+                    Poll::Ready(None)
+                } else {
+                    inner.rx_waker = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            })
+            .await
+        }
+    }
+
+    impl<T> Drop for UnboundedReceiver<T> {
+        fn drop(&mut self) {
+            lock(&self.chan).rx_alive = false;
+        }
+    }
+}
+
+/// Single-use single-value channel.
+pub mod oneshot {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    struct Inner<T> {
+        value: Option<T>,
+        rx_waker: Option<Waker>,
+        tx_alive: bool,
+        rx_alive: bool,
+    }
+
+    fn lock<T>(chan: &Mutex<Inner<T>>) -> std::sync::MutexGuard<'_, Inner<T>> {
+        chan.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Sending half; consumed by [`Sender::send`].
+    pub struct Sender<T> {
+        chan: Arc<Mutex<Inner<T>>>,
+    }
+
+    /// Receiving half; a future resolving to the sent value.
+    pub struct Receiver<T> {
+        chan: Arc<Mutex<Inner<T>>>,
+    }
+
+    /// Error returned when the sender was dropped without sending.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("oneshot sender dropped")
+        }
+    }
+
+    /// Creates a oneshot channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Mutex::new(Inner {
+            value: None,
+            rx_waker: None,
+            tx_alive: true,
+            rx_alive: true,
+        }));
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `value`; fails (returning it) if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut inner = lock(&self.chan);
+            if !inner.rx_alive {
+                return Err(value);
+            }
+            inner.value = Some(value);
+            if let Some(waker) = inner.rx_waker.take() {
+                drop(inner);
+                waker.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = lock(&self.chan);
+            inner.tx_alive = false;
+            if let Some(waker) = inner.rx_waker.take() {
+                drop(inner);
+                waker.wake();
+            }
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut inner = lock(&self.chan);
+            if let Some(value) = inner.value.take() {
+                Poll::Ready(Ok(value))
+            } else if !inner.tx_alive {
+                Poll::Ready(Err(RecvError))
+            } else {
+                inner.rx_waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            lock(&self.chan).rx_alive = false;
+        }
+    }
+}

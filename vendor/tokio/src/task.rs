@@ -1,0 +1,96 @@
+//! Task spawning and join handles.
+
+use crate::executor;
+use std::fmt;
+use std::future::Future;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+struct JoinState<T> {
+    outcome: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+}
+
+/// Error returned when a spawned task panicked.
+pub struct JoinError {
+    _priv: (),
+}
+
+impl fmt::Debug for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JoinError(task panicked)")
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("task panicked")
+    }
+}
+
+/// Handle awaiting a spawned task's completion.
+pub struct JoinHandle<T> {
+    state: Arc<Mutex<JoinState<T>>>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(outcome) = state.outcome.take() {
+            Poll::Ready(outcome)
+        } else {
+            state.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// A future that polls `inner`, catching panics, and publishes the result
+/// into the shared [`JoinState`].
+struct WrapFuture<F: Future> {
+    inner: Pin<Box<F>>,
+    state: Arc<Mutex<JoinState<F::Output>>>,
+}
+
+impl<F: Future> Future for WrapFuture<F> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        let polled = catch_unwind(AssertUnwindSafe(|| this.inner.as_mut().poll(cx)));
+        let outcome = match polled {
+            Ok(Poll::Pending) => return Poll::Pending,
+            Ok(Poll::Ready(value)) => Ok(value),
+            Err(_panic) => Err(JoinError { _priv: () }),
+        };
+        let mut state = this.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.outcome = Some(outcome);
+        if let Some(waker) = state.waker.take() {
+            waker.wake();
+        }
+        Poll::Ready(())
+    }
+}
+
+impl<F: Future> Unpin for WrapFuture<F> {}
+
+/// Spawns `future` onto the global executor.
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let state = Arc::new(Mutex::new(JoinState {
+        outcome: None,
+        waker: None,
+    }));
+    executor::spawn_boxed(Box::pin(WrapFuture {
+        inner: Box::pin(future),
+        state: Arc::clone(&state),
+    }));
+    JoinHandle { state }
+}
