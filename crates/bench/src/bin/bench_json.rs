@@ -1,11 +1,23 @@
-//! Machine-readable simulator-core benchmark: writes `BENCH_simcore.json`
-//! at the workspace root (and prints it) so the engine's perf trajectory is
-//! tracked across PRs.
+//! Machine-readable engine benchmark: writes `BENCH_simcore.json` at the
+//! workspace root (and prints it) so the perf trajectory of *both*
+//! executors is tracked across PRs:
+//!
+//! * `sim_core` flood — raw simulator step-loop throughput at a controlled
+//!   number of in-flight messages;
+//! * `runtime_read_latency` — wall-clock READ latency per protocol on the
+//!   tokio cluster, through the same erased deployment path the simulator
+//!   uses.
 //!
 //! Run with `cargo run -p snow-bench --release --bin bench_json`.
-//! Pass `--no-write` to print without touching the file.
+//! Pass `--no-write` to print without touching the file, `--smoke` for a
+//! fast CI-sized run (small floods, few reads; numbers are then only a
+//! liveness check, not a trajectory point).
 
 use snow_bench::simcore::{run_flood, FloodStats};
+use snow_checker::LatencyStats;
+use snow_core::SystemConfig;
+use snow_protocols::ProtocolKind;
+use snow_runtime::cluster::measure_read_latencies;
 use std::fmt::Write as _;
 
 /// Runs `reps` floods at `in_flight` and keeps the fastest (least noisy)
@@ -22,11 +34,19 @@ fn best_of(in_flight: usize, reps: usize) -> FloodStats {
 }
 
 fn main() {
-    let write = !std::env::args().any(|a| a == "--no-write");
-    let sizes = [1_000usize, 10_000, 100_000];
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Smoke numbers are a liveness check, never a trajectory point: --smoke
+    // always implies --no-write so a quick run cannot clobber the tracked
+    // artifact.
+    let write = !smoke && !std::env::args().any(|a| a == "--no-write");
+    let (sizes, reps): (&[usize], usize) = if smoke {
+        (&[1_000], 1)
+    } else {
+        (&[1_000, 10_000, 100_000], 3)
+    };
     let mut results = String::new();
     for (i, &in_flight) in sizes.iter().enumerate() {
-        let stats = best_of(in_flight, 3);
+        let stats = best_of(in_flight, reps);
         eprintln!(
             "flood in_flight={:>6}  steps={:>6}  wall={:?}  {:.0} steps/s",
             stats.in_flight,
@@ -47,8 +67,44 @@ fn main() {
         )
         .expect("string write");
     }
+
+    // Runtime section: wall-clock READ latency per protocol on the tokio
+    // cluster (seeded with a few writes first), so regressions in the async
+    // executor path are visible in the same artifact as the simulator's.
+    let (writes, reads) = if smoke { (2, 10) } else { (10, 200) };
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(4)
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    let mut runtime_results = String::new();
+    for (i, protocol) in ProtocolKind::all().into_iter().enumerate() {
+        let config = if protocol.needs_c2c() {
+            SystemConfig::mwsr(4, 1, true)
+        } else {
+            SystemConfig::mwmr(4, 1, 1)
+        };
+        let latencies = rt
+            .block_on(measure_read_latencies(protocol, &config, writes, reads))
+            .expect("runtime read latencies");
+        let stats = LatencyStats::from_samples(&latencies);
+        eprintln!(
+            "runtime {:?}: reads={} p50={}ns p99={}ns",
+            protocol, reads, stats.p50, stats.p99
+        );
+        if i > 0 {
+            runtime_results.push_str(",\n");
+        }
+        write!(
+            runtime_results,
+            "    {{\"protocol\": \"{protocol:?}\", \"reads\": {reads}, \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {:.1}}}",
+            stats.p50, stats.p99, stats.mean
+        )
+        .expect("string write");
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"sim_core\",\n  \"scenario\": \"flood\",\n  \"engine\": \"event-queue\",\n  \"results\": [\n{results}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"sim_core\",\n  \"scenario\": \"flood\",\n  \"engine\": \"event-queue\",\n  \"smoke\": {smoke},\n  \"results\": [\n{results}\n  ],\n  \"runtime_read_latency\": [\n{runtime_results}\n  ]\n}}\n"
     );
     if write {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json");

@@ -16,7 +16,14 @@
 //! (only legitimate when the schedule semantics intentionally change, e.g.
 //! a different `rand` backend — see `vendor/README.md`).
 
-use snow_core::SystemConfig;
+//! Beyond the fingerprints, this module also defines the **cross-executor
+//! parity fixtures**: a deterministic serial transaction plan per protocol
+//! ([`parity_plan`]), a serial simulator runner ([`run_plan_on_simulator`])
+//! and a timing-free canonical rendering of a history's semantics
+//! ([`semantic_digest`]) that the `runtime_parity` integration test uses to
+//! hold the tokio runtime to the simulator's golden combos.
+
+use snow_core::{ClientId, History, SystemConfig, TxSpec};
 use snow_protocols::{build_cluster, ProtocolKind, SchedulerKind};
 use snow_workload::{WorkloadDriver, WorkloadGenerator, WorkloadSpec};
 use std::fmt::Write as _;
@@ -57,25 +64,35 @@ pub fn combos() -> Vec<Combo> {
     out
 }
 
-/// Runs one combo and renders its history canonically: the full `Debug` form
-/// of every record (spec, outcome, timings, rounds, C2C, read
-/// instrumentation) plus the final simulation clock.
-pub fn run_combo(combo: &Combo) -> String {
-    let config = if combo.protocol.needs_c2c() {
+/// The system configuration every combo and parity fixture of `protocol`
+/// runs on: MWSR + C2C for Algorithm A, MWMR otherwise.
+pub fn combo_config(protocol: ProtocolKind) -> SystemConfig {
+    if protocol.needs_c2c() {
         SystemConfig::mwsr(3, 2, true)
     } else {
         SystemConfig::mwmr(3, 2, 2)
-    };
-    let mut cluster =
-        build_cluster(combo.protocol, &config, combo.scheduler).expect("valid combo config");
-    let spec = WorkloadSpec {
+    }
+}
+
+/// The workload distribution every combo and parity fixture draws from.
+fn combo_workload_spec() -> WorkloadSpec {
+    WorkloadSpec {
         read_fraction: 0.5,
         objects_per_read: 2,
         objects_per_write: 2,
         zipf_exponent: 0.9,
         seed: 13,
-    };
-    let mut generator = WorkloadGenerator::new(&config, spec);
+    }
+}
+
+/// Runs one combo and renders its history canonically: the full `Debug` form
+/// of every record (spec, outcome, timings, rounds, C2C, read
+/// instrumentation) plus the final simulation clock.
+pub fn run_combo(combo: &Combo) -> String {
+    let config = combo_config(combo.protocol);
+    let mut cluster =
+        build_cluster(combo.protocol, &config, combo.scheduler).expect("valid combo config");
+    let mut generator = WorkloadGenerator::new(&config, combo_workload_spec());
     let (history, report) =
         WorkloadDriver::new(4).run(cluster.as_mut(), &mut generator, COMBO_TXNS);
     assert_eq!(
@@ -89,6 +106,107 @@ pub fn run_combo(combo: &Combo) -> String {
     }
     writeln!(canon, "now={}", cluster.now()).expect("string write");
     canon
+}
+
+/// The deterministic serial transaction plan the cross-executor parity
+/// harness drives through *both* executors: the same generator draw
+/// (distribution, seed) as the golden combos, executed one transaction at a
+/// time so that per-transaction semantics (values read, keys, tags, rounds,
+/// versions, non-blocking verdicts) are schedule-independent and therefore
+/// comparable across schedulers *and* across executors.
+pub fn parity_plan(protocol: ProtocolKind) -> (SystemConfig, Vec<(ClientId, TxSpec)>) {
+    let config = combo_config(protocol);
+    let mut generator = WorkloadGenerator::new(&config, combo_workload_spec());
+    let plan = (0..COMBO_TXNS)
+        .map(|_| {
+            let tx = generator.next_tx();
+            (tx.client, tx.spec)
+        })
+        .collect();
+    (config, plan)
+}
+
+/// Runs `plan` serially on the simulator under `scheduler`: each
+/// transaction is invoked alone and the network drains to quiescence before
+/// the next, so only the *semantics* of the protocol — not the schedule —
+/// determine the history.  Panics if any transaction fails to complete.
+pub fn run_plan_on_simulator(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    scheduler: SchedulerKind,
+    plan: &[(ClientId, TxSpec)],
+) -> History {
+    let mut cluster = build_cluster(protocol, config, scheduler).expect("valid parity config");
+    for (client, spec) in plan {
+        let tx = cluster.invoke_at(cluster.now(), *client, spec.clone());
+        cluster.run_until_quiescent();
+        assert!(
+            cluster.is_complete(tx),
+            "{protocol:?}: serial transaction {tx} did not complete"
+        );
+    }
+    cluster.history()
+}
+
+fn digest(history: &History, rounds: bool) -> String {
+    let mut records: Vec<_> = history.records.iter().collect();
+    records.sort_by_key(|r| r.tx_id);
+    let mut out = String::new();
+    for rec in records {
+        let outcome = match &rec.outcome {
+            None => "incomplete".to_string(),
+            Some(outcome) => match outcome.as_read() {
+                Some(read) => {
+                    let mut reads = read.reads.clone();
+                    reads.sort_by_key(|r| r.object);
+                    format!("read tag={:?} {reads:?}", read.tag)
+                }
+                None => {
+                    let write = outcome.as_write().expect("read or write");
+                    format!("write key={:?} tag={:?}", write.key, write.tag)
+                }
+            },
+        };
+        let mut reads = rec.reads.clone();
+        reads.sort_by_key(|r| (r.object, r.server, r.versions_in_response, !r.nonblocking));
+        write!(
+            out,
+            "{} client={} spec={:?} outcome=[{outcome}] c2c={}",
+            rec.tx_id, rec.client, rec.spec, rec.c2c_messages
+        )
+        .expect("string write");
+        if rounds {
+            writeln!(out, " rounds={} reads={reads:?}", rec.rounds).expect("string write");
+        } else {
+            // Collapse per-round duplicates (a re-read of the same object at
+            // the same server with the same measurement): how *often* a
+            // logical-clock protocol re-reads is schedule-dependent, what it
+            // observes is not.
+            reads.dedup();
+            writeln!(out, " reads={reads:?}").expect("string write");
+        }
+    }
+    out
+}
+
+/// Renders the timing- and schedule-independent semantics of a history: per
+/// transaction (in id order) the client, the spec, the outcome with reads
+/// sorted by object, the C2C count and the deduplicated per-read
+/// measurement set (object, server, versions, non-blocking).  Two histories
+/// with equal digests executed the same transactions to the same values,
+/// keys, tags and measurements — regardless of executor, scheduler or
+/// clock.  Round counts are deliberately omitted: for logical-clock
+/// protocols (Eiger) the *number* of rounds a READ needs depends on clock
+/// values and therefore on delivery order, even for a serial plan.
+pub fn semantic_digest(history: &History) -> String {
+    digest(history, false)
+}
+
+/// [`semantic_digest`] plus the per-transaction round counts and the raw
+/// (duplicate-preserving) read-measurement list.  Use for protocols whose
+/// round structure is schedule-independent (all but Eiger).
+pub fn instrumented_digest(history: &History) -> String {
+    digest(history, true)
 }
 
 /// 64-bit FNV-1a over the canonical text.

@@ -19,11 +19,16 @@
 //!   versions, round counts, and blocking behaviour used by `snow-checker`
 //!   to validate the SNOW properties of §2.1;
 //! * the SNOW property lattice itself ([`properties`]);
-//! * system configuration ([`config`]) and error types ([`error`]).
+//! * system configuration ([`config`]) and error types ([`error`]);
+//! * the transport-agnostic protocol engine contract ([`process`], [`msg`]):
+//!   protocols are [`Process`] state machines emitting output actions into
+//!   an [`Effects`] buffer, and their messages self-classify via
+//!   [`ProtocolMessage`] so any substrate can derive round counts and
+//!   non-blocking verdicts without understanding payloads.
 //!
 //! `snow-core` has no opinion on *how* messages are delivered; both the
 //! deterministic simulator (`snow-sim`) and the tokio runtime
-//! (`snow-runtime`) build on these types.
+//! (`snow-runtime`) execute the same [`Process`] machines over these types.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +38,8 @@ pub mod error;
 pub mod history;
 pub mod ids;
 pub mod key;
+pub mod msg;
+pub mod process;
 pub mod properties;
 pub mod store;
 pub mod txn;
@@ -41,6 +48,8 @@ pub mod value;
 pub use config::SystemConfig;
 pub use error::{Result, SnowError};
 pub use history::{History, ReadResult, TxRecord};
+pub use msg::{MsgId, MsgInfo, MsgKind, ProtocolMessage};
+pub use process::{Effects, Process};
 pub use ids::{ClientId, ClientRole, ObjectId, ProcessId, ServerId, TxId};
 pub use key::{Key, Tag};
 pub use properties::{PropertyReport, SnowProperty, SnowPropertySet};

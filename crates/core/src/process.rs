@@ -1,10 +1,19 @@
 //! The [`Process`] trait (one I/O automaton) and the [`Effects`] buffer its
 //! handlers write into.
+//!
+//! This is the transport-agnostic protocol engine contract: a protocol is a
+//! set of [`Process`] state machines that react to invocations and message
+//! deliveries by emitting output actions into an [`Effects`] buffer.  *How*
+//! those sends are carried — the deterministic event-queue simulator
+//! (`snow-sim`) or one tokio task per process (`snow-runtime`) — is the
+//! substrate's business; the protocol logic is written once.
 
-use crate::message::SimMessage;
-use snow_core::{ProcessId, TxId, TxOutcome, TxSpec};
+use crate::ids::ProcessId;
+use crate::msg::ProtocolMessage;
+use crate::txn::{TxOutcome, TxSpec};
+use crate::ids::TxId;
 
-/// A process (I/O automaton) participating in the simulation.
+/// A process (I/O automaton) participating in an execution.
 ///
 /// A process reacts to two kinds of input actions:
 ///
@@ -18,7 +27,7 @@ use snow_core::{ProcessId, TxId, TxOutcome, TxSpec};
 /// construction, a read answered from any other handler is not.
 pub trait Process {
     /// The protocol message type exchanged by processes.
-    type Msg: SimMessage;
+    type Msg: ProtocolMessage;
 
     /// The identity of this process.
     fn id(&self) -> ProcessId;
@@ -39,18 +48,20 @@ pub trait Process {
 /// The output-action buffer a handler writes into.
 ///
 /// All sends and responses emitted during one handler call are tagged by the
-/// simulator with the same causal parent (the message or invocation being
-/// handled), which is what produces the causality links in the trace.
+/// execution substrate with the same causal parent (the message or
+/// invocation being handled), which is what produces the causality links in
+/// the trace and the round/non-blocking instrumentation.
 #[derive(Debug)]
 pub struct Effects<M> {
-    /// Current simulation time (read-only for handlers).
+    /// Current logical time (read-only for handlers; 0 on substrates without
+    /// a logical clock).
     now: u64,
     sends: Vec<(ProcessId, M)>,
     responses: Vec<(TxId, TxOutcome)>,
 }
 
 impl<M> Effects<M> {
-    /// Creates an empty buffer at simulation time `now`.
+    /// Creates an empty buffer at logical time `now`.
     pub fn new(now: u64) -> Self {
         Effects {
             now,
@@ -59,7 +70,7 @@ impl<M> Effects<M> {
         }
     }
 
-    /// The current simulation time.
+    /// The current logical time.
     pub fn now(&self) -> u64 {
         self.now
     }
@@ -93,11 +104,13 @@ impl<M> Effects<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snow_core::{ClientId, Key, Tag, WriteOutcome};
+    use crate::ids::{ClientId, ObjectId};
+    use crate::key::{Key, Tag};
+    use crate::txn::WriteOutcome;
 
     #[derive(Debug, Clone)]
     struct Ping;
-    impl crate::message::SimMessage for Ping {}
+    impl ProtocolMessage for Ping {}
 
     struct Echo {
         id: ProcessId,
@@ -139,7 +152,7 @@ mod tests {
         };
         let mut effects = Effects::new(0);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            echo.on_invoke(TxId(1), TxSpec::read(vec![snow_core::ObjectId(0)]), &mut effects)
+            echo.on_invoke(TxId(1), TxSpec::read(vec![ObjectId(0)]), &mut effects)
         }));
         assert!(result.is_err());
     }

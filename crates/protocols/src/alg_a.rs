@@ -20,7 +20,7 @@ use snow_core::{
     ClientId, Key, ObjectId, ObjectRead, ProcessId, Result, ServerId, ShardStore, SnowError,
     SystemConfig, Tag, TxId, TxOutcome, TxSpec, Value, WriteOutcome,
 };
-use snow_sim::{Effects, MsgInfo, Process, SimMessage};
+use snow_core::{Effects, MsgInfo, Process, ProtocolMessage};
 
 /// Messages exchanged by Algorithm A.
 #[derive(Debug, Clone)]
@@ -82,7 +82,7 @@ pub enum AlgAMsg {
     },
 }
 
-impl SimMessage for AlgAMsg {
+impl ProtocolMessage for AlgAMsg {
     fn info(&self) -> MsgInfo {
         match self {
             AlgAMsg::WriteVal { tx, object, .. } => MsgInfo::write_request(*tx, Some(*object)),

@@ -18,7 +18,7 @@ use snow_core::{
     ClientId, Key, ObjectId, ObjectRead, ProcessId, Result, ServerId, ShardStore, SnowError,
     SystemConfig, Tag, TxId, TxOutcome, TxSpec, Value, WriteOutcome,
 };
-use snow_sim::{Effects, MsgInfo, Process, SimMessage};
+use snow_core::{Effects, MsgInfo, Process, ProtocolMessage};
 
 /// Messages exchanged by Algorithm B.
 #[derive(Debug, Clone)]
@@ -95,7 +95,7 @@ pub enum AlgBMsg {
     },
 }
 
-impl SimMessage for AlgBMsg {
+impl ProtocolMessage for AlgBMsg {
     fn info(&self) -> MsgInfo {
         match self {
             AlgBMsg::WriteVal { tx, object, .. } => MsgInfo::write_request(*tx, Some(*object)),

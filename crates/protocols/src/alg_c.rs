@@ -31,7 +31,7 @@ use snow_core::{
     ClientId, Key, ObjectId, ObjectRead, ProcessId, ReadOutcome, Result, ServerId, ShardStore,
     SnowError, SystemConfig, Tag, TxId, TxOutcome, TxSpec, Value, WriteOutcome,
 };
-use snow_sim::{Effects, MsgInfo, Process, SimMessage};
+use snow_core::{Effects, MsgInfo, Process, ProtocolMessage};
 use std::collections::BTreeMap;
 
 /// Messages exchanged by Algorithm C.
@@ -127,7 +127,7 @@ pub enum AlgCMsg {
     },
 }
 
-impl SimMessage for AlgCMsg {
+impl ProtocolMessage for AlgCMsg {
     fn info(&self) -> MsgInfo {
         match self {
             AlgCMsg::WriteVal { tx, object, .. } => MsgInfo::write_request(*tx, Some(*object)),

@@ -13,7 +13,7 @@ use snow_core::{
     ClientId, Key, ObjectId, ObjectRead, ProcessId, ReadOutcome, Result, ServerId, ShardStore,
     SnowError, SystemConfig, TxId, TxOutcome, TxSpec, Value, WriteOutcome,
 };
-use snow_sim::{Effects, MsgInfo, Process, SimMessage};
+use snow_core::{Effects, MsgInfo, Process, ProtocolMessage};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Messages exchanged by the blocking 2PL protocol.
@@ -69,7 +69,7 @@ pub enum BlockingMsg {
     },
 }
 
-impl SimMessage for BlockingMsg {
+impl ProtocolMessage for BlockingMsg {
     fn info(&self) -> MsgInfo {
         match self {
             BlockingMsg::LockReq { tx, object, write } => {

@@ -7,9 +7,9 @@
 //! boxed cluster from a [`ProtocolKind`], a [`SystemConfig`] and a
 //! [`SchedulerKind`].
 
-use crate::{alg_a, alg_b, alg_c, blocking, eiger, simple};
-use snow_core::{ClientId, History, Result, SystemConfig, TxId, TxSpec};
-use snow_sim::{FifoScheduler, LatencyScheduler, Process, RandomScheduler, Scheduler, Simulation};
+use crate::any::deploy_any;
+use snow_core::{ClientId, History, Process, Result, SystemConfig, TxId, TxSpec};
+use snow_sim::{FifoScheduler, LatencyScheduler, RandomScheduler, Scheduler, Simulation};
 
 /// Which protocol a cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -177,20 +177,17 @@ pub fn build_cluster(
 }
 
 /// [`build_cluster`] with an explicit step cap (large workloads need more).
+///
+/// This is the simulator instantiation of the shared deployment layer: the
+/// per-protocol dispatch happens once, in [`crate::any::deploy_any`], which
+/// the tokio runtime's `AsyncCluster::deploy` uses too.
 pub fn build_cluster_with_max_steps(
     protocol: ProtocolKind,
     config: &SystemConfig,
     scheduler: SchedulerKind,
     max_steps: u64,
 ) -> Result<Box<dyn Cluster>> {
-    Ok(match protocol {
-        ProtocolKind::AlgA => boxed(alg_a::deploy(config)?, scheduler, max_steps),
-        ProtocolKind::AlgB => boxed(alg_b::deploy(config)?, scheduler, max_steps),
-        ProtocolKind::AlgC => boxed(alg_c::deploy(config)?, scheduler, max_steps),
-        ProtocolKind::Eiger => boxed(eiger::deploy(config)?, scheduler, max_steps),
-        ProtocolKind::Blocking => boxed(blocking::deploy(config)?, scheduler, max_steps),
-        ProtocolKind::Simple => boxed(simple::deploy(config)?, scheduler, max_steps),
-    })
+    Ok(boxed(deploy_any(protocol, config)?, scheduler, max_steps))
 }
 
 #[cfg(test)]

@@ -20,7 +20,7 @@ use snow_core::{
     ClientId, Key, ObjectId, ObjectRead, ProcessId, ReadOutcome, Result, ServerId, SnowError,
     SystemConfig, TxId, TxOutcome, TxSpec, Value, WriteOutcome,
 };
-use snow_sim::{Effects, MsgInfo, Process, SimMessage};
+use snow_core::{Effects, MsgInfo, Process, ProtocolMessage};
 use std::collections::BTreeMap;
 
 /// A logical (Lamport) timestamp.
@@ -100,7 +100,7 @@ pub enum EigerMsg {
     },
 }
 
-impl SimMessage for EigerMsg {
+impl ProtocolMessage for EigerMsg {
     fn info(&self) -> MsgInfo {
         match self {
             EigerMsg::WriteReq { tx, object, .. } => MsgInfo::write_request(*tx, Some(*object)),

@@ -1,9 +1,10 @@
 //! # snow-protocols
 //!
 //! Executable implementations of every READ/WRITE transaction protocol the
-//! paper discusses, written as message-driven state machines that run on the
-//! deterministic simulator (`snow-sim`) and, via the same state-machine
-//! types, inside the tokio runtime (`snow-runtime`):
+//! paper discusses, written once as transport-agnostic state machines
+//! (`snow_core::Process` implementations) and executed unchanged on both
+//! substrates — the deterministic simulator (`snow-sim`) and the tokio
+//! runtime (`snow-runtime`):
 //!
 //! * [`alg_a`] — **Algorithm A** (§5.2, Pseudocode 4): all four SNOW
 //!   properties in the multi-writer single-reader setting, using
@@ -22,8 +23,21 @@
 //! * [`simple`] — non-transactional simple reads/writes: the latency floor
 //!   that "optimal latency" is defined against (§1).
 //!
-//! [`deploy`] provides a uniform [`deploy::Cluster`] interface over all of
-//! them so workloads and benchmarks can be written once.
+//! # The unified deployment layer
+//!
+//! Deployment is described once and executed anywhere.  [`any`] erases the
+//! per-protocol node/message types behind enum dispatch ([`AnyNode`],
+//! [`AnyMsg`]), so [`deploy_any`] is the *single* `ProtocolKind`-dispatched
+//! construction path in the workspace:
+//!
+//! * the simulator wraps it in [`deploy::build_cluster`] (pick a
+//!   [`SchedulerKind`], drive through the [`deploy::Cluster`] trait);
+//! * the tokio runtime wraps it in `snow_runtime::AsyncCluster::deploy`.
+//!
+//! A new protocol therefore lands on both executors — and under the
+//! runtime/simulator parity harness (`tests/runtime_parity.rs`) — by adding
+//! one module and one [`AnyDeployment`] arm; no executor grows
+//! protocol-specific wiring.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,11 +45,13 @@
 pub mod alg_a;
 pub mod alg_b;
 pub mod alg_c;
+pub mod any;
 pub mod blocking;
 pub mod common;
 pub mod deploy;
 pub mod eiger;
 pub mod simple;
 
+pub use any::{deploy_any, AnyDeployment, AnyMsg, AnyNode};
 pub use common::{PendingRead, PendingWrite, WriteLog};
 pub use deploy::{build_cluster, Cluster, ProtocolKind, SchedulerKind};

@@ -14,7 +14,7 @@ use snow_core::{
     ClientId, Key, ObjectId, ObjectRead, ProcessId, Result, ServerId, ShardStore, SnowError,
     SystemConfig, TxId, TxOutcome, TxSpec, Value, WriteOutcome,
 };
-use snow_sim::{Effects, MsgInfo, Process, SimMessage};
+use snow_core::{Effects, MsgInfo, Process, ProtocolMessage};
 
 use crate::common::PendingRead;
 
@@ -59,7 +59,7 @@ pub enum SimpleMsg {
     },
 }
 
-impl SimMessage for SimpleMsg {
+impl ProtocolMessage for SimpleMsg {
     fn info(&self) -> MsgInfo {
         match self {
             SimpleMsg::ReadReq { tx, object } => MsgInfo::read_request(*tx, Some(*object)),

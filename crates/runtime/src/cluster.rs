@@ -1,21 +1,68 @@
 //! The async cluster: one tokio task per protocol process.
+//!
+//! [`AsyncCluster::deploy`] builds the cluster from the same
+//! `ProtocolKind`-dispatched deployment path (`snow_protocols::deploy_any`)
+//! the simulator's `build_cluster` uses, so every protocol runs on both
+//! executors with no per-protocol wiring here.
+//!
+//! The runtime mirrors the simulator's causal instrumentation: every
+//! message carries a lightweight [`MsgMeta`] envelope (its classification,
+//! the destinations of its causal ancestors, and — for read responses —
+//! whether the server answered within the handler of the request), from
+//! which the cluster derives the same per-transaction round counts, C2C
+//! counts and per-read non-blocking/version measurements that
+//! `snow_sim::Trace` computes.  Runtime histories are therefore
+//! checker-ready, which is what the runtime/simulator parity harness
+//! (`tests/runtime_parity.rs`) compares.
+//!
+//! Instrumentation cost: every tx-attributed send/receipt takes one lock on
+//! a shared per-transaction map.  At the scales the runtime serves today
+//! (latency tables, parity fixtures) this is noise; if the runtime becomes
+//! a throughput substrate, shard the map by `TxId` or accumulate per task
+//! and fold at RESP time (see ROADMAP).
 
 use parking_lot::Mutex;
-use snow_core::{ClientId, History, ProcessId, SnowError, TxId, TxOutcome, TxRecord, TxSpec};
-use snow_protocols::{alg_a, alg_b, alg_c, blocking, eiger, simple, ProtocolKind};
-use snow_core::SystemConfig;
-use snow_sim::{Effects, Process};
-use std::collections::HashMap;
+use snow_core::{
+    ClientId, History, MsgInfo, MsgKind, Process, ProcessId, ProtocolMessage, ReadResult,
+    SnowError, SystemConfig, TxId, TxKind, TxOutcome, TxRecord, TxSpec,
+};
+use snow_protocols::{deploy_any, AnyMsg, ProtocolKind};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tokio::sync::{mpsc, oneshot};
 use tokio::task::JoinHandle;
 
+/// Causal metadata travelling with every runtime message — the runtime
+/// analogue of the simulator trace's parent links.
+#[derive(Debug, Clone)]
+struct MsgMeta {
+    /// The message's protocol-agnostic classification.
+    info: MsgInfo,
+    /// Per-process counts of the message's causal ancestors addressed to
+    /// that process (the ancestors being the input message of the handler
+    /// that sent it, that message's ancestor, and so on up to the
+    /// invocation).  A send's round depth relative to its sender is `1 +`
+    /// the sender's count — exactly `snow_sim::Trace`'s causal round
+    /// derivation.  Stored as counts rather than the raw destination chain
+    /// so the envelope stays O(#processes) even when causality threads
+    /// through arbitrarily long handler chains (e.g. a lock-grant convoy).
+    ancestor_dest_counts: Vec<(ProcessId, u32)>,
+    /// For read responses: the response was produced within the handler of
+    /// a read request of the same transaction (the N property's
+    /// non-blocking criterion).
+    nonblocking: bool,
+}
+
 /// What a node task receives in its mailbox.
 enum Input<M> {
     /// A protocol message from another process.
-    Msg { from: ProcessId, msg: M },
+    Msg {
+        from: ProcessId,
+        msg: M,
+        meta: MsgMeta,
+    },
     /// A transaction invocation (client processes only).
     Invoke { tx: TxId, spec: TxSpec },
     /// Orderly shutdown.
@@ -33,8 +80,22 @@ pub struct ExecReport {
     pub latency: Duration,
 }
 
+/// Per-transaction instrumentation accumulated while the transaction runs.
+#[derive(Debug)]
+struct TxInstrument {
+    /// The client process that invoked the transaction.
+    invoker: ProcessId,
+    /// Max causal round depth among the invoker's sends.
+    rounds: u32,
+    /// Client-to-client sends attributed to the transaction.
+    c2c: u32,
+    /// Read responses received by the invoker, in receive order.
+    reads: Vec<ReadResult>,
+}
+
 struct Shared {
     waiters: Mutex<HashMap<TxId, oneshot::Sender<TxOutcome>>>,
+    instruments: Mutex<HashMap<TxId, TxInstrument>>,
 }
 
 /// A running cluster of tokio tasks executing one protocol deployment.
@@ -47,15 +108,27 @@ pub struct AsyncCluster<M: Send + 'static> {
     history: Mutex<History>,
 }
 
+impl AsyncCluster<AnyMsg> {
+    /// Spawns the cluster of `protocol` over `config` — the runtime
+    /// instantiation of the shared deployment layer.  Any [`ProtocolKind`]
+    /// works; configuration requirements (e.g. Algorithm A's MWSR + C2C)
+    /// are validated by the deployment itself.
+    pub fn deploy(protocol: ProtocolKind, config: &SystemConfig) -> Result<Self, SnowError> {
+        Ok(AsyncCluster::spawn(deploy_any(protocol, config)?))
+    }
+}
+
 impl<M: Send + 'static> AsyncCluster<M> {
-    /// Spawns one task per process.  Generic over the protocol node type.
+    /// Spawns one task per process.  Generic over the protocol node type;
+    /// protocol deployments come through [`AsyncCluster::deploy`].
     pub fn spawn<P>(nodes: Vec<P>) -> Self
     where
         P: Process<Msg = M> + Send + 'static,
-        M: Clone + std::fmt::Debug,
+        M: ProtocolMessage,
     {
         let shared = Arc::new(Shared {
             waiters: Mutex::new(HashMap::new()),
+            instruments: Mutex::new(HashMap::new()),
         });
         let mut inboxes: HashMap<ProcessId, mpsc::UnboundedSender<Input<M>>> = HashMap::new();
         let mut receivers = Vec::new();
@@ -71,18 +144,50 @@ impl<M: Send + 'static> AsyncCluster<M> {
             handles.push(tokio::spawn(async move {
                 let my_id = node.id();
                 while let Some(input) = rx.recv().await {
-                    let mut effects = Effects::new(0);
-                    match input {
-                        Input::Msg { from, msg } => node.on_message(from, msg, &mut effects),
-                        Input::Invoke { tx, spec } => node.on_invoke(tx, spec, &mut effects),
+                    let mut effects = snow_core::Effects::new(0);
+                    let parent: Option<MsgMeta> = match input {
+                        Input::Msg { from, msg, meta } => {
+                            record_receipt(&shared, my_id, from, &meta);
+                            node.on_message(from, msg, &mut effects);
+                            Some(meta)
+                        }
+                        Input::Invoke { tx, spec } => {
+                            node.on_invoke(tx, spec, &mut effects);
+                            None
+                        }
                         Input::Shutdown => break,
-                    }
+                    };
                     let (sends, responses) = effects.into_parts();
+                    // Ancestors of the sends emitted by this handler: the
+                    // input message (addressed to this process) plus its own
+                    // ancestry.
+                    let ancestor_dest_counts: Vec<(ProcessId, u32)> = match &parent {
+                        Some(meta) => {
+                            let mut counts = meta.ancestor_dest_counts.clone();
+                            match counts.iter_mut().find(|(p, _)| *p == my_id) {
+                                Some((_, n)) => *n += 1,
+                                None => counts.push((my_id, 1)),
+                            }
+                            counts
+                        }
+                        None => Vec::new(),
+                    };
                     for (to, msg) in sends {
+                        let info = msg.info();
+                        record_send(&shared, my_id, &info, &ancestor_dest_counts);
+                        let meta = MsgMeta {
+                            info,
+                            ancestor_dest_counts: ancestor_dest_counts.clone(),
+                            nonblocking: info.kind == MsgKind::ReadResponse
+                                && info.tx.is_some()
+                                && parent.as_ref().map_or(false, |p| {
+                                    p.info.kind == MsgKind::ReadRequest && p.info.tx == info.tx
+                                }),
+                        };
                         if let Some(inbox) = inboxes.get(&to) {
                             // A closed peer means the cluster is shutting
                             // down; dropping the message is fine then.
-                            let _ = inbox.send(Input::Msg { from: my_id, msg });
+                            let _ = inbox.send(Input::Msg { from: my_id, msg, meta });
                         }
                     }
                     for (tx, outcome) in responses {
@@ -103,71 +208,115 @@ impl<M: Send + 'static> AsyncCluster<M> {
         }
     }
 
+    /// Registers the bookkeeping for one invocation and dispatches it.
+    fn dispatch(
+        &self,
+        client: ClientId,
+        spec: &TxSpec,
+    ) -> Result<(TxId, oneshot::Receiver<TxOutcome>, u64, Instant), SnowError> {
+        let tx = TxId(self.next_tx.fetch_add(1, Ordering::Relaxed));
+        let inbox = self
+            .inboxes
+            .get(&ProcessId::Client(client))
+            .ok_or_else(|| SnowError::Transport(format!("unknown client {client}")))?;
+        let (done_tx, done_rx) = oneshot::channel();
+        self.shared.waiters.lock().insert(tx, done_tx);
+        self.shared.instruments.lock().insert(
+            tx,
+            TxInstrument {
+                invoker: ProcessId::Client(client),
+                rounds: 0,
+                c2c: 0,
+                reads: Vec::new(),
+            },
+        );
+        let invoked_at = self.started.elapsed().as_nanos() as u64;
+        let start = Instant::now();
+        inbox
+            .send(Input::Invoke { tx, spec: spec.clone() })
+            .map_err(|_| SnowError::Transport("client task terminated".into()))?;
+        Ok((tx, done_rx, invoked_at, start))
+    }
+
+    /// Assembles the completed record of `tx`, folding in the accumulated
+    /// instrumentation, and appends it to the history.
+    fn finish(
+        &self,
+        tx: TxId,
+        client: ClientId,
+        spec: TxSpec,
+        invoked_at: u64,
+        latency: Duration,
+        outcome: TxOutcome,
+    ) -> ExecReport {
+        let mut record = TxRecord::invoked(tx, client, spec, invoked_at);
+        record.responded_at = Some(invoked_at + latency.as_nanos() as u64);
+        record.outcome = Some(outcome.clone());
+        if let Some(ins) = self.shared.instruments.lock().remove(&tx) {
+            record.rounds = ins.rounds;
+            record.c2c_messages = ins.c2c;
+            if record.kind() == TxKind::Read {
+                record.reads = ins.reads;
+            }
+        }
+        self.history.lock().push(record);
+        ExecReport { tx, outcome, latency }
+    }
+
     /// Executes one transaction at `client` and awaits its outcome.
     pub async fn execute(
         &self,
         client: ClientId,
         spec: TxSpec,
     ) -> Result<ExecReport, SnowError> {
-        let tx = TxId(self.next_tx.fetch_add(1, Ordering::Relaxed));
-        let (done_tx, done_rx) = oneshot::channel();
-        self.shared.waiters.lock().insert(tx, done_tx);
-        let inbox = self
-            .inboxes
-            .get(&ProcessId::Client(client))
-            .ok_or_else(|| SnowError::Transport(format!("unknown client {client}")))?;
-        let invoked_at = self.started.elapsed().as_nanos() as u64;
-        let start = Instant::now();
-        inbox
-            .send(Input::Invoke { tx, spec: spec.clone() })
-            .map_err(|_| SnowError::Transport("client task terminated".into()))?;
+        let (tx, done_rx, invoked_at, start) = self.dispatch(client, &spec)?;
         let outcome = done_rx.await.map_err(|_| SnowError::Incomplete(tx))?;
         let latency = start.elapsed();
-
-        let mut record = TxRecord::invoked(tx, client, spec, invoked_at);
-        record.responded_at = Some(invoked_at + latency.as_nanos() as u64);
-        record.outcome = Some(outcome.clone());
-        self.history.lock().push(record);
-        Ok(ExecReport { tx, outcome, latency })
+        Ok(self.finish(tx, client, spec, invoked_at, latency, outcome))
     }
 
     /// Executes a batch of `(client, spec)` pairs concurrently: every
     /// invocation is dispatched before any outcome is awaited, so the
-    /// transactions genuinely overlap.  Each client must appear at most once
-    /// per batch (the model's well-formedness requirement).
+    /// transactions genuinely overlap.
+    ///
+    /// Each client may appear at most once per batch — the model's
+    /// well-formedness requirement (one outstanding transaction per client).
+    /// A batch that repeats a client is rejected with
+    /// [`SnowError::NotWellFormed`] before anything is dispatched.
     pub async fn execute_all(
         &self,
         batch: Vec<(ClientId, TxSpec)>,
     ) -> Result<Vec<ExecReport>, SnowError> {
+        let mut seen = HashSet::new();
+        for (client, _) in &batch {
+            if !seen.insert(*client) {
+                return Err(SnowError::NotWellFormed {
+                    reason: format!(
+                        "client {client} appears more than once in one execute_all batch \
+                         (one outstanding transaction per client)"
+                    ),
+                });
+            }
+            if !self.inboxes.contains_key(&ProcessId::Client(*client)) {
+                return Err(SnowError::Transport(format!("unknown client {client}")));
+            }
+        }
         let mut in_flight = Vec::with_capacity(batch.len());
         for (client, spec) in batch {
-            let tx = TxId(self.next_tx.fetch_add(1, Ordering::Relaxed));
-            let (done_tx, done_rx) = oneshot::channel();
-            self.shared.waiters.lock().insert(tx, done_tx);
-            let inbox = self
-                .inboxes
-                .get(&ProcessId::Client(client))
-                .ok_or_else(|| SnowError::Transport(format!("unknown client {client}")))?;
-            let invoked_at = self.started.elapsed().as_nanos() as u64;
-            inbox
-                .send(Input::Invoke { tx, spec: spec.clone() })
-                .map_err(|_| SnowError::Transport("client task terminated".into()))?;
-            in_flight.push((tx, client, spec, done_rx, Instant::now(), invoked_at));
+            let (tx, done_rx, invoked_at, start) = self.dispatch(client, &spec)?;
+            in_flight.push((tx, client, spec, done_rx, start, invoked_at));
         }
         let mut out = Vec::with_capacity(in_flight.len());
         for (tx, client, spec, done_rx, start, invoked_at) in in_flight {
             let outcome = done_rx.await.map_err(|_| SnowError::Incomplete(tx))?;
             let latency = start.elapsed();
-            let mut record = TxRecord::invoked(tx, client, spec, invoked_at);
-            record.responded_at = Some(invoked_at + latency.as_nanos() as u64);
-            record.outcome = Some(outcome.clone());
-            self.history.lock().push(record);
-            out.push(ExecReport { tx, outcome, latency });
+            out.push(self.finish(tx, client, spec, invoked_at, latency, outcome));
         }
         Ok(out)
     }
 
-    /// The history of everything executed so far (latencies in nanoseconds).
+    /// The history of everything executed so far (latencies in nanoseconds,
+    /// round/C2C/per-read instrumentation included).
     pub fn history(&self) -> History {
         self.history.lock().clone()
     }
@@ -184,42 +333,62 @@ impl<M: Send + 'static> AsyncCluster<M> {
     }
 }
 
-/// Spawns an [`AsyncCluster`] for any [`ProtocolKind`] except Algorithm A
-/// (whose message type differs); use the typed constructors when the
-/// protocol is known statically.
-pub mod typed {
-    use super::*;
+/// Folds one send into the per-transaction instrumentation — the same rules
+/// `snow_sim::Trace::record` applies to `Send` actions.
+fn record_send(
+    shared: &Shared,
+    sender: ProcessId,
+    info: &MsgInfo,
+    ancestor_dest_counts: &[(ProcessId, u32)],
+) {
+    let Some(tx) = info.tx else { return };
+    let mut instruments = shared.instruments.lock();
+    let Some(ins) = instruments.get_mut(&tx) else { return };
+    if info.kind == MsgKind::ClientToClient {
+        ins.c2c += 1;
+        return;
+    }
+    if ins.invoker == sender {
+        let hops = ancestor_dest_counts
+            .iter()
+            .find(|(p, _)| *p == sender)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
+        ins.rounds = ins.rounds.max(1 + hops);
+    }
+}
 
-    /// Spawns an Algorithm A cluster.
-    pub fn alg_a(config: &SystemConfig) -> Result<AsyncCluster<alg_a::AlgAMsg>, SnowError> {
-        Ok(AsyncCluster::spawn(alg_a::deploy(config)?))
+/// Folds one delivery into the per-transaction instrumentation — the same
+/// rules `snow_sim::Trace::record` applies to `Recv` actions.
+fn record_receipt(shared: &Shared, receiver: ProcessId, from: ProcessId, meta: &MsgMeta) {
+    let info = meta.info;
+    if info.kind != MsgKind::ReadResponse {
+        return;
     }
-    /// Spawns an Algorithm B cluster.
-    pub fn alg_b(config: &SystemConfig) -> Result<AsyncCluster<alg_b::AlgBMsg>, SnowError> {
-        Ok(AsyncCluster::spawn(alg_b::deploy(config)?))
+    let (Some(tx), Some(object)) = (info.tx, info.object) else {
+        return; // metadata response (e.g. get-tag-arr)
+    };
+    let Some(server) = from.as_server() else {
+        return;
+    };
+    let mut instruments = shared.instruments.lock();
+    let Some(ins) = instruments.get_mut(&tx) else { return };
+    if ins.invoker != receiver {
+        return;
     }
-    /// Spawns an Algorithm C cluster.
-    pub fn alg_c(config: &SystemConfig) -> Result<AsyncCluster<alg_c::AlgCMsg>, SnowError> {
-        Ok(AsyncCluster::spawn(alg_c::deploy(config)?))
-    }
-    /// Spawns an Eiger-style cluster.
-    pub fn eiger(config: &SystemConfig) -> Result<AsyncCluster<eiger::EigerMsg>, SnowError> {
-        Ok(AsyncCluster::spawn(eiger::deploy(config)?))
-    }
-    /// Spawns a blocking-2PL cluster.
-    pub fn blocking(config: &SystemConfig) -> Result<AsyncCluster<blocking::BlockingMsg>, SnowError> {
-        Ok(AsyncCluster::spawn(blocking::deploy(config)?))
-    }
-    /// Spawns a simple-operations cluster.
-    pub fn simple(config: &SystemConfig) -> Result<AsyncCluster<simple::SimpleMsg>, SnowError> {
-        Ok(AsyncCluster::spawn(simple::deploy(config)?))
-    }
+    ins.reads.push(ReadResult {
+        object,
+        server,
+        versions_in_response: info.versions.max(1),
+        nonblocking: meta.nonblocking,
+    });
 }
 
 /// Runs `reads` READ transactions (each over `objects`) against a freshly
 /// spawned cluster of `protocol`, after seeding it with `writes` WRITE
 /// transactions, and returns the read latencies in nanoseconds.  This is the
-/// helper the latency benchmarks use.
+/// helper the latency benchmarks use; it is one code path for every
+/// protocol, courtesy of the erased deployment layer.
 pub async fn measure_read_latencies(
     protocol: ProtocolKind,
     config: &SystemConfig,
@@ -230,40 +399,25 @@ pub async fn measure_read_latencies(
     let objects: Vec<ObjectId> = config.objects().collect();
     let reader = config.readers().next().expect("one reader");
     let writer = config.writers().next().expect("one writer");
-    let write_spec = |i: usize| {
-        TxSpec::write(
+    let read_spec = TxSpec::read(objects.clone());
+
+    let cluster = AsyncCluster::deploy(protocol, config)?;
+    for i in 0..writes {
+        let spec = TxSpec::write(
             objects
                 .iter()
                 .map(|o| (*o, Value::derived(writer.0, i as u64 + 1, o.0)))
                 .collect(),
-        )
-    };
-    let read_spec = TxSpec::read(objects.clone());
-
-    macro_rules! run {
-        ($cluster:expr) => {{
-            let cluster = $cluster;
-            for i in 0..writes {
-                cluster.execute(writer, write_spec(i)).await?;
-            }
-            let mut latencies = Vec::with_capacity(reads);
-            for _ in 0..reads {
-                let report = cluster.execute(reader, read_spec.clone()).await?;
-                latencies.push(report.latency.as_nanos() as u64);
-            }
-            cluster.shutdown().await;
-            Ok(latencies)
-        }};
+        );
+        cluster.execute(writer, spec).await?;
     }
-
-    match protocol {
-        ProtocolKind::AlgA => run!(typed::alg_a(config)?),
-        ProtocolKind::AlgB => run!(typed::alg_b(config)?),
-        ProtocolKind::AlgC => run!(typed::alg_c(config)?),
-        ProtocolKind::Eiger => run!(typed::eiger(config)?),
-        ProtocolKind::Blocking => run!(typed::blocking(config)?),
-        ProtocolKind::Simple => run!(typed::simple(config)?),
+    let mut latencies = Vec::with_capacity(reads);
+    for _ in 0..reads {
+        let report = cluster.execute(reader, read_spec.clone()).await?;
+        latencies.push(report.latency.as_nanos() as u64);
     }
+    cluster.shutdown().await;
+    Ok(latencies)
 }
 
 #[cfg(test)]
@@ -274,7 +428,7 @@ mod tests {
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn alg_b_runs_on_tokio_and_reads_see_writes() {
         let config = SystemConfig::mwmr(2, 1, 1);
-        let cluster = typed::alg_b(&config).unwrap();
+        let cluster = AsyncCluster::deploy(ProtocolKind::AlgB, &config).unwrap();
         let writer = config.writers().next().unwrap();
         let reader = config.readers().next().unwrap();
         let w = cluster
@@ -298,6 +452,43 @@ mod tests {
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn runtime_histories_carry_trace_equivalent_instrumentation() {
+        // The Algorithm B signature the simulator derives from its trace —
+        // two rounds, one version per response, non-blocking, no C2C — must
+        // come out of the runtime's envelope instrumentation too.
+        let config = SystemConfig::mwmr(2, 1, 1);
+        let cluster = AsyncCluster::deploy(ProtocolKind::AlgB, &config).unwrap();
+        let writer = config.writers().next().unwrap();
+        let reader = config.readers().next().unwrap();
+        cluster
+            .execute(writer, TxSpec::write(vec![(ObjectId(0), Value(1))]))
+            .await
+            .unwrap();
+        let r = cluster
+            .execute(reader, TxSpec::read(vec![ObjectId(0), ObjectId(1)]))
+            .await
+            .unwrap();
+        let history = cluster.history();
+        let rec = history.get(r.tx).unwrap();
+        assert_eq!(rec.rounds, 2, "round 1 get-tag-arr + round 2 read-val");
+        assert_eq!(rec.reads.len(), 2, "one ReadResult per object");
+        assert!(rec.all_reads_nonblocking());
+        assert_eq!(rec.max_versions_per_read(), 1);
+        assert_eq!(rec.c2c_messages, 0);
+        // Algorithm A: C2C registration is visible on the write path.
+        let config = SystemConfig::mwsr(2, 1, true);
+        let cluster = AsyncCluster::deploy(ProtocolKind::AlgA, &config).unwrap();
+        let writer = config.writers().next().unwrap();
+        let w = cluster
+            .execute(writer, TxSpec::write(vec![(ObjectId(0), Value(3))]))
+            .await
+            .unwrap();
+        let history = cluster.history();
+        assert_eq!(history.get(w.tx).unwrap().c2c_messages, 2, "info-reader + info-ack");
+        cluster.shutdown().await;
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn every_protocol_executes_on_the_runtime() {
         for protocol in ProtocolKind::all() {
             let config = if protocol.needs_c2c() {
@@ -314,7 +505,7 @@ mod tests {
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn concurrent_batch_execution_completes() {
         let config = SystemConfig::mwmr(4, 2, 2);
-        let cluster = typed::alg_c(&config).unwrap();
+        let cluster = AsyncCluster::deploy(ProtocolKind::AlgC, &config).unwrap();
         let readers: Vec<_> = config.readers().collect();
         let writers: Vec<_> = config.writers().collect();
         let batch = vec![
@@ -329,9 +520,38 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn repeated_client_in_a_batch_is_rejected() {
+        let config = SystemConfig::mwmr(2, 1, 1);
+        let cluster = AsyncCluster::deploy(ProtocolKind::AlgB, &config).unwrap();
+        let writer = config.writers().next().unwrap();
+        let batch = vec![
+            (writer, TxSpec::write(vec![(ObjectId(0), Value(1))])),
+            (writer, TxSpec::write(vec![(ObjectId(1), Value(2))])),
+        ];
+        let err = cluster.execute_all(batch).await.unwrap_err();
+        assert!(matches!(err, SnowError::NotWellFormed { .. }), "{err}");
+        // An unknown client anywhere in the batch is also rejected before
+        // anything is dispatched.
+        let mixed = vec![
+            (writer, TxSpec::write(vec![(ObjectId(0), Value(9))])),
+            (ClientId(99), TxSpec::read(vec![ObjectId(0)])),
+        ];
+        let err = cluster.execute_all(mixed).await.unwrap_err();
+        assert!(matches!(err, SnowError::Transport(_)), "{err}");
+        // Nothing was dispatched: the cluster still executes cleanly.
+        let ok = cluster
+            .execute_all(vec![(writer, TxSpec::write(vec![(ObjectId(0), Value(3))]))])
+            .await
+            .unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(cluster.history().len(), 1);
+        cluster.shutdown().await;
+    }
+
+    #[tokio::test]
     async fn unknown_client_is_an_error() {
         let config = SystemConfig::mwmr(2, 1, 1);
-        let cluster = typed::simple(&config).unwrap();
+        let cluster = AsyncCluster::deploy(ProtocolKind::Simple, &config).unwrap();
         let err = cluster
             .execute(ClientId(99), TxSpec::read(vec![ObjectId(0)]))
             .await

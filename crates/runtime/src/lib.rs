@@ -7,6 +7,17 @@
 //! invocations are regular async calls that resolve when the protocol emits
 //! the RESP event.
 //!
+//! Protocol wiring is not duplicated here.  The `Process`/`Effects`
+//! contract lives in `snow-core`, and [`AsyncCluster::deploy`] builds a
+//! cluster for any `ProtocolKind` through the same protocol-erased
+//! deployment path (`snow_protocols::deploy_any`) the simulator's
+//! `build_cluster` uses — one dispatch point, two executors.  The runtime
+//! also derives the simulator-equivalent per-transaction instrumentation
+//! (rounds, C2C counts, per-read non-blocking/version measurements) from
+//! causal message envelopes, so runtime histories feed `snow-checker`
+//! directly and the `runtime_parity` integration test can hold both
+//! executors to the same golden semantics.
+//!
 //! This is the substrate for the wall-clock latency and throughput
 //! experiments (E8–E10 in `DESIGN.md`): the simulator measures rounds and
 //! schedules adversarially; the runtime measures what those rounds cost on a
@@ -17,4 +28,4 @@
 
 pub mod cluster;
 
-pub use cluster::{AsyncCluster, ExecReport};
+pub use cluster::{measure_read_latencies, AsyncCluster, ExecReport};

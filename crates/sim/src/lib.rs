@@ -7,7 +7,10 @@
 //! * processes ([`Process`]) are state machines reacting to delivered
 //!   messages and to transaction invocations, emitting sends and responses
 //!   through an [`Effects`] buffer — exactly the "actions at one automaton"
-//!   granularity the paper's fragment arguments rely on;
+//!   granularity the paper's fragment arguments rely on.  The
+//!   [`Process`]/[`Effects`] contract itself lives in `snow-core`
+//!   (transport-agnostic); this crate is one of its two execution
+//!   substrates, the other being the tokio runtime in `snow-runtime`;
 //! * the network is **reliable but asynchronous**: every sent message is
 //!   eventually deliverable, but the order and timing of deliveries are under
 //!   the control of a [`Scheduler`] (seeded-random, FIFO, latency-modelled, or
@@ -31,14 +34,13 @@
 
 pub mod message;
 pub mod pool;
-pub mod process;
 pub mod scheduler;
 pub mod sim;
 pub mod trace;
 
 pub use message::{MsgId, MsgInfo, MsgKind, PendingMessage, SimMessage};
 pub use pool::MessagePool;
-pub use process::{Effects, Process};
+pub use snow_core::{Effects, Process};
 pub use scheduler::{FifoScheduler, LatencyScheduler, RandomScheduler, Scheduler};
 pub use sim::{InvocationPlan, Simulation, StepOutcome};
 pub use trace::{Action, ActionKind, Trace};

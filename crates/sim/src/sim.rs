@@ -32,10 +32,9 @@
 
 use crate::message::{MsgId, PendingMessage, SimMessage};
 use crate::pool::MessagePool;
-use crate::process::{Effects, Process};
 use crate::scheduler::Scheduler;
 use crate::trace::{ActionKind, Trace};
-use snow_core::{ClientId, History, ProcessId, TxId, TxKind, TxRecord, TxSpec};
+use snow_core::{ClientId, Effects, History, Process, ProcessId, TxId, TxKind, TxRecord, TxSpec};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, BTreeMap};
 
@@ -132,6 +131,24 @@ where
     /// Overrides the safety cap on the number of steps a run may take.
     pub fn with_max_steps(mut self, max_steps: u64) -> Self {
         self.max_steps = max_steps;
+        self
+    }
+
+    /// Bounds the trace's raw action log to a sliding window of roughly
+    /// `capacity` recent actions (see [`Trace::with_action_capacity`]).
+    /// The per-transaction aggregates — and therefore
+    /// [`Simulation::history`] — are byte-for-byte unaffected; only
+    /// retrospective action inspection loses evicted entries.  Use this for
+    /// long workload runs where the O(actions) raw log is the memory
+    /// bottleneck; note the per-message causality table is not yet pruned
+    /// (O(messages) with a small constant — see
+    /// [`Trace::with_action_capacity`]).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        assert!(
+            self.trace.is_empty(),
+            "set the trace capacity before running the simulation"
+        );
+        self.trace = Trace::with_action_capacity(capacity);
         self
     }
 
@@ -613,5 +630,36 @@ mod tests {
     fn duplicate_process_ids_are_rejected() {
         let mut sim = toy_sim(FifoScheduler::new());
         sim.add_process(ToyNode::Server { id: ServerId(0) });
+    }
+
+    #[test]
+    fn bounded_trace_mode_preserves_histories() {
+        let run = |capacity: Option<usize>| {
+            let mut sim = toy_sim(RandomScheduler::new(11));
+            if let Some(cap) = capacity {
+                sim = sim.with_trace_capacity(cap);
+            }
+            for i in 0..50u64 {
+                sim.invoke_at(i * 3, ClientId(0), TxSpec::read(vec![ObjectId(0), ObjectId(1)]));
+            }
+            sim.run_until_quiescent();
+            (format!("{:?}", sim.history()), sim.trace().actions().len())
+        };
+        let (unbounded_history, unbounded_actions) = run(None);
+        let (bounded_history, bounded_actions) = run(Some(16));
+        // Same seed, same schedule, same derived history — the aggregates
+        // do not depend on the retained window.
+        assert_eq!(bounded_history, unbounded_history);
+        assert!(bounded_actions <= 32, "window bounded at 2×capacity");
+        assert!(unbounded_actions > 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "before running")]
+    fn trace_capacity_cannot_be_set_mid_run() {
+        let mut sim = toy_sim(FifoScheduler::new());
+        sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(0)]));
+        sim.run_until_quiescent();
+        let _ = sim.with_trace_capacity(4);
     }
 }

@@ -26,10 +26,21 @@
 //! Read-response instrumentation requires the transaction's `Invoke` action
 //! to be recorded before its message actions (always true for engine-driven
 //! traces; hand-built traces must follow the same order).
+//!
+//! # Bounded action logs
+//!
+//! For million-transaction workloads the raw action log dominates memory.
+//! [`Trace::with_action_capacity`] bounds it: only a sliding window of
+//! recent actions is retained (at least `capacity`, at most `2 × capacity`
+//! so eviction amortizes to O(1)), while every incremental aggregate —
+//! round depths, C2C counts, read instrumentation, causal parent links —
+//! is maintained from a compact per-message side table (`SendMeta`) and
+//! therefore stays *exactly* equal to the unbounded trace's.  Queries over evicted actions ([`Trace::send_of`],
+//! [`Trace::recv_of`], [`Trace::at`], [`Trace::of_tx`]) simply omit them.
 
 use crate::message::{MsgId, MsgInfo, MsgKind};
 use snow_core::{ProcessId, ReadResult, TxId, TxKind};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// The kind of an externally visible action.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,8 +106,9 @@ impl Action {
 /// Per-transaction incrementally maintained statistics.
 #[derive(Debug, Clone, Default)]
 struct TxIndex {
-    /// Indexes into `actions` of this transaction's actions, in order.
-    actions: Vec<usize>,
+    /// Sequence numbers of this transaction's actions, in order (front
+    /// entries are dropped as the ring evicts them).
+    actions: VecDeque<u64>,
     /// The process at which the transaction's INV occurred.
     invoker: Option<ProcessId>,
     /// Client-to-client sends attributed to this transaction.
@@ -108,53 +120,146 @@ struct TxIndex {
     reads: Vec<ReadResult>,
 }
 
+/// Compact record-time metadata of one send: everything the causal
+/// derivations (round depth, non-blocking verdict, parent links) need,
+/// independent of whether the full `Send` action is still retained.
+#[derive(Debug, Clone, Copy)]
+struct SendMeta {
+    to: ProcessId,
+    parent: Option<MsgId>,
+    kind: MsgKind,
+    tx: Option<TxId>,
+}
+
 /// The ordered list of external actions of one execution, with incremental
 /// per-transaction indexes (see the module docs).
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
+    /// Retained actions; a sliding window of the full log when a capacity
+    /// is set, the full log otherwise.
     actions: Vec<Action>,
-    /// `MsgId → index of its Send action`.
-    send_seq: HashMap<MsgId, usize>,
-    /// `MsgId → index of its Recv action`.
-    recv_seq: HashMap<MsgId, usize>,
+    /// Sequence number of `actions[0]` (> 0 once evictions happened).
+    base_seq: u64,
+    /// Total number of actions ever recorded.
+    recorded: u64,
+    /// Retained-action cap (`None` = unbounded).
+    capacity: Option<usize>,
+    /// `MsgId → seq of its Send action`.
+    send_seq: HashMap<MsgId, u64>,
+    /// `MsgId → seq of its Recv action`.
+    recv_seq: HashMap<MsgId, u64>,
+    /// `MsgId → send metadata` (kept across evictions; see [`SendMeta`]).
+    send_meta: HashMap<MsgId, SendMeta>,
     /// Per-transaction statistics.
     by_tx: HashMap<TxId, TxIndex>,
-    /// Per-process action indexes (the projection `trace(α)|p`).
-    by_proc: HashMap<ProcessId, Vec<usize>>,
+    /// Per-process action seqs (the projection `trace(α)|p`).
+    by_proc: HashMap<ProcessId, VecDeque<u64>>,
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty trace retaining every action.
     pub fn new() -> Self {
         Trace::default()
+    }
+
+    /// Creates an empty trace that retains a bounded sliding window of
+    /// recent actions: always the most recent `capacity`, never more than
+    /// `2 × capacity` (eviction is batched so recording stays amortized
+    /// O(1)).  All incremental aggregates — round depths, C2C counts, read
+    /// instrumentation, [`Trace::parent_of`] — are unaffected by eviction
+    /// and match the unbounded trace exactly; only the raw-action queries
+    /// forget evicted history.
+    ///
+    /// Caveat: the compact per-message causality table backing those
+    /// aggregates (~40 B per send) is *not* yet evicted, so total memory is
+    /// O(messages) with a far smaller constant than the action log, not
+    /// O(capacity).  Pruning it per transaction at RESP is the recorded
+    /// follow-up (ROADMAP, "Trace memory").
+    pub fn with_action_capacity(capacity: usize) -> Self {
+        Trace {
+            capacity: Some(capacity),
+            ..Trace::default()
+        }
+    }
+
+    /// The retained-action cap, if one was set.
+    pub fn action_capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Appends an action, assigning it the next sequence number and folding
     /// it into the derived indexes.
     pub fn record(&mut self, time: u64, at: ProcessId, kind: ActionKind) {
-        let index = self.actions.len();
-        let action = Action {
-            seq: index as u64,
-            time,
-            at,
-            kind,
-        };
-        self.index_action(index, &action);
+        let seq = self.recorded;
+        self.recorded += 1;
+        let action = Action { seq, time, at, kind };
+        self.index_action(seq, &action);
         self.actions.push(action);
+        if let Some(cap) = self.capacity {
+            // Amortized O(1): let the buffer grow to 2× the cap, then slide
+            // the window in one drain.
+            if self.actions.len() > cap.saturating_mul(2).max(1) {
+                let excess = self.actions.len() - cap;
+                self.evict(excess);
+            }
+        }
     }
 
-    fn index_action(&mut self, index: usize, action: &Action) {
-        self.by_proc.entry(action.at).or_default().push(index);
+    /// Drops the `count` oldest retained actions and their index entries.
+    fn evict(&mut self, count: usize) {
+        for action in self.actions.drain(..count) {
+            match &action.kind {
+                ActionKind::Send { msg, .. } => {
+                    self.send_seq.remove(msg);
+                }
+                ActionKind::Recv { msg, .. } => {
+                    self.recv_seq.remove(msg);
+                }
+                _ => {}
+            }
+            if let Some(list) = self.by_proc.get_mut(&action.at) {
+                if list.front() == Some(&action.seq) {
+                    list.pop_front();
+                }
+            }
+            if let Some(tx) = action.tx() {
+                if let Some(index) = self.by_tx.get_mut(&tx) {
+                    if index.actions.front() == Some(&action.seq) {
+                        index.actions.pop_front();
+                    }
+                }
+            }
+        }
+        self.base_seq += count as u64;
+    }
+
+    /// The retained action with sequence number `seq`, if not evicted.
+    fn action_at(&self, seq: u64) -> Option<&Action> {
+        seq.checked_sub(self.base_seq)
+            .and_then(|i| self.actions.get(i as usize))
+    }
+
+    fn index_action(&mut self, seq: u64, action: &Action) {
+        self.by_proc.entry(action.at).or_default().push_back(seq);
         if let Some(tx) = action.tx() {
-            self.by_tx.entry(tx).or_default().actions.push(index);
+            self.by_tx.entry(tx).or_default().actions.push_back(seq);
         }
         match &action.kind {
             ActionKind::Invoke { tx, .. } => {
                 self.by_tx.entry(*tx).or_default().invoker = Some(action.at);
             }
             ActionKind::Respond { .. } => {}
-            ActionKind::Send { msg, parent, info, .. } => {
-                self.send_seq.insert(*msg, index);
+            ActionKind::Send { msg, parent, info, to } => {
+                self.send_seq.insert(*msg, seq);
+                self.send_meta.insert(
+                    *msg,
+                    SendMeta {
+                        to: *to,
+                        parent: *parent,
+                        kind: info.kind,
+                        tx: info.tx,
+                    },
+                );
                 let Some(tx) = info.tx else { return };
                 if info.kind == MsgKind::ClientToClient {
                     self.by_tx.entry(tx).or_default().c2c_sends += 1;
@@ -177,7 +282,7 @@ impl Trace {
                 }
             }
             ActionKind::Recv { msg, from, info } => {
-                self.recv_seq.insert(*msg, index);
+                self.recv_seq.insert(*msg, seq);
                 let Some(tx) = info.tx else { return };
                 if info.kind != MsgKind::ReadResponse {
                     return;
@@ -199,13 +304,8 @@ impl Trace {
                 // any other input action).
                 let nonblocking = self
                     .parent_of(*msg)
-                    .and_then(|parent| self.send_of(parent))
-                    .map(|send| match &send.kind {
-                        ActionKind::Send { info: pinfo, .. } => {
-                            pinfo.kind == MsgKind::ReadRequest && pinfo.tx == Some(tx)
-                        }
-                        _ => false,
-                    })
+                    .and_then(|parent| self.send_meta.get(&parent))
+                    .map(|meta| meta.kind == MsgKind::ReadRequest && meta.tx == Some(tx))
                     .unwrap_or(false);
                 self.by_tx.entry(tx).or_default().reads.push(ReadResult {
                     object,
@@ -223,67 +323,70 @@ impl Trace {
         let mut depth = 1u32;
         let mut cur = parent;
         while let Some(p) = cur {
-            let Some(send) = self.send_of(p) else { break };
-            let ActionKind::Send { to, parent, .. } = &send.kind else {
-                break;
-            };
-            if *to == sender {
+            let Some(meta) = self.send_meta.get(&p) else { break };
+            if meta.to == sender {
                 depth += 1;
             }
-            cur = *parent;
+            cur = meta.parent;
         }
         depth
     }
 
-    /// All actions in order.
+    /// The retained actions in order: the full log for an unbounded trace,
+    /// the most recent window for a bounded one.
     pub fn actions(&self) -> &[Action] {
         &self.actions
     }
 
-    /// Number of actions recorded.
+    /// Number of actions recorded (including any evicted from a bounded
+    /// trace's window).
     pub fn len(&self) -> usize {
-        self.actions.len()
+        self.recorded as usize
+    }
+
+    /// Number of actions evicted from a bounded trace's window.
+    pub fn evicted_len(&self) -> usize {
+        self.base_seq as usize
     }
 
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.actions.is_empty()
+        self.recorded == 0
     }
 
-    /// The actions occurring at one automaton, in order — the projection
-    /// `trace(α)|p` the indistinguishability arguments use.
+    /// The retained actions occurring at one automaton, in order — the
+    /// projection `trace(α)|p` the indistinguishability arguments use.
     pub fn at(&self, p: ProcessId) -> Vec<&Action> {
         self.by_proc
             .get(&p)
-            .map(|indexes| indexes.iter().map(|&i| &self.actions[i]).collect())
+            .map(|seqs| seqs.iter().filter_map(|&s| self.action_at(s)).collect())
             .unwrap_or_default()
     }
 
-    /// The actions attributable to one transaction, in order.
+    /// The retained actions attributable to one transaction, in order.
     pub fn of_tx(&self, tx: TxId) -> Vec<&Action> {
         self.by_tx
             .get(&tx)
-            .map(|t| t.actions.iter().map(|&i| &self.actions[i]).collect())
+            .map(|t| t.actions.iter().filter_map(|&s| self.action_at(s)).collect())
             .unwrap_or_default()
     }
 
-    /// Finds the send action for a given message id — O(1).
+    /// Finds the send action for a given message id — O(1).  `None` if the
+    /// message is unknown or its send action was evicted.
     pub fn send_of(&self, msg: MsgId) -> Option<&Action> {
-        self.send_seq.get(&msg).map(|&i| &self.actions[i])
+        self.send_seq.get(&msg).and_then(|&s| self.action_at(s))
     }
 
-    /// Finds the receive action for a given message id — O(1).
+    /// Finds the receive action for a given message id — O(1).  `None` if
+    /// the message is unknown or its receive action was evicted.
     pub fn recv_of(&self, msg: MsgId) -> Option<&Action> {
-        self.recv_seq.get(&msg).map(|&i| &self.actions[i])
+        self.recv_seq.get(&msg).and_then(|&s| self.action_at(s))
     }
 
     /// The causal parent of a message: the message whose handler sent it —
-    /// O(1).
+    /// O(1).  Parent links survive action eviction.
     pub fn parent_of(&self, msg: MsgId) -> Option<MsgId> {
-        self.send_of(msg).and_then(|a| match &a.kind {
-            ActionKind::Send { parent, .. } => *parent,
-            _ => None,
-        })
+        self.send_meta.get(&msg).and_then(|m| m.parent)
     }
 
     /// Number of client-to-client messages attributed to `tx` — O(1).
@@ -493,5 +596,134 @@ mod tests {
         let t = two_round_trace();
         assert_eq!(t.actions()[0].tx(), Some(TxId(1)));
         assert_eq!(t.actions()[9].tx(), Some(TxId(1)));
+    }
+
+    /// Replays `n` copies of the two-round transaction pattern into `t`,
+    /// with distinct tx and message ids per copy.
+    fn replay_pattern(t: &mut Trace, n: u64) {
+        for i in 0..n {
+            let tx = TxId(i);
+            let m = |k: u64| MsgId(i * 4 + k);
+            let base = i * 10;
+            t.record(base, client(0), ActionKind::Invoke { tx, kind: TxKind::Read });
+            t.record(
+                base + 1,
+                client(0),
+                ActionKind::Send {
+                    msg: m(0),
+                    to: server(0),
+                    parent: None,
+                    info: MsgInfo::read_request(tx, Some(ObjectId(0))),
+                },
+            );
+            t.record(
+                base + 2,
+                server(0),
+                ActionKind::Recv {
+                    msg: m(0),
+                    from: client(0),
+                    info: MsgInfo::read_request(tx, Some(ObjectId(0))),
+                },
+            );
+            t.record(
+                base + 3,
+                server(0),
+                ActionKind::Send {
+                    msg: m(1),
+                    to: client(0),
+                    parent: Some(m(0)),
+                    info: MsgInfo::read_response(tx, Some(ObjectId(0)), 1),
+                },
+            );
+            t.record(
+                base + 4,
+                client(0),
+                ActionKind::Recv {
+                    msg: m(1),
+                    from: server(0),
+                    info: MsgInfo::read_response(tx, Some(ObjectId(0)), 1),
+                },
+            );
+            t.record(
+                base + 5,
+                client(0),
+                ActionKind::Send {
+                    msg: m(2),
+                    to: server(1),
+                    parent: Some(m(1)),
+                    info: MsgInfo::read_request(tx, Some(ObjectId(1))),
+                },
+            );
+            t.record(
+                base + 6,
+                server(1),
+                ActionKind::Recv {
+                    msg: m(2),
+                    from: client(0),
+                    info: MsgInfo::read_request(tx, Some(ObjectId(1))),
+                },
+            );
+            t.record(
+                base + 7,
+                server(1),
+                ActionKind::Send {
+                    msg: m(3),
+                    to: client(0),
+                    parent: Some(m(2)),
+                    info: MsgInfo::read_response(tx, Some(ObjectId(1)), 2),
+                },
+            );
+            t.record(
+                base + 8,
+                client(0),
+                ActionKind::Recv {
+                    msg: m(3),
+                    from: server(1),
+                    info: MsgInfo::read_response(tx, Some(ObjectId(1)), 2),
+                },
+            );
+            t.record(base + 9, client(0), ActionKind::Respond { tx });
+        }
+    }
+
+    #[test]
+    fn bounded_trace_aggregates_match_unbounded() {
+        let mut full = Trace::new();
+        let mut bounded = Trace::with_action_capacity(8);
+        replay_pattern(&mut full, 20);
+        replay_pattern(&mut bounded, 20);
+
+        assert_eq!(bounded.action_capacity(), Some(8));
+        assert_eq!(full.action_capacity(), None);
+        assert_eq!(full.len(), 200);
+        assert_eq!(bounded.len(), 200, "len counts recorded, not retained");
+        assert!(bounded.actions().len() <= 16, "window is at most 2×capacity");
+        assert!(bounded.actions().len() >= 8, "window keeps the newest capacity");
+        assert!(bounded.evicted_len() >= 184);
+        assert_eq!(full.evicted_len(), 0);
+
+        // Every per-transaction aggregate is identical, including for
+        // transactions whose actions were all evicted long ago.
+        for i in 0..20u64 {
+            let tx = TxId(i);
+            assert_eq!(full.rounds_of(tx, client(0)), 2);
+            assert_eq!(
+                bounded.rounds_of(tx, client(0)),
+                full.rounds_of(tx, client(0)),
+                "tx {i}"
+            );
+            assert_eq!(bounded.c2c_count(tx), full.c2c_count(tx), "tx {i}");
+            assert_eq!(bounded.read_results(tx), full.read_results(tx), "tx {i}");
+            assert_eq!(bounded.read_results(tx).len(), 2);
+            assert!(bounded.read_results(tx).iter().all(|r| r.nonblocking));
+        }
+        // Parent links survive eviction; raw-action lookups degrade to None.
+        assert_eq!(bounded.parent_of(MsgId(2)), Some(MsgId(1)));
+        assert!(bounded.send_of(MsgId(0)).is_none(), "evicted send forgotten");
+        assert!(full.send_of(MsgId(0)).is_some());
+        // Retained projections only contain window actions.
+        let retained_seqs: Vec<u64> = bounded.at(client(0)).iter().map(|a| a.seq).collect();
+        assert!(retained_seqs.iter().all(|s| *s >= bounded.evicted_len() as u64));
+        assert!(!retained_seqs.is_empty());
     }
 }

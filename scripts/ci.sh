@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Tier-1 CI for the snow-rs workspace:
+#
+#   1. release build + full workspace test suite;
+#   2. golden-fingerprint freshness: the committed seeded-history fixtures
+#      (tests/golden_histories.txt) must match what the current engine
+#      produces — catching both accidental schedule changes *and* fixture
+#      files regenerated without justification;
+#   3. bench_json smoke run: both executors (simulator flood + tokio
+#      runtime read path) must stay alive end to end.  The smoke run does
+#      not overwrite BENCH_simcore.json; regenerate that separately with
+#      `cargo run -p snow-bench --release --bin bench_json` on quiet
+#      hardware.
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test (workspace) =="
+cargo test --workspace -q
+
+echo "== golden fingerprint freshness =="
+if ! diff <(cargo run -q -p snow-bench --release --bin golden_histories) tests/golden_histories.txt; then
+    echo "golden_histories.txt is stale or the engine's schedules changed." >&2
+    echo "If (and only if) the schedule semantics changed intentionally," >&2
+    echo "regenerate with: cargo run -p snow-bench --release --bin golden_histories -- --write" >&2
+    exit 1
+fi
+echo "fixtures fresh"
+
+echo "== bench_json smoke =="
+cargo run -q -p snow-bench --release --bin bench_json -- --no-write --smoke > /dev/null
+echo "bench smoke ok"
+
+echo "CI green"

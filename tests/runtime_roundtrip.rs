@@ -3,12 +3,13 @@
 
 use snow::core::{ObjectId, SystemConfig, TxSpec, Value};
 use snow::protocols::ProtocolKind;
-use snow::runtime::cluster::{measure_read_latencies, typed};
+use snow::runtime::cluster::measure_read_latencies;
+use snow::runtime::AsyncCluster;
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn algorithm_a_round_trip_on_tokio() {
     let config = SystemConfig::mwsr(2, 2, true);
-    let cluster = typed::alg_a(&config).unwrap();
+    let cluster = AsyncCluster::deploy(ProtocolKind::AlgA, &config).unwrap();
     let writers: Vec<_> = config.writers().collect();
     let reader = config.readers().next().unwrap();
     for (i, w) in writers.iter().enumerate() {
