@@ -3,10 +3,15 @@
 //! executors is tracked across PRs:
 //!
 //! * `sim_core` flood — raw simulator step-loop throughput at a controlled
-//!   number of in-flight messages;
+//!   number of in-flight messages (bounded-trace mode, so the large rows
+//!   measure the engine, not the action log);
 //! * `runtime_read_latency` — wall-clock READ latency per protocol on the
 //!   tokio cluster, through the same erased deployment path the simulator
-//!   uses.
+//!   uses;
+//! * `checker_throughput` — transactions per second of the graph-based
+//!   strict-serializability checker over full workload-driver histories
+//!   (1k/10k/100k transactions, bounded-trace clusters).  Every row must be
+//!   a definite verdict: `Unknown` aborts the bench.
 //!
 //! Run with `cargo run -p snow-bench --release --bin bench_json`.
 //! Pass `--no-write` to print without touching the file, `--smoke` for a
@@ -14,11 +19,56 @@
 //! liveness check, not a trajectory point).
 
 use snow_bench::simcore::{run_flood, FloodStats};
-use snow_checker::LatencyStats;
+use snow_checker::{GraphChecker, LatencyStats, Verdict};
 use snow_core::SystemConfig;
-use snow_protocols::ProtocolKind;
+use snow_protocols::{build_cluster_bounded, ProtocolKind, SchedulerKind};
 use snow_runtime::cluster::measure_read_latencies;
+use snow_workload::{WorkloadDriver, WorkloadGenerator, WorkloadSpec};
 use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One `checker_throughput` measurement: drives `transactions` through an
+/// Algorithm B cluster in bounded-trace mode and times the graph checker
+/// over the complete history (best of `reps`, least noisy).
+fn checker_row(transactions: usize, reps: usize) -> String {
+    let config = SystemConfig::mwmr(8, 4, 4);
+    let mut cluster = build_cluster_bounded(
+        ProtocolKind::AlgB,
+        &config,
+        SchedulerKind::Latency { seed: 11, min: 1, max: 16 },
+        u64::MAX,
+        4096,
+    )
+    .expect("valid bench config");
+    let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+    let (history, report) =
+        WorkloadDriver::new(8).run(cluster.as_mut(), &mut generator, transactions);
+    assert_eq!(report.completed, report.issued, "bench workload must complete");
+
+    let mut wall = std::time::Duration::MAX;
+    let mut verdict_name = "";
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let verdict = GraphChecker::new().check(&history);
+        wall = wall.min(start.elapsed());
+        verdict_name = match &verdict {
+            Verdict::Serializable(_) => "serializable",
+            Verdict::NotSerializable(why) => panic!("AlgB history not serializable: {why}"),
+            Verdict::Unknown(why) => {
+                panic!("checker returned Unknown on a workload history: {why}")
+            }
+        };
+    }
+    let tx_per_sec = transactions as f64 / wall.as_secs_f64();
+    eprintln!(
+        "checker graph tx={transactions:>7} wall={wall:?} {tx_per_sec:.0} tx/s ({verdict_name})"
+    );
+    format!(
+        "    {{\"engine\": \"graph\", \"transactions\": {transactions}, \"wall_ns\": {}, \
+         \"tx_per_sec\": {tx_per_sec:.1}, \"verdict\": \"{verdict_name}\"}}",
+        wall.as_nanos()
+    )
+}
 
 /// Runs `reps` floods at `in_flight` and keeps the fastest (least noisy)
 /// measurement.
@@ -103,8 +153,20 @@ fn main() {
         .expect("string write");
     }
 
+    // Checker section: full-history strict-serializability throughput.
+    let checker_sizes: &[usize] = if smoke {
+        &[1_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let checker_results = checker_sizes
+        .iter()
+        .map(|&n| checker_row(n, reps))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
-        "{{\n  \"bench\": \"sim_core\",\n  \"scenario\": \"flood\",\n  \"engine\": \"event-queue\",\n  \"smoke\": {smoke},\n  \"results\": [\n{results}\n  ],\n  \"runtime_read_latency\": [\n{runtime_results}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"sim_core\",\n  \"scenario\": \"flood\",\n  \"engine\": \"event-queue\",\n  \"smoke\": {smoke},\n  \"results\": [\n{results}\n  ],\n  \"runtime_read_latency\": [\n{runtime_results}\n  ],\n  \"checker_throughput\": [\n{checker_results}\n  ]\n}}\n"
     );
     if write {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json");

@@ -3,17 +3,30 @@
 //! Execution-history checkers for the SNOW properties (§2.1) and for strict
 //! serializability of the transaction data type `OT` (§7).
 //!
-//! Two strict-serializability engines are provided:
+//! Three strict-serializability engines are provided:
 //!
 //! * [`strict::TagOrderChecker`] — implements the sufficient condition of
 //!   **Lemma 20** (properties P1–P4 over the tag order).  It is linear-time
 //!   and is the engine of choice for Algorithms A, B and C, which expose the
 //!   tag each transaction serializes at.
+//! * [`graph::GraphChecker`] — the scalable engine: extracts per-object
+//!   version orders (from tags when present, from read observations and
+//!   real time otherwise), builds a precedence DAG over transactions
+//!   (real-time via an `O(n)` time chain, write→read, write→write,
+//!   anti-dependency edges), detects cycles with iterative Kahn/Tarjan
+//!   passes and replay-validates the topological witness.  Ambiguous
+//!   version orders fall back to a budgeted polygraph-style
+//!   constraint-splitting search.  This is the engine that checks full
+//!   workload histories (100k+ transactions) end to end.
 //! * [`strict::SearchChecker`] — a backtracking search for *any* total order
 //!   consistent with real time and the sequential semantics of `OT`.  It is
-//!   exponential in the worst case but complete, and is what convicts the
-//!   Eiger counterexample (Fig. 5) and the impossibility constructions,
-//!   whose histories are tiny.
+//!   exponential in the worst case but complete, and remains the oracle the
+//!   graph engine is differentially tested against on small histories.
+//!
+//! [`strict::check_auto`] picks an engine by history shape: all-tagged
+//! histories go to the tag-order checker, everything else to the graph
+//! engine, with the search checker as the last resort for small histories
+//! whose ambiguity exceeds the graph engine's splitting budget.
 //!
 //! [`snow::SnowChecker`] verifies the N, O (one-round / one-version) and W
 //! properties from the per-transaction instrumentation the simulator derives
@@ -23,14 +36,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod metrics;
 pub mod ot;
 pub mod report;
 pub mod snow;
 pub mod strict;
 
+pub use graph::GraphChecker;
 pub use metrics::{HistoryMetrics, LatencyStats};
 pub use ot::{ObjectState, SequentialOt};
 pub use report::SnowReport;
 pub use snow::SnowChecker;
-pub use strict::{SearchChecker, TagOrderChecker, Verdict};
+pub use strict::{check_auto, SearchChecker, TagOrderChecker, Verdict};

@@ -4,7 +4,7 @@
 //! flag) is derived by `snow-sim` from its causal trace, so these checks do
 //! not rely on the protocol's own claims.
 
-use crate::strict::{check_strict_serializability, Verdict};
+use crate::strict::{check_auto, Verdict};
 use snow_core::{
     History, PropertyReport, SnowProperty, SnowPropertySet, TxKind,
 };
@@ -19,9 +19,10 @@ impl SnowChecker {
         SnowChecker
     }
 
-    /// Checks the S property (strict serializability).
+    /// Checks the S property (strict serializability) with the engine
+    /// [`check_auto`] picks for the history's shape.
     pub fn check_strict_serializability(&self, history: &History) -> PropertyReport {
-        match check_strict_serializability(history) {
+        match check_auto(history) {
             Verdict::Serializable(order) => PropertyReport::pass(
                 SnowProperty::StrictSerializability,
                 format!("serialization witness over {} transactions", order.len()),

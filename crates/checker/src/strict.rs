@@ -275,17 +275,73 @@ impl SearchChecker {
     }
 }
 
-/// Convenience: run the tag-order checker when every transaction carries a
-/// tag, otherwise the search checker.
-pub fn check_strict_serializability(history: &History) -> Verdict {
+/// Histories with more completed transactions than this bypass
+/// [`TagOrderChecker`] in [`check_auto`]: its P2/P4 scans are quadratic,
+/// while the graph engine exploits the same tags near-linearly.
+pub const TAG_ORDER_MAX_TRANSACTIONS: usize = 10_000;
+
+/// Picks the right strict-serializability engine for the shape of
+/// `history`:
+///
+/// 1. [`TagOrderChecker`] when every completed transaction carries a tag
+///    and the history is at most [`TAG_ORDER_MAX_TRANSACTIONS`] long
+///    (its P2/P4 scans are quadratic).  Lemma 20 is a *sufficient*
+///    condition, so only its acceptance is authoritative: a tag-order
+///    violation is confirmed semantically by the graph engine (a history
+///    may be serializable in an order its tags contradict), with the
+///    tag checker's more specific P2/P3/P4 message kept when both agree —
+///    this also keeps the verdict independent of which engine the size
+///    threshold picks.
+/// 2. [`crate::graph::GraphChecker`] otherwise — near-linear on real
+///    workload histories of any size (tags, when present, seed its version
+///    orders), complete up to its splitting budget;
+/// 3. [`SearchChecker`] as the last resort for small histories on which the
+///    graph engine gave up (ambiguity beyond its budget).
+pub fn check_auto(history: &History) -> Verdict {
+    let completed = history.completed().count();
     let all_tagged = history
         .completed()
         .all(|r| r.outcome.as_ref().and_then(|o| o.tag()).is_some());
-    if all_tagged && history.completed().count() > 0 {
-        TagOrderChecker::new().check(history)
-    } else {
-        SearchChecker::new().check(history)
+    let mut tag_conviction = None;
+    if all_tagged && completed > 0 && completed <= TAG_ORDER_MAX_TRANSACTIONS {
+        match TagOrderChecker::new().check(history) {
+            verdict @ Verdict::Serializable(_) => return verdict,
+            Verdict::NotSerializable(why) => tag_conviction = Some(why),
+            Verdict::Unknown(_) => {}
+        }
     }
+    let semantic = match crate::graph::GraphChecker::new().check(history) {
+        Verdict::Unknown(why) => {
+            // Count what the search would actually place: completed
+            // transactions plus incomplete writes with a known outcome
+            // (incomplete reads and outcome-less writes are ignored by it).
+            let search = SearchChecker::new();
+            let considered = completed
+                + history
+                    .records
+                    .iter()
+                    .filter(|r| {
+                        !r.is_complete() && r.kind() == TxKind::Write && r.outcome.is_some()
+                    })
+                    .count();
+            if considered <= search.max_transactions {
+                search.check(history)
+            } else {
+                Verdict::Unknown(why)
+            }
+        }
+        verdict => verdict,
+    };
+    match (semantic, tag_conviction) {
+        (Verdict::NotSerializable(_), Some(why)) => Verdict::NotSerializable(why),
+        (verdict, _) => verdict,
+    }
+}
+
+/// Convenience alias kept for older call sites; identical to
+/// [`check_auto`].
+pub fn check_strict_serializability(history: &History) -> Verdict {
+    check_auto(history)
 }
 
 /// Returns the first object on which two completed transactions conflict
@@ -488,6 +544,36 @@ mod tests {
         let mut untagged = History::new();
         untagged.push(write(1, 1, 1, &[0], 0, 10, None));
         assert!(check_strict_serializability(&untagged).is_serializable());
+    }
+
+    #[test]
+    fn check_auto_overrides_tag_convictions_that_are_semantically_serializable() {
+        // W1 wholly precedes W2 in real time but carries the larger tag —
+        // a P2 violation under Lemma 20, yet the history (two writes on
+        // disjoint objects, no reads) is trivially serializable.  The
+        // semantic engines must win, and the verdict must not depend on
+        // whether the history is above or below the tag-order size cap.
+        let mut h = History::new();
+        h.push(write(1, 1, 1, &[0], 0, 10, Some(2)));
+        h.push(write(2, 2, 1, &[1], 20, 30, Some(1)));
+        assert!(TagOrderChecker::new().check(&h).is_violation());
+        let v = check_auto(&h);
+        assert!(v.is_serializable(), "{v:?}");
+    }
+
+    #[test]
+    fn check_auto_keeps_the_tag_diagnostic_when_both_engines_convict() {
+        // A stale read: tag order and semantics agree it is a violation,
+        // and the more specific P4 message is the one reported.
+        let mut h = History::new();
+        h.push(write(1, 1, 1, &[0, 1], 0, 10, Some(2)));
+        h.push(read(2, vec![(0, k(1, 1)), (1, Key::initial())], 20, 30, Some(2)));
+        match check_auto(&h) {
+            Verdict::NotSerializable(why) => {
+                assert!(why.starts_with("P4"), "expected the Lemma 20 diagnostic: {why}")
+            }
+            v => panic!("expected a conviction, got {v:?}"),
+        }
     }
 
     #[test]

@@ -42,9 +42,10 @@ pub const W2_VALUE: Value = Value(200);
 /// Value written by w₃.
 pub const W3_VALUE: Value = Value(300);
 
-/// Drives the Eiger deployment through the Fig. 5 schedule and checks the
-/// resulting history.
-pub fn run_fig5() -> Fig5Report {
+/// Drives the Eiger deployment through the Fig. 5 schedule and returns the
+/// raw history plus the READ's transaction id — the input any
+/// strict-serializability engine must convict.
+pub fn fig5_history() -> (History, snow_core::TxId) {
     let config = SystemConfig {
         num_servers: 2,
         num_objects: 2,
@@ -89,8 +90,12 @@ pub fn run_fig5() -> Fig5Report {
     sim.deliver_where(|p| matches!(p.msg, EigerMsg::ReadFirst { object, .. } if object == ObjectId(0)))
         .expect("read of o0 is in flight");
     assert!(sim.run_until_complete(r));
+    (sim.history(), r)
+}
 
-    let history: History = sim.history();
+/// Drives the Fig. 5 schedule and checks the resulting history.
+pub fn run_fig5() -> Fig5Report {
+    let (history, r) = fig5_history();
     let rec = history.get(r).expect("read recorded");
     let outcome = rec.outcome.as_ref().unwrap().as_read().unwrap();
     let read_o0 = outcome.value_for(ObjectId(0)).unwrap();

@@ -30,7 +30,7 @@ pub mod fragments;
 pub mod three_client;
 pub mod two_client;
 
-pub use eiger_fig5::{run_fig5, Fig5Report};
+pub use eiger_fig5::{fig5_history, run_fig5, Fig5Report};
 pub use fragments::{Automaton, CommuteError, Execution, Fragment, MsgLabel};
-pub use three_client::{run_three_client_chain, ThreeClientReport};
-pub use two_client::{run_two_client_chain, TwoClientReport};
+pub use three_client::{alpha10_history, run_three_client_chain, ThreeClientReport};
+pub use two_client::{phi_history, run_two_client_chain, TwoClientReport};

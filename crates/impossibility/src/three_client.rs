@@ -251,8 +251,9 @@ pub fn run_three_client_chain() -> ThreeClientReport {
 
 /// The outcome history of α₁₀: W completes, then R₂ (returning the versions
 /// the chain assigned it), then R₁ — each strictly after the previous one in
-/// real time.
-fn alpha10_history(r1: (u8, u8), r2: (u8, u8)) -> History {
+/// real time.  Public so external strict-serializability engines can be
+/// held to convicting the `r2 = (1,1)`, `r1 = (0,0)` outcome.
+pub fn alpha10_history(r1: (u8, u8), r2: (u8, u8)) -> History {
     let writer = ClientId(2);
     let w_key = Key::new(1, writer);
     let key_for = |v: u8| if v == 0 { Key::initial() } else { w_key };

@@ -180,8 +180,9 @@ pub fn run_two_client_chain() -> TwoClientReport {
 }
 
 /// The outcome history of φ: R₁ (returning the written values) completes
-/// before W is invoked.
-fn phi_history() -> History {
+/// before W is invoked.  Public so external strict-serializability engines
+/// can be held to convicting it.
+pub fn phi_history() -> History {
     let writer = ClientId(1);
     let w_key = Key::new(1, writer);
     let mut h = History::new();

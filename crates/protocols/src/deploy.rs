@@ -136,33 +136,48 @@ where
     }
 }
 
-fn boxed<P>(nodes: Vec<P>, scheduler: SchedulerKind, max_steps: u64) -> Box<dyn Cluster>
+fn boxed<P>(
+    nodes: Vec<P>,
+    scheduler: SchedulerKind,
+    max_steps: u64,
+    trace_capacity: Option<usize>,
+) -> Box<dyn Cluster>
 where
     P: Process + 'static,
 {
+    fn finish<P, S>(
+        mut sim: Simulation<P, S>,
+        nodes: Vec<P>,
+        trace_capacity: Option<usize>,
+    ) -> Box<dyn Cluster>
+    where
+        P: Process + 'static,
+        S: Scheduler<P::Msg> + 'static,
+    {
+        if let Some(capacity) = trace_capacity {
+            sim = sim.with_trace_capacity(capacity);
+        }
+        for n in nodes {
+            sim.add_process(n);
+        }
+        Box::new(sim)
+    }
     match scheduler {
-        SchedulerKind::Fifo => {
-            let mut sim = Simulation::new(FifoScheduler::new()).with_max_steps(max_steps);
-            for n in nodes {
-                sim.add_process(n);
-            }
-            Box::new(sim)
-        }
-        SchedulerKind::Random(seed) => {
-            let mut sim = Simulation::new(RandomScheduler::new(seed)).with_max_steps(max_steps);
-            for n in nodes {
-                sim.add_process(n);
-            }
-            Box::new(sim)
-        }
-        SchedulerKind::Latency { seed, min, max } => {
-            let mut sim =
-                Simulation::new(LatencyScheduler::new(seed, min, max)).with_max_steps(max_steps);
-            for n in nodes {
-                sim.add_process(n);
-            }
-            Box::new(sim)
-        }
+        SchedulerKind::Fifo => finish(
+            Simulation::new(FifoScheduler::new()).with_max_steps(max_steps),
+            nodes,
+            trace_capacity,
+        ),
+        SchedulerKind::Random(seed) => finish(
+            Simulation::new(RandomScheduler::new(seed)).with_max_steps(max_steps),
+            nodes,
+            trace_capacity,
+        ),
+        SchedulerKind::Latency { seed, min, max } => finish(
+            Simulation::new(LatencyScheduler::new(seed, min, max)).with_max_steps(max_steps),
+            nodes,
+            trace_capacity,
+        ),
     }
 }
 
@@ -187,7 +202,29 @@ pub fn build_cluster_with_max_steps(
     scheduler: SchedulerKind,
     max_steps: u64,
 ) -> Result<Box<dyn Cluster>> {
-    Ok(boxed(deploy_any(protocol, config)?, scheduler, max_steps))
+    Ok(boxed(deploy_any(protocol, config)?, scheduler, max_steps, None))
+}
+
+/// [`build_cluster_with_max_steps`] with a bounded simulator trace
+/// (`Simulation::with_trace_capacity`): the raw action log is a sliding
+/// window of `trace_capacity` actions and the per-message causality table
+/// is pruned per transaction at RESP, so memory stays O(window +
+/// in-flight) regardless of run length.  Histories are byte-for-byte
+/// identical to the unbounded cluster's; this is what the workload driver
+/// and the bench binaries use for 100k+/million-transaction runs.
+pub fn build_cluster_bounded(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    scheduler: SchedulerKind,
+    max_steps: u64,
+    trace_capacity: usize,
+) -> Result<Box<dyn Cluster>> {
+    Ok(boxed(
+        deploy_any(protocol, config)?,
+        scheduler,
+        max_steps,
+        Some(trace_capacity),
+    ))
 }
 
 #[cfg(test)]

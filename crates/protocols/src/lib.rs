@@ -54,4 +54,7 @@ pub mod simple;
 
 pub use any::{deploy_any, AnyDeployment, AnyMsg, AnyNode};
 pub use common::{PendingRead, PendingWrite, WriteLog};
-pub use deploy::{build_cluster, Cluster, ProtocolKind, SchedulerKind};
+pub use deploy::{
+    build_cluster, build_cluster_bounded, build_cluster_with_max_steps, Cluster, ProtocolKind,
+    SchedulerKind,
+};

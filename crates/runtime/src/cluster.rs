@@ -232,10 +232,18 @@ impl<M: Send + 'static> AsyncCluster<M> {
         );
         let invoked_at = self.started.elapsed().as_nanos() as u64;
         let start = Instant::now();
-        inbox
-            .send(Input::Invoke { tx, spec: spec.clone() })
-            .map_err(|_| SnowError::Transport("client task terminated".into()))?;
+        if inbox.send(Input::Invoke { tx, spec: spec.clone() }).is_err() {
+            self.abandon(tx);
+            return Err(SnowError::Transport("client task terminated".into()));
+        }
         Ok((tx, done_rx, invoked_at, start))
+    }
+
+    /// Drops the bookkeeping of a transaction that will never finish, so
+    /// failed or abandoned executions don't grow the shared maps forever.
+    fn abandon(&self, tx: TxId) {
+        self.shared.waiters.lock().remove(&tx);
+        self.shared.instruments.lock().remove(&tx);
     }
 
     /// Assembles the completed record of `tx`, folding in the accumulated
@@ -270,7 +278,10 @@ impl<M: Send + 'static> AsyncCluster<M> {
         spec: TxSpec,
     ) -> Result<ExecReport, SnowError> {
         let (tx, done_rx, invoked_at, start) = self.dispatch(client, &spec)?;
-        let outcome = done_rx.await.map_err(|_| SnowError::Incomplete(tx))?;
+        let outcome = done_rx.await.map_err(|_| {
+            self.abandon(tx);
+            SnowError::Incomplete(tx)
+        })?;
         let latency = start.elapsed();
         Ok(self.finish(tx, client, spec, invoked_at, latency, outcome))
     }
@@ -307,8 +318,20 @@ impl<M: Send + 'static> AsyncCluster<M> {
             in_flight.push((tx, client, spec, done_rx, start, invoked_at));
         }
         let mut out = Vec::with_capacity(in_flight.len());
-        for (tx, client, spec, done_rx, start, invoked_at) in in_flight {
-            let outcome = done_rx.await.map_err(|_| SnowError::Incomplete(tx))?;
+        let mut in_flight = in_flight.into_iter();
+        while let Some((tx, client, spec, done_rx, start, invoked_at)) = in_flight.next() {
+            let outcome = match done_rx.await {
+                Ok(outcome) => outcome,
+                Err(_) => {
+                    // Abort the batch without leaking the bookkeeping of
+                    // the failed transaction or of the ones not awaited.
+                    self.abandon(tx);
+                    for (tx, ..) in in_flight {
+                        self.abandon(tx);
+                    }
+                    return Err(SnowError::Incomplete(tx));
+                }
+            };
             let latency = start.elapsed();
             out.push(self.finish(tx, client, spec, invoked_at, latency, outcome));
         }

@@ -138,11 +138,11 @@ where
     /// `capacity` recent actions (see [`Trace::with_action_capacity`]).
     /// The per-transaction aggregates — and therefore
     /// [`Simulation::history`] — are byte-for-byte unaffected; only
-    /// retrospective action inspection loses evicted entries.  Use this for
-    /// long workload runs where the O(actions) raw log is the memory
-    /// bottleneck; note the per-message causality table is not yet pruned
-    /// (O(messages) with a small constant — see
-    /// [`Trace::with_action_capacity`]).
+    /// retrospective action inspection loses evicted entries.  The
+    /// per-message causality table is pruned per transaction at RESP, so a
+    /// bounded run's trace memory is O(window + in-flight), which is what
+    /// the workload driver and the flood benches use for the
+    /// 100k+/million-transaction rows.
     pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
         assert!(
             self.trace.is_empty(),

@@ -33,10 +33,19 @@
 //! [`Trace::with_action_capacity`] bounds it: only a sliding window of
 //! recent actions is retained (at least `capacity`, at most `2 × capacity`
 //! so eviction amortizes to O(1)), while every incremental aggregate —
-//! round depths, C2C counts, read instrumentation, causal parent links —
-//! is maintained from a compact per-message side table (`SendMeta`) and
-//! therefore stays *exactly* equal to the unbounded trace's.  Queries over evicted actions ([`Trace::send_of`],
-//! [`Trace::recv_of`], [`Trace::at`], [`Trace::of_tx`]) simply omit them.
+//! round depths, C2C counts, read instrumentation — is maintained from a
+//! compact per-message side table (`SendMeta`) and therefore stays
+//! *exactly* equal to the unbounded trace's.  In bounded mode that side
+//! table is itself pruned per transaction at RESP, so total memory is
+//! O(window + in-flight) rather than O(messages): by the time a
+//! transaction responds, every aggregate its invoker contributes to a
+//! [`snow_core::History`] is final — a client's causal parent chains never
+//! leave its own transaction, and the non-blocking verdict of a read
+//! response only inspects the response's immediate parent, which is
+//! recorded before the RESP.  Queries over evicted actions
+//! ([`Trace::send_of`], [`Trace::recv_of`], [`Trace::at`],
+//! [`Trace::of_tx`]) simply omit them, and [`Trace::parent_of`] forgets
+//! links of completed transactions.
 
 use crate::message::{MsgId, MsgInfo, MsgKind};
 use snow_core::{ProcessId, ReadResult, TxId, TxKind};
@@ -118,6 +127,12 @@ struct TxIndex {
     rounds_by_sender: Vec<(ProcessId, u32)>,
     /// Read-response instrumentation, in receive order at the invoker.
     reads: Vec<ReadResult>,
+    /// Message ids sent on behalf of this transaction — tracked only in
+    /// bounded mode, so their [`SendMeta`] entries can be pruned at RESP.
+    msgs: Vec<MsgId>,
+    /// True once the transaction's RESP was recorded (bounded mode prunes
+    /// the causal metadata of its post-RESP straggler traffic on delivery).
+    responded: bool,
 }
 
 /// Compact record-time metadata of one send: everything the causal
@@ -166,15 +181,16 @@ impl Trace {
     /// recent actions: always the most recent `capacity`, never more than
     /// `2 × capacity` (eviction is batched so recording stays amortized
     /// O(1)).  All incremental aggregates — round depths, C2C counts, read
-    /// instrumentation, [`Trace::parent_of`] — are unaffected by eviction
-    /// and match the unbounded trace exactly; only the raw-action queries
-    /// forget evicted history.
+    /// instrumentation — are unaffected by eviction and match the
+    /// unbounded trace exactly; only the raw-action queries forget evicted
+    /// history.
     ///
-    /// Caveat: the compact per-message causality table backing those
-    /// aggregates (~40 B per send) is *not* yet evicted, so total memory is
-    /// O(messages) with a far smaller constant than the action log, not
-    /// O(capacity).  Pruning it per transaction at RESP is the recorded
-    /// follow-up (ROADMAP, "Trace memory").
+    /// The compact per-message causality table backing those aggregates
+    /// (~40 B per send) is pruned per transaction at its RESP, so total
+    /// memory is O(window + in-flight messages) rather than O(messages).
+    /// Consequently [`Trace::parent_of`] only answers for messages of
+    /// still-in-flight transactions (and for unattributable control
+    /// traffic, which is never pruned).
     pub fn with_action_capacity(capacity: usize) -> Self {
         Trace {
             capacity: Some(capacity),
@@ -248,7 +264,22 @@ impl Trace {
             ActionKind::Invoke { tx, .. } => {
                 self.by_tx.entry(*tx).or_default().invoker = Some(action.at);
             }
-            ActionKind::Respond { .. } => {}
+            ActionKind::Respond { tx } => {
+                // Bounded mode: the transaction is over, so its causal
+                // metadata can no longer influence any aggregate its
+                // invoker cares about — drop it, keeping the side table
+                // O(in-flight) instead of O(messages).  Straggler traffic
+                // attributed to this transaction after its RESP is pruned
+                // on delivery (see the `Recv` arm).
+                if let Some(index) = self.by_tx.get_mut(tx) {
+                    index.responded = true;
+                    if self.capacity.is_some() {
+                        for msg in index.msgs.drain(..) {
+                            self.send_meta.remove(&msg);
+                        }
+                    }
+                }
+            }
             ActionKind::Send { msg, parent, info, to } => {
                 self.send_seq.insert(*msg, seq);
                 self.send_meta.insert(
@@ -260,6 +291,11 @@ impl Trace {
                         tx: info.tx,
                     },
                 );
+                if self.capacity.is_some() {
+                    if let Some(tx) = info.tx {
+                        self.by_tx.entry(tx).or_default().msgs.push(*msg);
+                    }
+                }
                 let Some(tx) = info.tx else { return };
                 if info.kind == MsgKind::ClientToClient {
                     self.by_tx.entry(tx).or_default().c2c_sends += 1;
@@ -283,38 +319,62 @@ impl Trace {
             }
             ActionKind::Recv { msg, from, info } => {
                 self.recv_seq.insert(*msg, seq);
-                let Some(tx) = info.tx else { return };
-                if info.kind != MsgKind::ReadResponse {
-                    return;
+                self.index_read_response(action.at, *msg, *from, info);
+                // Bounded mode: a delivered message no future RESP will
+                // prune — unattributable control traffic, or a straggler of
+                // an already-responded transaction — would leak its causal
+                // metadata forever; drop it at delivery instead.  (Current
+                // protocols address control messages only to servers and
+                // emit no post-RESP traffic on hot paths, so the consumed
+                // aggregates are unaffected — guarded by the bounded-vs-
+                // unbounded workload tests across every protocol.)
+                if self.capacity.is_some() {
+                    let prunable = match info.tx {
+                        None => true,
+                        Some(tx) => {
+                            self.by_tx.get(&tx).map(|t| t.responded).unwrap_or(false)
+                        }
+                    };
+                    if prunable {
+                        self.send_meta.remove(msg);
+                    }
                 }
-                // Only responses received by the invoking client count as
-                // read instrumentation.
-                if self.by_tx.get(&tx).and_then(|t| t.invoker) != Some(action.at) {
-                    return;
-                }
-                let Some(object) = info.object else {
-                    return; // metadata response (e.g. get-tag-arr)
-                };
-                let Some(server) = from.as_server() else {
-                    return;
-                };
-                // Non-blocking iff the response's causal parent is a read
-                // request of the same transaction (the server answered
-                // within the handler of the request, without waiting for
-                // any other input action).
-                let nonblocking = self
-                    .parent_of(*msg)
-                    .and_then(|parent| self.send_meta.get(&parent))
-                    .map(|meta| meta.kind == MsgKind::ReadRequest && meta.tx == Some(tx))
-                    .unwrap_or(false);
-                self.by_tx.entry(tx).or_default().reads.push(ReadResult {
-                    object,
-                    server,
-                    versions_in_response: info.versions.max(1),
-                    nonblocking,
-                });
             }
         }
+    }
+
+    /// Folds a received read response into the invoker's instrumentation.
+    fn index_read_response(&mut self, at: ProcessId, msg: MsgId, from: ProcessId, info: &MsgInfo) {
+        let Some(tx) = info.tx else { return };
+        if info.kind != MsgKind::ReadResponse {
+            return;
+        }
+        // Only responses received by the invoking client count as
+        // read instrumentation.
+        if self.by_tx.get(&tx).and_then(|t| t.invoker) != Some(at) {
+            return;
+        }
+        let Some(object) = info.object else {
+            return; // metadata response (e.g. get-tag-arr)
+        };
+        let Some(server) = from.as_server() else {
+            return;
+        };
+        // Non-blocking iff the response's causal parent is a read
+        // request of the same transaction (the server answered
+        // within the handler of the request, without waiting for
+        // any other input action).
+        let nonblocking = self
+            .parent_of(msg)
+            .and_then(|parent| self.send_meta.get(&parent))
+            .map(|meta| meta.kind == MsgKind::ReadRequest && meta.tx == Some(tx))
+            .unwrap_or(false);
+        self.by_tx.entry(tx).or_default().reads.push(ReadResult {
+            object,
+            server,
+            versions_in_response: info.versions.max(1),
+            nonblocking,
+        });
     }
 
     /// Walks a send's causal parent chain, counting `1 +` the hops whose
@@ -347,6 +407,13 @@ impl Trace {
     /// Number of actions evicted from a bounded trace's window.
     pub fn evicted_len(&self) -> usize {
         self.base_seq as usize
+    }
+
+    /// Number of per-message causality entries currently held.  Unbounded
+    /// traces keep one per send; bounded traces prune a transaction's
+    /// entries at its RESP, so this tracks the in-flight population.
+    pub fn causal_meta_len(&self) -> usize {
+        self.send_meta.len()
     }
 
     /// True if nothing has been recorded.
@@ -384,7 +451,10 @@ impl Trace {
     }
 
     /// The causal parent of a message: the message whose handler sent it —
-    /// O(1).  Parent links survive action eviction.
+    /// O(1).  Parent links survive action eviction in unbounded traces;
+    /// bounded traces forget them for completed transactions (pruned at
+    /// RESP) and for delivered control/straggler messages (pruned at
+    /// delivery).
     pub fn parent_of(&self, msg: MsgId) -> Option<MsgId> {
         self.send_meta.get(&msg).and_then(|m| m.parent)
     }
@@ -717,13 +787,53 @@ mod tests {
             assert_eq!(bounded.read_results(tx).len(), 2);
             assert!(bounded.read_results(tx).iter().all(|r| r.nonblocking));
         }
-        // Parent links survive eviction; raw-action lookups degrade to None.
-        assert_eq!(bounded.parent_of(MsgId(2)), Some(MsgId(1)));
+        // The causality side table is pruned at RESP in bounded mode: every
+        // transaction in this trace completed, so nothing remains, while
+        // the unbounded trace keeps one entry per send.
+        assert_eq!(bounded.causal_meta_len(), 0, "all transactions responded");
+        assert_eq!(full.causal_meta_len(), 80, "4 sends per transaction");
+        assert_eq!(full.parent_of(MsgId(2)), Some(MsgId(1)));
+        assert_eq!(bounded.parent_of(MsgId(2)), None, "pruned at RESP");
         assert!(bounded.send_of(MsgId(0)).is_none(), "evicted send forgotten");
         assert!(full.send_of(MsgId(0)).is_some());
         // Retained projections only contain window actions.
         let retained_seqs: Vec<u64> = bounded.at(client(0)).iter().map(|a| a.seq).collect();
         assert!(retained_seqs.iter().all(|s| *s >= bounded.evicted_len() as u64));
         assert!(!retained_seqs.is_empty());
+    }
+
+    #[test]
+    fn bounded_trace_keeps_causality_until_resp() {
+        let tx = TxId(1);
+        let mut t = Trace::with_action_capacity(64);
+        t.record(0, client(0), ActionKind::Invoke { tx, kind: TxKind::Read });
+        t.record(
+            1,
+            client(0),
+            ActionKind::Send {
+                msg: MsgId(0),
+                to: server(0),
+                parent: None,
+                info: MsgInfo::read_request(tx, Some(ObjectId(0))),
+            },
+        );
+        t.record(
+            2,
+            server(0),
+            ActionKind::Send {
+                msg: MsgId(1),
+                to: client(0),
+                parent: Some(MsgId(0)),
+                info: MsgInfo::read_response(tx, Some(ObjectId(0)), 1),
+            },
+        );
+        // While the transaction is in flight, causality is queryable.
+        assert_eq!(t.causal_meta_len(), 2);
+        assert_eq!(t.parent_of(MsgId(1)), Some(MsgId(0)));
+        t.record(3, client(0), ActionKind::Respond { tx });
+        // At RESP the side table is emptied; aggregates are untouched.
+        assert_eq!(t.causal_meta_len(), 0);
+        assert_eq!(t.parent_of(MsgId(1)), None);
+        assert_eq!(t.rounds_of(tx, client(0)), 1);
     }
 }

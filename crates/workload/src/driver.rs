@@ -10,6 +10,7 @@
 
 use crate::generator::WorkloadGenerator;
 use serde::{Deserialize, Serialize};
+use snow_checker::{check_auto, Verdict};
 use snow_core::{History, TxId};
 use snow_protocols::Cluster;
 
@@ -89,6 +90,23 @@ impl WorkloadDriver {
         (history, report)
     }
 
+    /// [`WorkloadDriver::run`] followed by a full-history
+    /// strict-serializability check ([`snow_checker::check_auto`]): the
+    /// whole driven history — not a sample — is handed to the checker, so
+    /// every workload run is verifiable end to end.  The engine is chosen
+    /// by history shape (tag order for tagged protocols, the graph engine
+    /// otherwise), so this scales to 100k+ transaction runs.
+    pub fn run_checked(
+        &self,
+        cluster: &mut dyn Cluster,
+        generator: &mut WorkloadGenerator,
+        total: usize,
+    ) -> (History, DriverReport, Verdict) {
+        let (history, report) = self.run(cluster, generator, total);
+        let verdict = check_auto(&history);
+        (history, report, verdict)
+    }
+
     /// Runs a read-latency probe: `writes_per_round` WRITEs and one READ are
     /// issued concurrently each round, `rounds` times.  This is the shape
     /// used by the latency tables (reads under conflicting writes).
@@ -138,7 +156,7 @@ mod tests {
     use super::*;
     use crate::generator::WorkloadSpec;
     use snow_core::SystemConfig;
-    use snow_protocols::{build_cluster, ProtocolKind, SchedulerKind};
+    use snow_protocols::{build_cluster, build_cluster_bounded, ProtocolKind, SchedulerKind};
 
     #[test]
     fn driver_completes_everything_it_issues() {
@@ -173,6 +191,67 @@ mod tests {
         assert_eq!(report.completed, report.issued);
         assert_eq!(history.reads().count(), 10);
         assert!(history.writes().count() >= 20);
+    }
+
+    #[test]
+    fn run_checked_verifies_the_full_history() {
+        let config = SystemConfig::mwmr(4, 2, 2);
+        for protocol in [ProtocolKind::AlgB, ProtocolKind::AlgC, ProtocolKind::Blocking] {
+            let mut cluster = build_cluster(
+                protocol,
+                &config,
+                SchedulerKind::Latency { seed: 5, min: 1, max: 15 },
+            )
+            .unwrap();
+            let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+            let (history, report, verdict) =
+                WorkloadDriver::new(4).run_checked(cluster.as_mut(), &mut generator, 40);
+            assert_eq!(report.completed, 40, "{protocol:?}");
+            assert!(
+                verdict.is_serializable(),
+                "{protocol:?} produced a non-serializable history: {verdict:?} \
+                 over {} transactions",
+                history.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_trace_cluster_drives_identical_histories() {
+        // The bounded-memory mode must not change what the driver observes:
+        // same protocol, scheduler and workload — byte-identical histories.
+        let config = SystemConfig::mwmr(4, 2, 2);
+        // Blocking matters most here: its lock-grant chains cross
+        // transaction boundaries and its Unlock messages are unattributable
+        // control traffic — both paths the bounded mode prunes early.
+        for protocol in [
+            ProtocolKind::AlgA,
+            ProtocolKind::AlgB,
+            ProtocolKind::AlgC,
+            ProtocolKind::Eiger,
+            ProtocolKind::Blocking,
+            ProtocolKind::Simple,
+        ] {
+            let config = if protocol.needs_c2c() {
+                SystemConfig::mwsr(4, 2, true)
+            } else {
+                config.clone()
+            };
+            let sched = SchedulerKind::Latency { seed: 9, min: 1, max: 20 };
+            let mut unbounded = build_cluster(protocol, &config, sched).unwrap();
+            let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+            let (full, _) = WorkloadDriver::new(4).run(unbounded.as_mut(), &mut generator, 60);
+
+            let mut bounded =
+                build_cluster_bounded(protocol, &config, sched, 10_000_000, 256).unwrap();
+            let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+            let (windowed, _) = WorkloadDriver::new(4).run(bounded.as_mut(), &mut generator, 60);
+            assert_eq!(
+                format!("{full:?}"),
+                format!("{windowed:?}"),
+                "{protocol:?}: bounded trace changed the history"
+            );
+        }
     }
 
     #[test]

@@ -6,11 +6,19 @@
 #      (tests/golden_histories.txt) must match what the current engine
 #      produces — catching both accidental schedule changes *and* fixture
 #      files regenerated without justification;
-#   3. bench_json smoke run: both executors (simulator flood + tokio
-#      runtime read path) must stay alive end to end.  The smoke run does
-#      not overwrite BENCH_simcore.json; regenerate that separately with
+#   3. checker differential suite: the graph strict-serializability engine
+#      must agree with the complete search on every generated history and
+#      convict the Fig. 5 / impossibility histories;
+#   4. bench_json smoke run: both executors (simulator flood + tokio
+#      runtime read path) and the checker-throughput section must stay
+#      alive end to end.  The smoke run does not overwrite
+#      BENCH_simcore.json; regenerate that separately with
 #      `cargo run -p snow-bench --release --bin bench_json` on quiet
-#      hardware.
+#      hardware;
+#   5. checker-throughput regression guard: the smoke run's graph-checker
+#      rate at 1k transactions must be within 5x of the tracked artifact
+#      (a smoke row on busy CI hardware is noisy; 5x only catches
+#      complexity-class regressions).
 #
 # Usage: scripts/ci.sh
 
@@ -32,8 +40,35 @@ if ! diff <(cargo run -q -p snow-bench --release --bin golden_histories) tests/g
 fi
 echo "fixtures fresh"
 
+echo "== checker differential suite =="
+cargo test -q --release --test checker_differential
+echo "differential ok"
+
 echo "== bench_json smoke =="
-cargo run -q -p snow-bench --release --bin bench_json -- --no-write --smoke > /dev/null
+smoke_json="$(mktemp)"
+cargo run -q -p snow-bench --release --bin bench_json -- --no-write --smoke > "$smoke_json"
 echo "bench smoke ok"
+
+echo "== checker_throughput regression guard =="
+rate_at() { # <file> <transactions>: the graph checker's tx_per_sec row
+    grep -o "\"transactions\": $2, \"wall_ns\": [0-9]*, \"tx_per_sec\": [0-9.]*" "$1" \
+        | sed 's/.*tx_per_sec": //'
+}
+tracked="$(rate_at BENCH_simcore.json 1000 || true)"
+current="$(rate_at "$smoke_json" 1000 || true)"
+rm -f "$smoke_json"
+if [ -z "$tracked" ]; then
+    echo "no tracked checker_throughput row; regenerate BENCH_simcore.json" >&2
+    exit 1
+fi
+if [ -z "$current" ]; then
+    echo "smoke run produced no checker_throughput row" >&2
+    exit 1
+fi
+if ! awk -v cur="$current" -v ref="$tracked" 'BEGIN { exit !(cur * 5 >= ref) }'; then
+    echo "checker_throughput regressed > 5x: tracked ${tracked} tx/s, smoke ${current} tx/s" >&2
+    exit 1
+fi
+echo "checker throughput ok (tracked ${tracked} tx/s, smoke ${current} tx/s)"
 
 echo "CI green"

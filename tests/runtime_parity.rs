@@ -20,7 +20,7 @@
 //! about what a protocol *does* — exactly the regression this harness
 //! exists to catch.
 
-use snow::checker::SnowChecker;
+use snow::checker::{GraphChecker, SnowChecker, Verdict};
 use snow::core::{ClientId, History, SystemConfig, TxSpec};
 use snow::protocols::ProtocolKind;
 use snow::runtime::AsyncCluster;
@@ -96,6 +96,56 @@ async fn all_golden_combos_agree_semantically_across_executors() {
         }
     }
     assert_eq!(combos_checked, 30, "every golden combo must be exercised");
+}
+
+/// Requires a serialization witness and returns it; panics (with the
+/// checker's explanation) otherwise.
+fn assert_strictly_serializable(label: &str, history: &History) {
+    match GraphChecker::new().check(history) {
+        Verdict::Serializable(_) => {}
+        verdict => panic!("{label}: history is not strictly serializable: {verdict:?}"),
+    }
+}
+
+/// Concurrent batches cannot be compared digest-for-digest — which write a
+/// concurrent read observes is schedule-dependent, and the two executors
+/// schedule differently by design.  What both executors *must* preserve is
+/// the protocol's correctness contract: every history they produce is
+/// strictly serializable.  The graph checker decides that for full
+/// histories, which is exactly the serializability-equivalence the parity
+/// harness needs for overlapping load.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn concurrent_batches_are_serializability_equivalent_across_executors() {
+    for protocol in [ProtocolKind::AlgB, ProtocolKind::AlgC, ProtocolKind::Blocking] {
+        let (config, batches) = golden::concurrent_parity_plan(protocol);
+        let issued: usize = batches.iter().map(|b| b.len()).sum();
+        assert!(issued >= 24, "{protocol:?}: plan too small to overlap");
+
+        // Simulator side, under every golden scheduler for this protocol.
+        for combo in golden::combos().iter().filter(|c| c.protocol == protocol) {
+            let history = golden::run_concurrent_plan_on_simulator(
+                protocol,
+                &config,
+                combo.scheduler,
+                &batches,
+            );
+            assert_eq!(history.incomplete_count(), 0, "{}", combo.label);
+            assert_strictly_serializable(&combo.label, &history);
+        }
+        // Runtime side: the same batches, genuinely concurrent on tokio.
+        let cluster = AsyncCluster::deploy(protocol, &config).expect("valid parity config");
+        for batch in &batches {
+            cluster
+                .execute_all(batch.clone())
+                .await
+                .unwrap_or_else(|e| panic!("{protocol:?}: runtime batch failed: {e}"));
+        }
+        let runtime_history = cluster.history();
+        cluster.shutdown().await;
+        assert_eq!(runtime_history.incomplete_count(), 0, "{protocol:?}");
+        assert_eq!(runtime_history.len(), issued, "{protocol:?}");
+        assert_strictly_serializable(&format!("{protocol:?}/runtime"), &runtime_history);
+    }
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
