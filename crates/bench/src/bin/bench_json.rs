@@ -5,6 +5,13 @@
 //! * `sim_core` flood — raw simulator step-loop throughput at a controlled
 //!   number of in-flight messages (bounded-trace mode, so the large rows
 //!   measure the engine, not the action log);
+//! * `parallel_flood` — the same flood split across client/server pairs,
+//!   run on the serial engine (baseline) and on the sharded parallel
+//!   engine (`ParallelSimulation`, one worker thread per shard); the
+//!   `speedup` column is parallel/serial steps-per-second.  Interpret it
+//!   against `host_threads`: on a single-hardware-thread host the best
+//!   possible speedup is ~1× (the engine's scaling shows only on
+//!   multi-core hosts);
 //! * `runtime_read_latency` — wall-clock READ latency per protocol on the
 //!   tokio cluster, through the same erased deployment path the simulator
 //!   uses;
@@ -18,7 +25,7 @@
 //! fast CI-sized run (small floods, few reads; numbers are then only a
 //! liveness check, not a trajectory point).
 
-use snow_bench::simcore::{run_flood, FloodStats};
+use snow_bench::simcore::{run_flood, run_flood_paired, run_flood_parallel, FloodStats};
 use snow_checker::{GraphChecker, LatencyStats, Verdict};
 use snow_core::SystemConfig;
 use snow_protocols::{build_cluster_bounded, ProtocolKind, SchedulerKind};
@@ -73,14 +80,47 @@ fn checker_row(transactions: usize, reps: usize) -> String {
 /// Runs `reps` floods at `in_flight` and keeps the fastest (least noisy)
 /// measurement.
 fn best_of(in_flight: usize, reps: usize) -> FloodStats {
-    (0..reps)
-        .map(|rep| run_flood(in_flight, 11 + rep as u64))
+    best_stats(reps, |rep| run_flood(in_flight, 11 + rep))
+}
+
+fn best_stats(reps: usize, mut run: impl FnMut(u64) -> FloodStats) -> FloodStats {
+    (0..reps.max(1) as u64)
+        .map(&mut run)
         .max_by(|a, b| {
             a.steps_per_sec()
                 .partial_cmp(&b.steps_per_sec())
                 .expect("finite rates")
         })
         .expect("at least one rep")
+}
+
+/// One `parallel_flood` measurement: the paired flood on the serial engine
+/// vs the sharded engine at `shards` worker threads, best of `reps` each.
+fn parallel_flood_row(in_flight: usize, pairs: usize, shards: usize, reps: usize) -> String {
+    let serial = best_stats(reps, |rep| run_flood_paired(in_flight, 11 + rep, pairs));
+    let parallel =
+        best_stats(reps, |rep| run_flood_parallel(in_flight, 11 + rep, pairs, shards));
+    assert_eq!(
+        serial.steps, parallel.steps,
+        "paired flood must execute identical work on both engines"
+    );
+    let speedup = parallel.steps_per_sec() / serial.steps_per_sec();
+    eprintln!(
+        "parallel_flood in_flight={:>6} shards={} serial={:.0}/s parallel={:.0}/s x{:.2}",
+        in_flight,
+        shards,
+        serial.steps_per_sec(),
+        parallel.steps_per_sec(),
+        speedup
+    );
+    format!(
+        "    {{\"in_flight\": {in_flight}, \"pairs\": {pairs}, \"shards\": {shards}, \
+         \"steps\": {}, \"serial_steps_per_sec\": {:.1}, \"parallel_steps_per_sec\": {:.1}, \
+         \"speedup\": {speedup:.3}}}",
+        parallel.steps,
+        serial.steps_per_sec(),
+        parallel.steps_per_sec()
+    )
 }
 
 fn main() {
@@ -117,6 +157,24 @@ fn main() {
         )
         .expect("string write");
     }
+
+    // Parallel-flood section: the sharded engine against the serial
+    // baseline on identical paired workloads.
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // (in_flight, pairs, shards): pairs = client/server pairs in the
+    // workload, shards = worker threads they are partitioned onto.
+    let parallel_cases: &[(usize, usize, usize)] = if smoke {
+        &[(1_000, 4, 4)]
+    } else {
+        &[(10_000, 4, 4), (100_000, 4, 4), (100_000, 8, 8)]
+    };
+    let parallel_results = parallel_cases
+        .iter()
+        .map(|&(in_flight, pairs, shards)| parallel_flood_row(in_flight, pairs, shards, reps))
+        .collect::<Vec<_>>()
+        .join(",\n");
 
     // Runtime section: wall-clock READ latency per protocol on the tokio
     // cluster (seeded with a few writes first), so regressions in the async
@@ -166,7 +224,7 @@ fn main() {
         .join(",\n");
 
     let json = format!(
-        "{{\n  \"bench\": \"sim_core\",\n  \"scenario\": \"flood\",\n  \"engine\": \"event-queue\",\n  \"smoke\": {smoke},\n  \"results\": [\n{results}\n  ],\n  \"runtime_read_latency\": [\n{runtime_results}\n  ],\n  \"checker_throughput\": [\n{checker_results}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"sim_core\",\n  \"scenario\": \"flood\",\n  \"engine\": \"event-queue\",\n  \"smoke\": {smoke},\n  \"host_threads\": {host_threads},\n  \"results\": [\n{results}\n  ],\n  \"parallel_flood\": [\n{parallel_results}\n  ],\n  \"runtime_read_latency\": [\n{runtime_results}\n  ],\n  \"checker_throughput\": [\n{checker_results}\n  ]\n}}\n"
     );
     if write {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json");

@@ -24,7 +24,7 @@
 //! hold the tokio runtime to the simulator's golden combos.
 
 use snow_core::{ClientId, History, SystemConfig, TxSpec};
-use snow_protocols::{build_cluster, ProtocolKind, SchedulerKind};
+use snow_protocols::{build_cluster_on, ExecutorKind, ProtocolKind, SchedulerKind};
 use snow_workload::{WorkloadDriver, WorkloadGenerator, WorkloadSpec};
 use std::fmt::Write as _;
 
@@ -89,9 +89,25 @@ fn combo_workload_spec() -> WorkloadSpec {
 /// of every record (spec, outcome, timings, rounds, C2C, read
 /// instrumentation) plus the final simulation clock.
 pub fn run_combo(combo: &Combo) -> String {
+    run_combo_on(combo, ExecutorKind::SerialSim)
+}
+
+/// [`run_combo`] on an explicit simulator substrate.  A 1-shard
+/// [`ExecutorKind::ParallelSim`] must render byte-for-byte what
+/// [`ExecutorKind::SerialSim`] renders — that equality (against the
+/// committed fixtures) is the parallel engine's golden parity proof,
+/// pinned by the `parallel_determinism` integration test.
+pub fn run_combo_on(combo: &Combo, executor: ExecutorKind) -> String {
     let config = combo_config(combo.protocol);
-    let mut cluster =
-        build_cluster(combo.protocol, &config, combo.scheduler).expect("valid combo config");
+    let mut cluster = build_cluster_on(
+        combo.protocol,
+        &config,
+        combo.scheduler,
+        executor,
+        snow_protocols::DEFAULT_MAX_STEPS,
+        None,
+    )
+    .expect("valid combo config");
     let mut generator = WorkloadGenerator::new(&config, combo_workload_spec());
     let (history, report) =
         WorkloadDriver::new(4).run(cluster.as_mut(), &mut generator, COMBO_TXNS);
@@ -155,15 +171,29 @@ pub fn concurrent_parity_plan(
     (config, batches)
 }
 
-/// Runs a concurrent plan on the simulator: each round is dispatched as one
-/// batch at the same instant, then the network drains to quiescence.
+/// Runs a concurrent plan on the serial simulator: each round is dispatched
+/// as one batch at the same instant, then the network drains to quiescence.
 pub fn run_concurrent_plan_on_simulator(
     protocol: ProtocolKind,
     config: &SystemConfig,
     scheduler: SchedulerKind,
     batches: &[Vec<(ClientId, TxSpec)>],
 ) -> History {
-    let mut cluster = build_cluster(protocol, config, scheduler).expect("valid parity config");
+    run_concurrent_plan_on(protocol, config, scheduler, ExecutorKind::SerialSim, batches)
+}
+
+/// [`run_concurrent_plan_on_simulator`] on an explicit simulator substrate
+/// — how the parity harness drives genuinely overlapping batches through
+/// the sharded parallel engine.
+pub fn run_concurrent_plan_on(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    scheduler: SchedulerKind,
+    executor: ExecutorKind,
+    batches: &[Vec<(ClientId, TxSpec)>],
+) -> History {
+    let mut cluster = build_cluster_on(protocol, config, scheduler, executor, snow_protocols::DEFAULT_MAX_STEPS, None)
+        .expect("valid parity config");
     for batch in batches {
         let now = cluster.now();
         let txs = cluster.invoke_batch(now, batch.clone());
@@ -175,7 +205,7 @@ pub fn run_concurrent_plan_on_simulator(
     cluster.history()
 }
 
-/// Runs `plan` serially on the simulator under `scheduler`: each
+/// Runs `plan` serially on the serial simulator under `scheduler`: each
 /// transaction is invoked alone and the network drains to quiescence before
 /// the next, so only the *semantics* of the protocol — not the schedule —
 /// determine the history.  Panics if any transaction fails to complete.
@@ -185,7 +215,19 @@ pub fn run_plan_on_simulator(
     scheduler: SchedulerKind,
     plan: &[(ClientId, TxSpec)],
 ) -> History {
-    let mut cluster = build_cluster(protocol, config, scheduler).expect("valid parity config");
+    run_plan_on(protocol, config, scheduler, ExecutorKind::SerialSim, plan)
+}
+
+/// [`run_plan_on_simulator`] on an explicit simulator substrate.
+pub fn run_plan_on(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    scheduler: SchedulerKind,
+    executor: ExecutorKind,
+    plan: &[(ClientId, TxSpec)],
+) -> History {
+    let mut cluster = build_cluster_on(protocol, config, scheduler, executor, snow_protocols::DEFAULT_MAX_STEPS, None)
+        .expect("valid parity config");
     for (client, spec) in plan {
         let tx = cluster.invoke_at(cluster.now(), *client, spec.clone());
         cluster.run_until_quiescent();

@@ -1,7 +1,8 @@
 //! # snow-bench
 //!
 //! The benchmark/experiment harness: one binary per paper table or figure
-//! (see `DESIGN.md`'s per-experiment index) plus Criterion micro-benchmarks.
+//! plus Criterion micro-benchmarks and the golden-fixture machinery (see
+//! `ARCHITECTURE.md` at the workspace root for how the pieces fit).
 //!
 //! Binaries (run with `cargo run -p snow-bench --release --bin <name>`):
 //!

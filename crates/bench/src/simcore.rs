@@ -8,11 +8,19 @@
 //! and every delivery exercises the engine's scheduling data structures
 //! (delivery-queue insert + pop), which is exactly the hot path of every
 //! figure/table binary in this workspace.
+//!
+//! The **paired flood** ([`run_flood_paired`], [`run_flood_parallel`]) is
+//! the multi-core variant: `pairs` clients each fan out `in_flight /
+//! pairs` requests to their own server.  Run on the serial engine it is
+//! the single-thread baseline; run on the sharded parallel engine
+//! ([`snow_sim::ParallelSimulation`]) each client/server pair lands on one
+//! shard and the per-shard step loops proceed concurrently — the
+//! `parallel_flood` section of `BENCH_simcore.json` tracks the ratio.
 
 use snow_core::{
     ClientId, ObjectId, ProcessId, ReadOutcome, ServerId, TxId, TxOutcome, TxSpec,
 };
-use snow_sim::{Effects, LatencyScheduler, Process, Simulation};
+use snow_sim::{Effects, LatencyScheduler, ParallelSimulation, Process, Simulation};
 use std::time::{Duration, Instant};
 
 /// Protocol-less flood message: a request or response carrying its index.
@@ -32,6 +40,8 @@ pub enum FloodNode {
     Client {
         /// Client id.
         id: ClientId,
+        /// The server this client floods.
+        server: ServerId,
         /// Outstanding (transaction, responses still expected).
         outstanding: Option<(TxId, usize)>,
     },
@@ -53,13 +63,13 @@ impl Process for FloodNode {
     }
 
     fn on_invoke(&mut self, tx: TxId, spec: TxSpec, effects: &mut Effects<FloodMsg>) {
-        let FloodNode::Client { outstanding, .. } = self else {
+        let FloodNode::Client { server, outstanding, .. } = self else {
             panic!("flood server invoked")
         };
         let objects = spec.objects();
         *outstanding = Some((tx, objects.len()));
         for object in objects {
-            effects.send(ProcessId::Server(ServerId(0)), FloodMsg::Req(object.0));
+            effects.send(ProcessId::Server(*server), FloodMsg::Req(object.0));
         }
     }
 
@@ -117,6 +127,7 @@ pub fn run_flood(in_flight: usize, seed: u64) -> FloodStats {
         .with_trace_capacity(4096);
     sim.add_process(FloodNode::Client {
         id: ClientId(0),
+        server: ServerId(0),
         outstanding: None,
     });
     sim.add_process(FloodNode::Server { id: ServerId(0) });
@@ -133,6 +144,86 @@ pub fn run_flood(in_flight: usize, seed: u64) -> FloodStats {
     }
 }
 
+/// The paired-flood node set: client `i` floods server `i`, with the
+/// fan-out width split evenly across `pairs` pairs.
+fn paired_nodes(pairs: usize) -> Vec<FloodNode> {
+    let mut nodes = Vec::with_capacity(2 * pairs);
+    for i in 0..pairs as u32 {
+        nodes.push(FloodNode::Client {
+            id: ClientId(i),
+            server: ServerId(i),
+            outstanding: None,
+        });
+        nodes.push(FloodNode::Server { id: ServerId(i) });
+    }
+    nodes
+}
+
+/// The paired-flood invocation plan: one fan-out read per client, width
+/// `in_flight / pairs` each.
+fn paired_plan(in_flight: usize, pairs: usize) -> Vec<(ClientId, TxSpec)> {
+    let per_pair = (in_flight / pairs).max(1);
+    (0..pairs as u32)
+        .map(|i| {
+            let objects: Vec<ObjectId> = (0..per_pair).map(|o| ObjectId(o as u32)).collect();
+            (ClientId(i), TxSpec::read(objects))
+        })
+        .collect()
+}
+
+/// Runs the paired flood on the **serial** engine: the single-thread
+/// baseline the `parallel_flood` speedups are measured against.
+pub fn run_flood_paired(in_flight: usize, seed: u64, pairs: usize) -> FloodStats {
+    let mut sim = Simulation::new(LatencyScheduler::new(seed, 1, 64))
+        .with_max_steps(4 * in_flight as u64 + 64)
+        .with_trace_capacity(4096);
+    for node in paired_nodes(pairs) {
+        sim.add_process(node);
+    }
+    let txs: Vec<TxId> = paired_plan(in_flight, pairs)
+        .into_iter()
+        .map(|(client, spec)| sim.invoke_at(0, client, spec))
+        .collect();
+    let start = Instant::now();
+    let steps = sim.run_until_quiescent();
+    let wall = start.elapsed();
+    for tx in txs {
+        assert!(sim.is_complete(tx), "paired flood transaction must complete");
+    }
+    FloodStats { in_flight, steps, wall }
+}
+
+/// Runs the paired flood on the **sharded parallel** engine with `shards`
+/// worker threads: client/server pair `i` lands on shard `i % shards`
+/// (`snow_sim::parallel::shard_of`), so the per-shard step loops are
+/// independent and the epoch barrier only paces them.  Same workload as
+/// [`run_flood_paired`]; the steps/sec ratio between the two is the
+/// engine's parallel speedup on this host.
+pub fn run_flood_parallel(in_flight: usize, seed: u64, pairs: usize, shards: usize) -> FloodStats {
+    let mut sim = ParallelSimulation::new(shards, |i| {
+        LatencyScheduler::new(snow_sim::parallel::shard_seed(seed, i), 1, 64)
+    })
+    // The paired flood is shard-disjoint, so wide epochs lose no
+    // cross-shard fidelity and keep the barrier off the hot path.
+    .with_epoch_width(4096)
+    .with_max_steps(4 * in_flight as u64 + 64)
+    .with_trace_capacity(4096);
+    for node in paired_nodes(pairs) {
+        sim.add_process(node);
+    }
+    let txs: Vec<TxId> = paired_plan(in_flight, pairs)
+        .into_iter()
+        .map(|(client, spec)| sim.invoke_at(0, client, spec))
+        .collect();
+    let start = Instant::now();
+    let steps = sim.run_until_quiescent();
+    let wall = start.elapsed();
+    for tx in txs {
+        assert!(sim.is_complete(tx), "parallel flood transaction must complete");
+    }
+    FloodStats { in_flight, steps, wall }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +235,17 @@ mod tests {
         assert_eq!(stats.steps, 201);
         assert_eq!(stats.in_flight, 100);
         assert!(stats.steps_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn paired_flood_matches_across_engines() {
+        // Both engines execute the same work: `pairs` invocations plus a
+        // request and a response per in-flight slot.
+        let serial = run_flood_paired(96, 5, 4);
+        assert_eq!(serial.steps, 4 + 2 * 96);
+        for shards in [1usize, 4] {
+            let parallel = run_flood_parallel(96, 5, 4, shards);
+            assert_eq!(parallel.steps, serial.steps, "{shards} shards");
+        }
     }
 }

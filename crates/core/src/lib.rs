@@ -26,9 +26,11 @@
 //!   [`ProtocolMessage`] so any substrate can derive round counts and
 //!   non-blocking verdicts without understanding payloads.
 //!
-//! `snow-core` has no opinion on *how* messages are delivered; both the
-//! deterministic simulator (`snow-sim`) and the tokio runtime
-//! (`snow-runtime`) execute the same [`Process`] machines over these types.
+//! `snow-core` has no opinion on *how* messages are delivered; all three
+//! execution substrates — the serial deterministic simulator and the
+//! sharded parallel simulator (`snow-sim`), and the tokio runtime
+//! (`snow-runtime`) — execute the same [`Process`] machines over these
+//! types.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

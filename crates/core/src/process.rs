@@ -4,9 +4,11 @@
 //! This is the transport-agnostic protocol engine contract: a protocol is a
 //! set of [`Process`] state machines that react to invocations and message
 //! deliveries by emitting output actions into an [`Effects`] buffer.  *How*
-//! those sends are carried — the deterministic event-queue simulator
-//! (`snow-sim`) or one tokio task per process (`snow-runtime`) — is the
-//! substrate's business; the protocol logic is written once.
+//! those sends are carried — the serial deterministic event-queue simulator
+//! (`snow_sim::Simulation`), the sharded parallel simulator
+//! (`snow_sim::ParallelSimulation`), or one tokio task per process
+//! (`snow-runtime`) — is the substrate's business; the protocol logic is
+//! written once.
 
 use crate::ids::ProcessId;
 use crate::msg::ProtocolMessage;

@@ -195,9 +195,29 @@ impl AnyDeployment {
 }
 
 /// Builds the protocol-erased node set of `protocol` over `config` — the
-/// single `ProtocolKind`-dispatched deployment path shared by
-/// `snow_sim::Simulation` (via [`crate::build_cluster`]) and
-/// `snow_runtime::AsyncCluster`.
+/// single `ProtocolKind`-dispatched deployment path shared by all three
+/// execution substrates: `snow_sim::Simulation` (via
+/// [`crate::build_cluster`]), `snow_sim::ParallelSimulation` (via
+/// [`crate::build_cluster_parallel`]) and `snow_runtime::AsyncCluster`.
+///
+/// ```
+/// use snow_core::SystemConfig;
+/// use snow_protocols::{deploy_any, ProtocolKind};
+///
+/// // Two servers, one reader, one writer — one node per process, ready
+/// // to run on any substrate that drives the `Process` contract.
+/// let config = SystemConfig::mwmr(2, 1, 1);
+/// let nodes = deploy_any(ProtocolKind::AlgB, &config).unwrap();
+/// assert_eq!(
+///     nodes.len() as u32,
+///     config.num_servers + config.num_readers + config.num_writers,
+/// );
+///
+/// // Configuration requirements are validated here, once, for every
+/// // substrate: Algorithm A insists on client-to-client communication.
+/// let no_c2c = SystemConfig::mwsr(2, 1, false);
+/// assert!(deploy_any(ProtocolKind::AlgA, &no_c2c).is_err());
+/// ```
 pub fn deploy_any(protocol: ProtocolKind, config: &SystemConfig) -> Result<Vec<AnyNode>> {
     AnyDeployment::new(protocol, config).map(AnyDeployment::into_nodes)
 }

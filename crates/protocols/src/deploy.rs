@@ -9,7 +9,9 @@
 
 use crate::any::deploy_any;
 use snow_core::{ClientId, History, Process, Result, SystemConfig, TxId, TxSpec};
-use snow_sim::{FifoScheduler, LatencyScheduler, RandomScheduler, Scheduler, Simulation};
+use snow_sim::{
+    FifoScheduler, LatencyScheduler, ParallelSimulation, RandomScheduler, Scheduler, Simulation,
+};
 
 /// Which protocol a cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,6 +84,34 @@ pub enum SchedulerKind {
     },
 }
 
+/// Which execution substrate carries a deployment's messages.
+///
+/// The workspace has three substrates, all fed by the same
+/// protocol-erased deployment path ([`crate::any::deploy_any`]):
+///
+/// * [`ExecutorKind::SerialSim`] — the deterministic single-threaded
+///   event-queue simulator (`snow_sim::Simulation`);
+/// * [`ExecutorKind::ParallelSim`] — the sharded parallel simulator
+///   (`snow_sim::ParallelSimulation`): one worker thread per shard,
+///   deterministic epoch-barrier message exchange.  With `shards: 1` it
+///   reproduces the serial simulator bit-for-bit;
+/// * the tokio runtime (`snow_runtime::AsyncCluster`) — real threads and
+///   channels, wall-clock timing.  It is asynchronous, so it lives behind
+///   its own async API rather than the synchronous [`Cluster`] trait;
+///   `AsyncCluster::deploy` consumes the same `deploy_any` node set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// The serial deterministic simulator.
+    SerialSim,
+    /// The sharded parallel simulator with this many shards (worker
+    /// threads).  Shard 0 uses the base scheduler seed, so one shard is a
+    /// drop-in replacement for [`ExecutorKind::SerialSim`].
+    ParallelSim {
+        /// Number of shards (must be ≥ 1).
+        shards: usize,
+    },
+}
+
 /// A deployed protocol instance that can execute transactions.
 pub trait Cluster {
     /// Schedules `spec` for invocation by `client` at simulation time `at`.
@@ -136,6 +166,89 @@ where
     }
 }
 
+impl<P, S> Cluster for ParallelSimulation<P, S>
+where
+    P: Process + Send,
+    P::Msg: Send,
+    S: Scheduler<P::Msg> + Send,
+{
+    fn invoke_at(&mut self, at: u64, client: ClientId, spec: TxSpec) -> TxId {
+        ParallelSimulation::invoke_at(self, at, client, spec)
+    }
+    fn run_until_quiescent(&mut self) -> u64 {
+        ParallelSimulation::run_until_quiescent(self)
+    }
+    fn run_until_complete(&mut self, tx: TxId) -> bool {
+        ParallelSimulation::run_until_complete(self, tx)
+    }
+    fn is_complete(&self, tx: TxId) -> bool {
+        ParallelSimulation::is_complete(self, tx)
+    }
+    fn history(&self) -> History {
+        ParallelSimulation::history(self)
+    }
+    fn now(&self) -> u64 {
+        ParallelSimulation::now(self)
+    }
+}
+
+use snow_sim::parallel::shard_seed;
+
+fn boxed_parallel<P>(
+    nodes: Vec<P>,
+    scheduler: SchedulerKind,
+    shards: usize,
+    max_steps: u64,
+    trace_capacity: Option<usize>,
+) -> Box<dyn Cluster>
+where
+    P: Process + Send + 'static,
+    P::Msg: Send,
+{
+    fn finish<P, S>(
+        mut sim: ParallelSimulation<P, S>,
+        nodes: Vec<P>,
+        max_steps: u64,
+        trace_capacity: Option<usize>,
+    ) -> Box<dyn Cluster>
+    where
+        P: Process + Send + 'static,
+        P::Msg: Send,
+        S: Scheduler<P::Msg> + Send + 'static,
+    {
+        sim = sim.with_max_steps(max_steps);
+        if let Some(capacity) = trace_capacity {
+            sim = sim.with_trace_capacity(capacity);
+        }
+        for n in nodes {
+            sim.add_process(n);
+        }
+        Box::new(sim)
+    }
+    match scheduler {
+        SchedulerKind::Fifo => finish(
+            ParallelSimulation::new(shards, |_| FifoScheduler::new()),
+            nodes,
+            max_steps,
+            trace_capacity,
+        ),
+        SchedulerKind::Random(seed) => finish(
+            ParallelSimulation::new(shards, |i| RandomScheduler::new(shard_seed(seed, i))),
+            nodes,
+            max_steps,
+            trace_capacity,
+        ),
+        SchedulerKind::Latency { seed, min, max } => finish(
+            ParallelSimulation::new(shards, |i| {
+                LatencyScheduler::new(shard_seed(seed, i), min, max)
+            }),
+            nodes,
+            max_steps,
+            trace_capacity,
+        ),
+    }
+}
+
 fn boxed<P>(
     nodes: Vec<P>,
     scheduler: SchedulerKind,
@@ -181,6 +294,13 @@ where
     }
 }
 
+/// The step cap every convenience constructor applies (override with
+/// [`build_cluster_with_max_steps`] / [`build_cluster_on`] for larger
+/// workloads).  The golden/parity harnesses in `snow-bench` reference this
+/// same constant, so the fixtures and the front doors always run under one
+/// cap.
+pub const DEFAULT_MAX_STEPS: u64 = 10_000_000;
+
 /// Builds a boxed cluster running `protocol` over `config`, with messages
 /// delivered by `scheduler`.
 pub fn build_cluster(
@@ -188,7 +308,7 @@ pub fn build_cluster(
     config: &SystemConfig,
     scheduler: SchedulerKind,
 ) -> Result<Box<dyn Cluster>> {
-    build_cluster_with_max_steps(protocol, config, scheduler, 10_000_000)
+    build_cluster_with_max_steps(protocol, config, scheduler, DEFAULT_MAX_STEPS)
 }
 
 /// [`build_cluster`] with an explicit step cap (large workloads need more).
@@ -212,6 +332,32 @@ pub fn build_cluster_with_max_steps(
 /// in-flight) regardless of run length.  Histories are byte-for-byte
 /// identical to the unbounded cluster's; this is what the workload driver
 /// and the bench binaries use for 100k+/million-transaction runs.
+///
+/// ```
+/// use snow_core::{ObjectId, SystemConfig, TxSpec, Value};
+/// use snow_protocols::{build_cluster_bounded, ProtocolKind, SchedulerKind};
+///
+/// let config = SystemConfig::mwmr(2, 1, 1);
+/// let mut cluster = build_cluster_bounded(
+///     ProtocolKind::AlgC,
+///     &config,
+///     SchedulerKind::Latency { seed: 7, min: 1, max: 20 },
+///     u64::MAX, // no step cap
+///     4096,     // sliding action window; aggregates stay exact
+/// )
+/// .unwrap();
+///
+/// let writer = config.writers().next().unwrap();
+/// let reader = config.readers().next().unwrap();
+/// let w = cluster.invoke_at(0, writer, TxSpec::write(vec![(ObjectId(0), Value(9))]));
+/// assert!(cluster.run_until_complete(w));
+/// let r = cluster.invoke_at(cluster.now(), reader, TxSpec::read(vec![ObjectId(0)]));
+/// assert!(cluster.run_until_complete(r));
+///
+/// let history = cluster.history();
+/// let read = history.get(r).unwrap().outcome.as_ref().unwrap().as_read().unwrap().clone();
+/// assert_eq!(read.value_for(ObjectId(0)), Some(Value(9)));
+/// ```
 pub fn build_cluster_bounded(
     protocol: ProtocolKind,
     config: &SystemConfig,
@@ -225,6 +371,56 @@ pub fn build_cluster_bounded(
         max_steps,
         Some(trace_capacity),
     ))
+}
+
+/// Builds a boxed cluster of `protocol` on an explicit execution substrate
+/// — the [`ExecutorKind`]-dispatched front door over the same
+/// [`deploy_any`] node set that [`build_cluster`] (serial) and
+/// `snow_runtime::AsyncCluster::deploy` (tokio) use.
+pub fn build_cluster_on(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    scheduler: SchedulerKind,
+    executor: ExecutorKind,
+    max_steps: u64,
+    trace_capacity: Option<usize>,
+) -> Result<Box<dyn Cluster>> {
+    if let ExecutorKind::ParallelSim { shards: 0 } = executor {
+        return Err(snow_core::SnowError::InvalidConfig(
+            "a parallel cluster needs at least one shard".to_string(),
+        ));
+    }
+    let nodes = deploy_any(protocol, config)?;
+    Ok(match executor {
+        ExecutorKind::SerialSim => boxed(nodes, scheduler, max_steps, trace_capacity),
+        ExecutorKind::ParallelSim { shards } => {
+            boxed_parallel(nodes, scheduler, shards, max_steps, trace_capacity)
+        }
+    })
+}
+
+/// Builds a boxed cluster on the sharded parallel simulator
+/// (`snow_sim::ParallelSimulation`): processes are partitioned into
+/// `shards` shards, each driven by its own worker thread and its own
+/// scheduler instance (shard 0 keeps `scheduler`'s base seed, the rest are
+/// derived), with cross-shard messages exchanged at deterministic epoch
+/// barriers.  With `shards == 1` the cluster reproduces
+/// [`build_cluster`]'s histories bit-for-bit; with more shards histories
+/// stay deterministic per seed but interleave differently.
+pub fn build_cluster_parallel(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    scheduler: SchedulerKind,
+    shards: usize,
+) -> Result<Box<dyn Cluster>> {
+    build_cluster_on(
+        protocol,
+        config,
+        scheduler,
+        ExecutorKind::ParallelSim { shards },
+        DEFAULT_MAX_STEPS,
+        None,
+    )
 }
 
 #[cfg(test)]
@@ -321,5 +517,81 @@ mod tests {
         // Algorithm A in a no-C2C config is refused.
         let cfg = SystemConfig::mwsr(2, 1, false);
         assert!(build_cluster(ProtocolKind::AlgA, &cfg, SchedulerKind::Fifo).is_err());
+        // …on the parallel substrate too (same validation path).
+        assert!(build_cluster_parallel(ProtocolKind::AlgA, &cfg, SchedulerKind::Fifo, 2).is_err());
+        // Zero shards is a configuration error, not a panic.
+        let ok_cfg = SystemConfig::mwmr(2, 1, 1);
+        assert!(build_cluster_parallel(ProtocolKind::AlgB, &ok_cfg, SchedulerKind::Fifo, 0).is_err());
+    }
+
+    #[test]
+    fn one_shard_parallel_cluster_matches_the_serial_cluster() {
+        // Same protocol, scheduler and plan: a 1-shard parallel cluster
+        // must produce the serial cluster's history byte for byte.
+        for sched in [
+            SchedulerKind::Fifo,
+            SchedulerKind::Random(13),
+            SchedulerKind::Latency { seed: 13, min: 1, max: 20 },
+        ] {
+            let config = SystemConfig::mwmr(3, 2, 2);
+            let drive = |cluster: &mut Box<dyn Cluster>| {
+                let writers: Vec<_> = config.writers().collect();
+                let readers: Vec<_> = config.readers().collect();
+                for round in 0..5u64 {
+                    let mut batch = vec![];
+                    for (i, w) in writers.iter().enumerate() {
+                        batch.push((
+                            *w,
+                            TxSpec::write(vec![(ObjectId(i as u32), Value(round + 1))]),
+                        ));
+                    }
+                    batch.push((readers[0], TxSpec::read(vec![ObjectId(0), ObjectId(1)])));
+                    cluster.invoke_batch(cluster.now(), batch);
+                    cluster.run_until_quiescent();
+                }
+                format!("{:?} now={}", cluster.history(), cluster.now())
+            };
+            let mut serial = build_cluster(ProtocolKind::AlgB, &config, sched).unwrap();
+            let mut parallel =
+                build_cluster_parallel(ProtocolKind::AlgB, &config, sched, 1).unwrap();
+            assert_eq!(drive(&mut serial), drive(&mut parallel), "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn multi_shard_cluster_completes_every_protocol() {
+        for protocol in ProtocolKind::all() {
+            let config = if protocol.needs_c2c() {
+                SystemConfig::mwsr(4, 2, true)
+            } else {
+                SystemConfig::mwmr(4, 2, 2)
+            };
+            let mut cluster = build_cluster_parallel(
+                protocol,
+                &config,
+                SchedulerKind::Latency { seed: 3, min: 1, max: 12 },
+                4,
+            )
+            .unwrap();
+            let writer = config.writers().next().unwrap();
+            let reader = config.readers().next().unwrap();
+            let w = cluster.invoke_at(
+                0,
+                writer,
+                TxSpec::write(vec![(ObjectId(0), Value(1)), (ObjectId(1), Value(2))]),
+            );
+            assert!(cluster.run_until_complete(w), "{}", protocol.name());
+            let r = cluster.invoke_at(
+                cluster.now(),
+                reader,
+                TxSpec::read(vec![ObjectId(0), ObjectId(1)]),
+            );
+            assert!(cluster.run_until_complete(r), "{}", protocol.name());
+            let h = cluster.history();
+            let out = h.get(r).unwrap().outcome.as_ref().unwrap().as_read().unwrap().clone();
+            assert_eq!(out.value_for(ObjectId(0)), Some(Value(1)), "{}", protocol.name());
+            assert_eq!(out.value_for(ObjectId(1)), Some(Value(2)), "{}", protocol.name());
+            assert_eq!(h.incomplete_count(), 0, "{}", protocol.name());
+        }
     }
 }

@@ -28,10 +28,14 @@
 //! Deployment is described once and executed anywhere.  [`any`] erases the
 //! per-protocol node/message types behind enum dispatch ([`AnyNode`],
 //! [`AnyMsg`]), so [`deploy_any`] is the *single* `ProtocolKind`-dispatched
-//! construction path in the workspace:
+//! construction path in the workspace, feeding all three execution
+//! substrates (select one with [`ExecutorKind`]):
 //!
-//! * the simulator wraps it in [`deploy::build_cluster`] (pick a
+//! * the serial simulator wraps it in [`deploy::build_cluster`] (pick a
 //!   [`SchedulerKind`], drive through the [`deploy::Cluster`] trait);
+//! * the sharded parallel simulator wraps it in
+//!   [`deploy::build_cluster_parallel`] (same [`deploy::Cluster`] trait,
+//!   one worker thread per shard);
 //! * the tokio runtime wraps it in `snow_runtime::AsyncCluster::deploy`.
 //!
 //! A new protocol therefore lands on both executors — and under the
@@ -55,6 +59,7 @@ pub mod simple;
 pub use any::{deploy_any, AnyDeployment, AnyMsg, AnyNode};
 pub use common::{PendingRead, PendingWrite, WriteLog};
 pub use deploy::{
-    build_cluster, build_cluster_bounded, build_cluster_with_max_steps, Cluster, ProtocolKind,
-    SchedulerKind,
+    build_cluster, build_cluster_bounded, build_cluster_on, build_cluster_parallel,
+    build_cluster_with_max_steps, Cluster, ExecutorKind, ProtocolKind, SchedulerKind,
+    DEFAULT_MAX_STEPS,
 };

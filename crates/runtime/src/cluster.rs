@@ -6,7 +6,7 @@
 //! executors with no per-protocol wiring here.
 //!
 //! The runtime mirrors the simulator's causal instrumentation: every
-//! message carries a lightweight [`MsgMeta`] envelope (its classification,
+//! message carries a lightweight `MsgMeta` envelope (its classification,
 //! the destinations of its causal ancestors, and — for read responses —
 //! whether the server answered within the handler of the request), from
 //! which the cluster derives the same per-transaction round counts, C2C

@@ -18,10 +18,13 @@
 //! directly and the `runtime_parity` integration test can hold both
 //! executors to the same golden semantics.
 //!
-//! This is the substrate for the wall-clock latency and throughput
-//! experiments (E8–E10 in `DESIGN.md`): the simulator measures rounds and
-//! schedules adversarially; the runtime measures what those rounds cost on a
-//! real concurrent executor.
+//! This is the substrate for the wall-clock latency experiments (the
+//! `runtime_read_latency` section of `BENCH_simcore.json` and the latency
+//! tables): the simulator measures rounds and schedules adversarially; the
+//! runtime measures what those rounds cost on a real concurrent executor.
+//! It is one of the workspace's three execution substrates, alongside the
+//! serial simulator (`snow_sim::Simulation`) and the sharded parallel
+//! simulator (`snow_sim::ParallelSimulation`) — see `ARCHITECTURE.md`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

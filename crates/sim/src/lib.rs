@@ -9,8 +9,10 @@
 //!   through an [`Effects`] buffer — exactly the "actions at one automaton"
 //!   granularity the paper's fragment arguments rely on.  The
 //!   [`Process`]/[`Effects`] contract itself lives in `snow-core`
-//!   (transport-agnostic); this crate is one of its two execution
-//!   substrates, the other being the tokio runtime in `snow-runtime`;
+//!   (transport-agnostic); this crate provides two of its three execution
+//!   substrates — the serial [`Simulation`] and the sharded
+//!   [`ParallelSimulation`] (see [`parallel`]) — the third being the tokio
+//!   runtime in `snow-runtime`;
 //! * the network is **reliable but asynchronous**: every sent message is
 //!   eventually deliverable, but the order and timing of deliveries are under
 //!   the control of a [`Scheduler`] (seeded-random, FIFO, latency-modelled, or
@@ -25,22 +27,29 @@
 //!   trusting the protocol's self-reporting;
 //! * the simulation also assembles the [`snow_core::History`] of the run.
 //!
-//! The simulator is single-threaded and fully deterministic given
+//! The serial simulator is single-threaded and fully deterministic given
 //! `(configuration, scheduler seed, invocation plan)`, which is what makes
 //! the impossibility constructions of `snow-impossibility` replayable.
+//! The sharded [`ParallelSimulation`] keeps that determinism — histories
+//! are a pure function of `(configuration, seeds, shard count)` — while
+//! running one worker thread per shard, exchanging cross-shard messages at
+//! deterministic epoch barriers; with one shard it reproduces the serial
+//! engine bit for bit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod message;
+pub mod parallel;
 pub mod pool;
 pub mod scheduler;
 pub mod sim;
 pub mod trace;
 
 pub use message::{MsgId, MsgInfo, MsgKind, PendingMessage, SimMessage};
+pub use parallel::ParallelSimulation;
 pub use pool::MessagePool;
 pub use snow_core::{Effects, Process};
 pub use scheduler::{FifoScheduler, LatencyScheduler, RandomScheduler, Scheduler};
 pub use sim::{InvocationPlan, Simulation, StepOutcome};
-pub use trace::{Action, ActionKind, Trace};
+pub use trace::{Action, ActionKind, CausalEnvelope, Trace};

@@ -1,0 +1,952 @@
+//! The sharded parallel step loop: the workspace's third execution
+//! substrate.
+//!
+//! [`ParallelSimulation`] partitions the processes of a deployment into
+//! **shards** ([`shard_of`]: servers by `ServerId`, clients by `ClientId`)
+//! and runs one sub-engine per shard on its own worker thread.  Each shard
+//! owns the same indexed structures as the serial [`crate::Simulation`] —
+//! a [`MessagePool`] delivery heap, a `(at, TxId)`-keyed invocation heap,
+//! its own [`Scheduler`] instance and its own [`Trace`] — so shard-disjoint
+//! deliveries proceed with no synchronization at all.
+//!
+//! # The deterministic epoch barrier
+//!
+//! Cross-shard sends never touch another shard's pool directly.  They are
+//! buffered in a per-shard outbox and exchanged at an **epoch barrier**:
+//!
+//! 1. every worker folds the messages routed to it in the previous epoch
+//!    into its pool and reports its *next processable virtual time* (the
+//!    earliest delivery key, or the next due invocation's time);
+//! 2. one leader computes the global watermark `min(reports) +
+//!    epoch_width`; if no shard has work and nothing is in transit, the
+//!    system is quiescent;
+//! 3. every worker drains its sub-queues by the serial engine's dispatch
+//!    rules, buffering cross-shard sends.  The watermark gates *whether
+//!    the shard keeps stepping* — it steps while a due invocation or its
+//!    earliest pending delivery falls below the watermark — while the
+//!    scheduler stays the same unconstrained adversary it is on the
+//!    serial engine (a random scheduler may well deliver a message keyed
+//!    past the watermark while earlier ones are pending);
+//! 4. the leader routes the union of the outboxes in `(deliver_at,
+//!    MsgId)` order to the destination shards, together with each
+//!    message's [`CausalEnvelope`] so the receiving shard's trace keeps
+//!    deriving exact round counts and non-blocking verdicts.
+//!
+//! Every decision in this cycle — watermark, routing order, per-shard
+//! scheduling — is a pure function of per-shard state, so **the observable
+//! history is a deterministic function of `(configuration, seeds, shard
+//! count)` regardless of how the OS schedules the worker threads**.
+//! Message ids are strided (`shard, shard + n, shard + 2n, …`), so id
+//! assignment never races either.
+//!
+//! # Relation to the serial engine
+//!
+//! With one shard there is nothing to exchange: the engine takes an
+//! inline fast path (no threads, watermark `u64::MAX`) whose step loop is
+//! the serial engine's, decision for decision.  A 1-shard
+//! `ParallelSimulation` therefore reproduces the serial golden histories
+//! **bit-identically** — pinned by the `parallel_determinism` integration
+//! test over all 30 golden (protocol × scheduler) combos.  With more
+//! shards the interleaving (and therefore each history's timings and
+//! observed versions) legitimately differs from the serial engine's, but
+//! it is still deterministic, still strictly serializable, and still
+//! semantically equal on serial plans — pinned by the multi-shard cases in
+//! `runtime_parity`.
+
+use crate::message::{MsgId, PendingMessage, SimMessage as _};
+use crate::pool::MessagePool;
+use crate::scheduler::Scheduler;
+use crate::sim::QueuedInvocation;
+use crate::trace::{ActionKind, CausalEnvelope, Trace};
+use snow_core::{ClientId, Effects, History, Process, ProcessId, TxId, TxKind, TxRecord, TxSpec};
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::{Barrier, Mutex};
+
+/// Default virtual-time width of one epoch: how far past the globally
+/// earliest event each epoch may drain before the next barrier.
+pub const DEFAULT_EPOCH_WIDTH: u64 = 64;
+
+/// The shard hosting process `id` when partitioning into `shards` shards:
+/// servers by `ServerId`, clients by `ClientId`, both round-robin.  The
+/// paper's protocols are per-object/per-server state machines, so this
+/// partition preserves their semantics; co-locating a client with the
+/// servers it talks to most is purely a performance knob.
+pub fn shard_of(id: ProcessId, shards: usize) -> usize {
+    match id {
+        ProcessId::Server(s) => s.0 as usize % shards,
+        ProcessId::Client(c) => c.0 as usize % shards,
+    }
+}
+
+/// The scheduler seed shard `shard` should derive from a deployment's base
+/// seed — the one rule every parallel harness must share: **shard 0 keeps
+/// the base seed** (the 1-shard golden-parity proof depends on it), the
+/// rest mix their index in.  Used by `snow_protocols::build_cluster_parallel`
+/// and the paired-flood bench.
+pub fn shard_seed(seed: u64, shard: usize) -> u64 {
+    if shard == 0 {
+        seed
+    } else {
+        seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+/// A cross-shard message in transit, carrying its causal metadata.
+struct Transit<M> {
+    msg: PendingMessage<M>,
+    causality: Option<CausalEnvelope>,
+}
+
+impl<M> Transit<M> {
+    /// The delivery-queue key the destination pool will use
+    /// ([`PendingMessage::delivery_key`] — one rule, shared with
+    /// [`MessagePool`]'s heap, so routing order and pool order agree).
+    fn key(&self) -> u64 {
+        self.msg.delivery_key()
+    }
+}
+
+/// One shard: a self-contained sub-engine over a subset of the processes.
+///
+/// `dispatch_invocation`/`deliver`/`apply_effects` and `run_epoch`'s
+/// dispatch rules deliberately mirror [`crate::Simulation`]'s step loop
+/// line for line — the 1-shard bit-parity guarantee *is* that mirroring.
+/// Change dispatch semantics in both places or the golden-fixture suites
+/// (`determinism`, `parallel_determinism`) will fail; folding the serial
+/// engine onto a single `Shard` to end the duplication is a ROADMAP
+/// follow-up.
+struct Shard<P: Process, S> {
+    index: usize,
+    stride: u64,
+    processes: BTreeMap<ProcessId, P>,
+    pool: MessagePool<P::Msg>,
+    invocations: BinaryHeap<QueuedInvocation>,
+    scheduler: S,
+    trace: Trace,
+    records: BTreeMap<TxId, TxRecord>,
+    now: u64,
+    next_msg: u64,
+    steps: u64,
+    max_steps: u64,
+    outbox: Vec<Transit<P::Msg>>,
+}
+
+impl<P, S> Shard<P, S>
+where
+    P: Process,
+    S: Scheduler<P::Msg>,
+{
+    fn new(index: usize, stride: u64, scheduler: S) -> Self {
+        Shard {
+            index,
+            stride,
+            processes: BTreeMap::new(),
+            pool: MessagePool::new(),
+            invocations: BinaryHeap::new(),
+            scheduler,
+            trace: Trace::new(),
+            records: BTreeMap::new(),
+            now: 0,
+            next_msg: index as u64,
+            steps: 0,
+            max_steps: 1_000_000,
+            outbox: Vec::new(),
+        }
+    }
+
+    fn is_local(&self, id: ProcessId) -> bool {
+        shard_of(id, self.stride as usize) == self.index
+    }
+
+    fn is_complete(&self, tx: TxId) -> bool {
+        self.records.get(&tx).map(|r| r.is_complete()).unwrap_or(false)
+    }
+
+    /// Folds a routed cross-shard message into the local pool and trace.
+    fn accept(&mut self, transit: Transit<P::Msg>) {
+        if let Some(causality) = transit.causality {
+            self.trace.import_envelope(transit.msg.id, causality);
+        }
+        self.pool.insert(transit.msg);
+    }
+
+    /// The earliest virtual time at which this shard could take a step
+    /// under the serial dispatch rules, or `None` if it has no work.
+    /// Exactly two dispatch cases exist: a due invocation (planned time
+    /// reached, or nothing pending to deliver), else the earliest pending
+    /// delivery (a non-empty pool always has a live queue entry).
+    fn next_processable(&mut self) -> Option<u64> {
+        if let Some(inv) = self.invocations.peek() {
+            if inv.at <= self.now || self.pool.is_empty() {
+                return Some(inv.at);
+            }
+        }
+        self.pool.peek_earliest().map(|(key, _)| key)
+    }
+
+    /// Drains local events by the serial engine's dispatch rules: a due
+    /// invocation (planned time reached, or nothing pending to deliver)
+    /// wins over a delivery; deliveries are chosen by the shard's
+    /// scheduler, which — exactly as on the serial engine — may pick *any*
+    /// live message, not just ones keyed inside the watermark.  The
+    /// watermark gates continuation: the loop stops when neither a due
+    /// invocation nor the earliest pending delivery falls below it, when
+    /// the shard has nothing left, or (if watching) when the watched
+    /// transaction completes.  Returns steps executed.
+    fn run_epoch(&mut self, watermark: u64, watch: Option<TxId>) -> u64 {
+        let start = self.steps;
+        loop {
+            if let Some(tx) = watch {
+                if self.is_complete(tx) {
+                    break;
+                }
+            }
+            let due = self
+                .invocations
+                .peek()
+                .map(|inv| (inv.at <= self.now || self.pool.is_empty()) && inv.at < watermark)
+                .unwrap_or(false);
+            if due {
+                let inv = self.invocations.pop().expect("peeked invocation");
+                self.count_step();
+                self.now = self.now.max(inv.at) + 1;
+                self.dispatch_invocation(inv.tx, inv.client, inv.spec);
+                continue;
+            }
+            let deliverable = self
+                .pool
+                .peek_earliest()
+                .map(|(key, _)| key < watermark)
+                .unwrap_or(false);
+            if !deliverable {
+                break;
+            }
+            match self.scheduler.next(&mut self.pool, self.now) {
+                Some(id) => {
+                    self.count_step();
+                    let msg = self
+                        .pool
+                        .remove(id)
+                        .expect("scheduler must choose a live message");
+                    self.now = self.now.max(msg.deliver_at.unwrap_or(self.now)) + 1;
+                    self.deliver(msg);
+                }
+                None => break,
+            }
+        }
+        self.steps - start
+    }
+
+    fn count_step(&mut self) {
+        self.steps += 1;
+        assert!(
+            self.steps <= self.max_steps,
+            "shard {} exceeded {} steps; likely livelock",
+            self.index,
+            self.max_steps
+        );
+    }
+
+    fn dispatch_invocation(&mut self, tx: TxId, client: ClientId, spec: TxSpec) {
+        let pid = ProcessId::Client(client);
+        self.trace.record(
+            self.now,
+            pid,
+            ActionKind::Invoke { tx, kind: spec.kind() },
+        );
+        self.records
+            .insert(tx, TxRecord::invoked(tx, client, spec.clone(), self.now));
+        let mut effects = Effects::new(self.now);
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .unwrap_or_else(|| panic!("invocation for unknown process {pid}"));
+        process.on_invoke(tx, spec, &mut effects);
+        self.apply_effects(pid, None, effects);
+    }
+
+    fn deliver(&mut self, msg: PendingMessage<P::Msg>) {
+        let info = msg.msg.info();
+        self.trace.record(
+            self.now,
+            msg.dst,
+            ActionKind::Recv { msg: msg.id, from: msg.src, info },
+        );
+        let mut effects = Effects::new(self.now);
+        let process = self
+            .processes
+            .get_mut(&msg.dst)
+            .unwrap_or_else(|| panic!("message to unknown process {}", msg.dst));
+        process.on_message(msg.src, msg.msg, &mut effects);
+        self.apply_effects(msg.dst, Some(msg.id), effects);
+        // Bounded mode: this shard only needs a delivered message's causal
+        // metadata for aggregates of transactions *invoked here* (the
+        // records map is exactly that set) — RESP-time pruning covers
+        // those.  Anything else would leak until the run ends, since no
+        // local RESP will ever drop it; prune it now that the handler's
+        // sends have folded its chain.
+        if info.tx.map(|tx| !self.records.contains_key(&tx)).unwrap_or(false) {
+            self.trace.prune_meta(msg.id);
+        }
+    }
+
+    fn apply_effects(&mut self, at: ProcessId, parent: Option<MsgId>, effects: Effects<P::Msg>) {
+        let (sends, responses) = effects.into_parts();
+        for (to, m) in sends {
+            let id = MsgId(self.next_msg);
+            self.next_msg += self.stride;
+            let info = m.info();
+            self.trace.record(
+                self.now,
+                at,
+                ActionKind::Send { msg: id, to, parent, info },
+            );
+            let deliver_at = self.scheduler.on_send(self.now);
+            let pending = PendingMessage {
+                id,
+                src: at,
+                dst: to,
+                msg: m,
+                sent_at: self.now,
+                parent,
+                deliver_at,
+            };
+            if self.is_local(to) {
+                self.pool.insert(pending);
+            } else {
+                let causality = self.trace.export_envelope(id);
+                // Bounded mode: the local meta of a departed message can
+                // never be walked again on this shard — only its envelope
+                // travels on.
+                self.trace.prune_meta(id);
+                self.outbox.push(Transit { msg: pending, causality });
+            }
+        }
+        for (tx, outcome) in responses {
+            self.trace.record(self.now, at, ActionKind::Respond { tx });
+            if let Some(rec) = self.records.get_mut(&tx) {
+                rec.responded_at = Some(self.now);
+                rec.outcome = Some(outcome);
+            }
+        }
+    }
+}
+
+/// Shared barrier state of one parallel run.
+struct ExchangeState<M> {
+    /// Cross-shard messages buffered by the epoch that just ran.
+    outbound: Vec<Transit<M>>,
+    /// Messages routed to each shard, applied at the top of the next epoch.
+    inbound: Vec<Vec<Transit<M>>>,
+    /// Per-shard next-processable virtual times.
+    reports: Vec<Option<u64>>,
+    /// Set by the shard owning a watched transaction once it completes.
+    watch_done: bool,
+    /// The watermark every worker drains to in the current epoch.
+    watermark: u64,
+    /// Set by the leader when the run is over.
+    done: bool,
+    /// The first panic payload caught in any shard's epoch.  A panicking
+    /// worker cannot simply unwind out of the loop — the others would
+    /// block forever in `Barrier::wait` — so it keeps pacing the barrier
+    /// protocol as an idle shard until the leader observes the poison,
+    /// declares the run done, and every worker exits together; the driver
+    /// then re-raises the payload.
+    poisoned: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// A deterministic sharded simulation: the same
+/// [`Process`]/[`Effects`] contract as [`crate::Simulation`], executed by
+/// one worker thread per shard with cross-shard messages exchanged at
+/// deterministic epoch barriers.
+///
+/// Construction mirrors the serial engine: create with a per-shard
+/// scheduler factory, [`ParallelSimulation::add_process`] every process,
+/// [`ParallelSimulation::invoke_at`] the plan, then run.  Use shard count 1
+/// for a drop-in (bit-identical) replacement of the serial engine, and
+/// shard count ≈ the number of physical cores for throughput.
+pub struct ParallelSimulation<P: Process, S> {
+    shards: Vec<Shard<P, S>>,
+    next_tx: u64,
+    epoch_width: u64,
+}
+
+impl<P, S> ParallelSimulation<P, S>
+where
+    P: Process,
+    S: Scheduler<P::Msg>,
+{
+    /// Creates an empty simulation over `shards` shards.  `make_scheduler`
+    /// builds each shard's scheduler from its index; give shard 0 the base
+    /// seed (and derive the rest) so a 1-shard run reproduces the serial
+    /// engine's schedules exactly.
+    ///
+    /// # Panics
+    /// Panics if `shards` is 0.
+    pub fn new(shards: usize, mut make_scheduler: impl FnMut(usize) -> S) -> Self {
+        assert!(shards > 0, "a simulation needs at least one shard");
+        ParallelSimulation {
+            shards: (0..shards)
+                .map(|i| Shard::new(i, shards as u64, make_scheduler(i)))
+                .collect(),
+            next_tx: 0,
+            epoch_width: DEFAULT_EPOCH_WIDTH,
+        }
+    }
+
+    /// Overrides the per-shard safety cap on steps (the serial engine's
+    /// `with_max_steps`, applied to each shard independently).
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        for shard in &mut self.shards {
+            shard.max_steps = max_steps;
+        }
+        self
+    }
+
+    /// Bounds every shard's trace to a sliding window of `capacity` recent
+    /// actions (see [`Trace::with_action_capacity`]); aggregates — and
+    /// therefore [`ParallelSimulation::history`] — are unaffected.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        for shard in &mut self.shards {
+            assert!(
+                shard.trace.is_empty(),
+                "set the trace capacity before running the simulation"
+            );
+            shard.trace = Trace::with_action_capacity(capacity);
+        }
+        self
+    }
+
+    /// Overrides the epoch's virtual-time width ([`DEFAULT_EPOCH_WIDTH`]):
+    /// larger epochs mean fewer barriers but coarser cross-shard
+    /// interleaving.  Any width ≥ 1 is deterministic.  The width paces a
+    /// shard by its *earliest pending* event, not by which events the
+    /// scheduler chooses: time-keyed schedulers (FIFO, latency) therefore
+    /// drain ≈ one width of virtual time per epoch, while a random
+    /// scheduler — an unconstrained adversary, as on the serial engine —
+    /// may deliver arbitrarily late-keyed messages within an epoch as
+    /// long as earlier ones remain pending.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0.
+    pub fn with_epoch_width(mut self, width: u64) -> Self {
+        assert!(width > 0, "epoch width must be at least 1 tick");
+        self.epoch_width = width;
+        self
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers a process on its [`shard_of`] shard.  Panics if a process
+    /// with the same id exists.
+    pub fn add_process(&mut self, process: P) {
+        let id = process.id();
+        let shard = shard_of(id, self.shards.len());
+        let prev = self.shards[shard].processes.insert(id, process);
+        assert!(prev.is_none(), "duplicate process id {id}");
+    }
+
+    /// Schedules `spec` to be invoked by `client` at virtual time `at` on
+    /// the client's shard.  Transaction ids are assigned globally in call
+    /// order, exactly like the serial engine's.
+    pub fn invoke_at(&mut self, at: u64, client: ClientId, spec: TxSpec) -> TxId {
+        let tx = TxId(self.next_tx);
+        self.next_tx += 1;
+        let shard = shard_of(ProcessId::Client(client), self.shards.len());
+        self.shards[shard]
+            .invocations
+            .push(QueuedInvocation { at, tx, client, spec });
+        tx
+    }
+
+    /// The maximum virtual time reached by any shard.
+    pub fn now(&self) -> u64 {
+        self.shards.iter().map(|s| s.now).max().unwrap_or(0)
+    }
+
+    /// Number of messages currently in flight across all shards.
+    pub fn pending_count(&self) -> usize {
+        self.shards.iter().map(|s| s.pool.len()).sum()
+    }
+
+    /// True if transaction `tx` has completed.
+    pub fn is_complete(&self, tx: TxId) -> bool {
+        self.shards.iter().any(|s| s.is_complete(tx))
+    }
+
+    /// True if no shard has anything left to do.
+    pub fn is_quiescent(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.pool.is_empty() && s.invocations.is_empty() && s.outbox.is_empty())
+    }
+
+    /// A shard's trace (for assertions in tests/harnesses).
+    pub fn trace(&self, shard: usize) -> &Trace {
+        &self.shards[shard].trace
+    }
+
+    fn total_steps(&self) -> u64 {
+        self.shards.iter().map(|s| s.steps).sum()
+    }
+}
+
+impl<P, S> ParallelSimulation<P, S>
+where
+    P: Process + Send,
+    P::Msg: Send,
+    S: Scheduler<P::Msg> + Send,
+{
+    /// Runs until no work remains anywhere (or a shard hits its step cap).
+    /// Returns the number of steps executed across all shards.
+    pub fn run_until_quiescent(&mut self) -> u64 {
+        self.run(None)
+    }
+
+    /// Runs until transaction `tx` completes (or the system goes
+    /// quiescent).  Returns `true` if the transaction completed.
+    pub fn run_until_complete(&mut self, tx: TxId) -> bool {
+        self.run(Some(tx));
+        self.is_complete(tx)
+    }
+
+    /// The epoch-barrier driver (see the module docs for the cycle).
+    fn run(&mut self, watch: Option<TxId>) -> u64 {
+        let start = self.total_steps();
+        if self.shards.len() == 1 {
+            // Inline fast path: one shard is the serial engine — no
+            // threads, no exchange, watermark wide open.
+            self.shards[0].run_epoch(u64::MAX, watch);
+            return self.total_steps() - start;
+        }
+        let shard_count = self.shards.len();
+        let width = self.epoch_width;
+        let state = Mutex::new(ExchangeState {
+            outbound: Vec::new(),
+            inbound: (0..shard_count).map(|_| Vec::new()).collect(),
+            reports: vec![None; shard_count],
+            watch_done: false,
+            watermark: 0,
+            done: false,
+            poisoned: None,
+        });
+        let barrier = Barrier::new(shard_count);
+        std::thread::scope(|scope| {
+            for shard in &mut self.shards {
+                scope.spawn(|| worker(shard, &state, &barrier, shard_count, width, watch));
+            }
+        });
+        // Re-raise the first panic any shard's epoch produced (e.g. the
+        // max_steps livelock assert), now that every worker has exited the
+        // barrier protocol cleanly.
+        if let Some(payload) = state.into_inner().expect("exchange lock").poisoned {
+            std::panic::resume_unwind(payload);
+        }
+        self.total_steps() - start
+    }
+
+    /// Assembles the [`History`] of the run so far: per-transaction records
+    /// from the invoking client's shard, enriched with that shard's trace
+    /// aggregates (rounds, read instrumentation) and the cross-shard sum of
+    /// C2C sends.  With one shard this is byte-for-byte the serial
+    /// engine's [`crate::Simulation::history`].
+    pub fn history(&self) -> History {
+        let mut history = History::new();
+        for shard in &self.shards {
+            for (tx, rec) in &shard.records {
+                let mut rec = rec.clone();
+                let client = ProcessId::Client(rec.client);
+                rec.rounds = shard.trace.rounds_of(*tx, client);
+                rec.c2c_messages = self.shards.iter().map(|s| s.trace.c2c_count(*tx)).sum();
+                if rec.kind() == TxKind::Read {
+                    rec.reads = shard.trace.read_results(*tx).to_vec();
+                }
+                history.push(rec);
+            }
+        }
+        history.records.sort_by_key(|r| (r.invoked_at, r.tx_id));
+        history
+    }
+}
+
+/// One worker's epoch cycle.  Four `Barrier::wait`s per epoch, bracketing
+/// the two leader-only phases:
+///
+/// 1. every worker applies its inbound messages and reports its next
+///    processable time; *wait*; the leader computes the watermark or
+///    declares the run over; *wait*;
+/// 2. every worker reads the watermark (or breaks) and drains its epoch;
+/// 3. every worker pushes its outbox; *wait*; the leader routes the union
+///    in `(deliver_at, MsgId)` order to the destination shards; *wait*
+///    (so no worker starts the next epoch's inbound take mid-routing).
+fn worker<P, S>(
+    shard: &mut Shard<P, S>,
+    state: &Mutex<ExchangeState<P::Msg>>,
+    barrier: &Barrier,
+    shard_count: usize,
+    width: u64,
+    watch: Option<TxId>,
+) where
+    P: Process,
+    S: Scheduler<P::Msg>,
+{
+    // True once this shard's epoch panicked: the shard may be mid-mutation,
+    // so the worker stops touching it and paces the barrier protocol as an
+    // idle shard (reporting no work) until the leader declares the run
+    // done — unwinding out of the loop instead would strand the other
+    // workers in `Barrier::wait` forever.
+    let mut dead = false;
+    loop {
+        // Apply the messages routed to this shard, then report.
+        let inbound = {
+            let mut st = state.lock().expect("exchange lock");
+            std::mem::take(&mut st.inbound[shard.index])
+        };
+        if !dead {
+            for transit in inbound {
+                shard.accept(transit);
+            }
+        }
+        {
+            let mut st = state.lock().expect("exchange lock");
+            st.reports[shard.index] = if dead { None } else { shard.next_processable() };
+            if let Some(tx) = watch {
+                if !dead && shard.is_complete(tx) {
+                    st.watch_done = true;
+                }
+            }
+        }
+        if barrier.wait().is_leader() {
+            let mut st = state.lock().expect("exchange lock");
+            let global = st.reports.iter().filter_map(|t| *t).min();
+            st.done = global.is_none() || st.watch_done || st.poisoned.is_some();
+            if let Some(earliest) = global {
+                st.watermark = earliest.saturating_add(width);
+            }
+        }
+        barrier.wait();
+        let watermark = {
+            let st = state.lock().expect("exchange lock");
+            if st.done {
+                break;
+            }
+            st.watermark
+        };
+        // Drain this epoch, then hand the outbox to the router.
+        if !dead {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                shard.run_epoch(watermark, watch)
+            })) {
+                Ok(_) => {
+                    let mut st = state.lock().expect("exchange lock");
+                    st.outbound.append(&mut shard.outbox);
+                }
+                Err(payload) => {
+                    dead = true;
+                    let mut st = state.lock().expect("exchange lock");
+                    st.poisoned.get_or_insert(payload);
+                }
+            }
+        }
+        if barrier.wait().is_leader() {
+            let mut st = state.lock().expect("exchange lock");
+            let mut outbound = std::mem::take(&mut st.outbound);
+            outbound.sort_by_key(|t| (t.key(), t.msg.id.0));
+            for transit in outbound {
+                let dest = shard_of(transit.msg.dst, shard_count);
+                st.inbound[dest].push(transit);
+            }
+        }
+        barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{FifoScheduler, LatencyScheduler, RandomScheduler};
+    use crate::Simulation;
+    use snow_core::{
+        Key, MsgInfo, ObjectId, ObjectRead, ProtocolMessage, ReadOutcome, ServerId, TxOutcome,
+        Value,
+    };
+
+    /// A toy read protocol spanning shards: the client sends one request
+    /// per object to the server hosting it (`ServerId = ObjectId`), each
+    /// server replies, the client responds when all replies are in.
+    #[derive(Debug, Clone)]
+    enum ToyMsg {
+        Req { tx: TxId, object: ObjectId },
+        Resp { tx: TxId, object: ObjectId },
+    }
+
+    impl ProtocolMessage for ToyMsg {
+        fn info(&self) -> MsgInfo {
+            match self {
+                ToyMsg::Req { tx, object } => MsgInfo::read_request(*tx, Some(*object)),
+                ToyMsg::Resp { tx, object } => MsgInfo::read_response(*tx, Some(*object), 1),
+            }
+        }
+    }
+
+    enum ToyNode {
+        Client {
+            id: ClientId,
+            // Keyed by transaction so the engine tests may overlap
+            // invocations from one client (the real protocols rely on the
+            // driver for one-outstanding well-formedness; the toy doesn't).
+            outstanding: BTreeMap<TxId, (usize, Vec<ObjectRead>)>,
+        },
+        Server {
+            id: ServerId,
+        },
+    }
+
+    impl Process for ToyNode {
+        type Msg = ToyMsg;
+
+        fn id(&self) -> ProcessId {
+            match self {
+                ToyNode::Client { id, .. } => ProcessId::Client(*id),
+                ToyNode::Server { id } => ProcessId::Server(*id),
+            }
+        }
+
+        fn on_invoke(&mut self, tx_id: TxId, spec: TxSpec, effects: &mut Effects<ToyMsg>) {
+            let ToyNode::Client { outstanding, .. } = self else {
+                panic!("server invoked")
+            };
+            let objects = spec.objects();
+            outstanding.insert(tx_id, (objects.len(), Vec::new()));
+            for o in objects {
+                effects.send(
+                    ProcessId::Server(ServerId(o.0)),
+                    ToyMsg::Req { tx: tx_id, object: o },
+                );
+            }
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: ToyMsg, effects: &mut Effects<ToyMsg>) {
+            match (self, msg) {
+                (ToyNode::Server { .. }, ToyMsg::Req { tx, object }) => {
+                    effects.send(from, ToyMsg::Resp { tx, object });
+                }
+                (ToyNode::Client { outstanding, .. }, ToyMsg::Resp { tx, object }) => {
+                    if let Some((want, got)) = outstanding.get_mut(&tx) {
+                        got.push(ObjectRead {
+                            object,
+                            key: Key::initial(),
+                            value: Value::INITIAL,
+                        });
+                        if got.len() == *want {
+                            effects.respond(
+                                tx,
+                                TxOutcome::Read(ReadOutcome { reads: got.clone(), tag: None }),
+                            );
+                            outstanding.remove(&tx);
+                        }
+                    }
+                }
+                _ => panic!("unexpected message"),
+            }
+        }
+    }
+
+    fn deploy<S: Scheduler<ToyMsg>>(
+        shards: usize,
+        clients: u32,
+        servers: u32,
+        make: impl FnMut(usize) -> S,
+    ) -> ParallelSimulation<ToyNode, S> {
+        let mut sim = ParallelSimulation::new(shards, make);
+        for c in 0..clients {
+            sim.add_process(ToyNode::Client { id: ClientId(c), outstanding: BTreeMap::new() });
+        }
+        for s in 0..servers {
+            sim.add_process(ToyNode::Server { id: ServerId(s) });
+        }
+        sim
+    }
+
+    fn plan(sim: &mut ParallelSimulation<ToyNode, impl Scheduler<ToyMsg>>, clients: u32) -> Vec<TxId> {
+        let mut txs = Vec::new();
+        for round in 0..6u64 {
+            for c in 0..clients {
+                // Every read spans several servers, so shards must talk.
+                txs.push(sim.invoke_at(
+                    round * 10,
+                    ClientId(c),
+                    TxSpec::read(vec![ObjectId(c), ObjectId((c + 1) % 4), ObjectId((c + 2) % 4)]),
+                ));
+            }
+        }
+        txs
+    }
+
+    #[test]
+    fn one_shard_matches_the_serial_engine_bit_for_bit() {
+        let run_serial = |seed: u64| {
+            let mut sim = Simulation::new(RandomScheduler::new(seed));
+            for c in 0..4 {
+                sim.add_process(ToyNode::Client { id: ClientId(c), outstanding: BTreeMap::new() });
+            }
+            for s in 0..4 {
+                sim.add_process(ToyNode::Server { id: ServerId(s) });
+            }
+            let mut txs = Vec::new();
+            for round in 0..6u64 {
+                for c in 0..4u32 {
+                    txs.push(sim.invoke_at(
+                        round * 10,
+                        ClientId(c),
+                        TxSpec::read(vec![
+                            ObjectId(c),
+                            ObjectId((c + 1) % 4),
+                            ObjectId((c + 2) % 4),
+                        ]),
+                    ));
+                }
+            }
+            let steps = sim.run_until_quiescent();
+            (format!("{:?}", sim.history()), sim.now(), steps)
+        };
+        for seed in [3u64, 17, 99] {
+            let mut par = deploy(1, 4, 4, |_| RandomScheduler::new(seed));
+            plan(&mut par, 4);
+            let steps = par.run_until_quiescent();
+            let (serial_history, serial_now, serial_steps) = run_serial(seed);
+            assert_eq!(format!("{:?}", par.history()), serial_history, "seed {seed}");
+            assert_eq!(par.now(), serial_now, "seed {seed}");
+            assert_eq!(steps, serial_steps, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multi_shard_runs_are_deterministic_per_seed_and_shard_count() {
+        let run = |shards: usize, seed: u64| {
+            let mut sim = deploy(shards, 4, 4, |i| {
+                RandomScheduler::new(shard_seed(seed, i))
+            });
+            let txs = plan(&mut sim, 4);
+            sim.run_until_quiescent();
+            for tx in &txs {
+                assert!(sim.is_complete(*tx), "{shards} shards, seed {seed}: {tx}");
+            }
+            assert!(sim.is_quiescent());
+            format!("{:?}", sim.history())
+        };
+        for shards in [2usize, 3, 4] {
+            assert_eq!(run(shards, 7), run(shards, 7), "{shards} shards not reproducible");
+        }
+        // Different shard counts legitimately interleave differently…
+        assert_ne!(run(1, 7), run(4, 7));
+    }
+
+    #[test]
+    fn cross_shard_instrumentation_matches_the_single_shard_semantics() {
+        // Every transaction is one causal round and three non-blocking
+        // single-version reads, no matter how the processes are sharded.
+        for shards in [1usize, 2, 4] {
+            let mut sim = deploy(shards, 4, 4, |i| LatencyScheduler::new(5 + i as u64, 1, 16));
+            let txs = plan(&mut sim, 4);
+            sim.run_until_quiescent();
+            let history = sim.history();
+            assert_eq!(history.len(), txs.len());
+            for rec in &history.records {
+                assert!(rec.is_complete(), "{shards} shards: {}", rec.tx_id);
+                assert_eq!(rec.rounds, 1, "{shards} shards: {}", rec.tx_id);
+                assert_eq!(rec.reads.len(), 3, "{shards} shards: {}", rec.tx_id);
+                assert!(
+                    rec.all_reads_nonblocking(),
+                    "{shards} shards: {}",
+                    rec.tx_id
+                );
+                assert_eq!(rec.c2c_messages, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_multi_shard_traces_preserve_histories_and_stay_small() {
+        let run = |capacity: Option<usize>| {
+            let mut sim = deploy(4, 4, 4, |i| LatencyScheduler::new(shard_seed(9, i), 1, 16));
+            if let Some(cap) = capacity {
+                sim = sim.with_trace_capacity(cap);
+            }
+            plan(&mut sim, 4);
+            sim.run_until_quiescent();
+            let metas: Vec<usize> =
+                (0..sim.num_shards()).map(|s| sim.trace(s).causal_meta_len()).collect();
+            (format!("{:?}", sim.history()), metas)
+        };
+        let (unbounded_history, unbounded_metas) = run(None);
+        let (bounded_history, bounded_metas) = run(Some(32));
+        // Same seeds, same schedule, same derived history — aggregates do
+        // not depend on the retained window or the pruned metadata.
+        assert_eq!(bounded_history, unbounded_history);
+        // Every transaction responded and every cross-shard/foreign meta
+        // was pruned (at export, delivery, or RESP): nothing remains.
+        assert_eq!(bounded_metas, vec![0; 4], "bounded shards must drain their meta tables");
+        // The unbounded engine keeps one meta per send per shard.
+        assert!(unbounded_metas.iter().sum::<usize>() > 100);
+    }
+
+    #[test]
+    fn run_until_complete_stops_at_the_watched_transaction() {
+        let mut sim = deploy(2, 2, 4, |_| FifoScheduler::new());
+        let first = sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(1)]));
+        let later = sim.invoke_at(50_000, ClientId(1), TxSpec::read(vec![ObjectId(0)]));
+        assert!(sim.run_until_complete(first));
+        assert!(sim.is_complete(first));
+        assert!(!sim.is_complete(later));
+        assert!(sim.run_until_complete(later));
+    }
+
+    #[test]
+    fn message_ids_are_strided_per_shard() {
+        let mut sim = deploy(4, 4, 4, |_| FifoScheduler::new());
+        plan(&mut sim, 4);
+        sim.run_until_quiescent();
+        // Shard i only ever assigns ids ≡ i (mod 4): every send recorded in
+        // its trace carries such an id.
+        for (i, shard) in sim.shards.iter().enumerate() {
+            for action in shard.trace.actions() {
+                if let ActionKind::Send { msg, .. } = &action.kind {
+                    assert_eq!(msg.0 as usize % 4, i, "shard {i} id {msg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded 50 steps")]
+    fn one_shard_panicking_propagates_instead_of_deadlocking_the_barrier() {
+        // Shard 0 blows its step cap mid-epoch while shard 1 is already
+        // idle at the barrier.  The panic must surface from
+        // run_until_quiescent (via the poison protocol), not strand the
+        // other worker in Barrier::wait forever.
+        let mut sim =
+            deploy(2, 2, 2, |_| FifoScheduler::new()).with_max_steps(50);
+        for _ in 0..40 {
+            sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(0)]));
+        }
+        sim.invoke_at(0, ClientId(1), TxSpec::read(vec![ObjectId(1)]));
+        sim.run_until_quiescent();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ParallelSimulation::<ToyNode, FifoScheduler>::new(0, |_| FifoScheduler::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_process_ids_are_rejected() {
+        let mut sim = deploy(2, 1, 1, |_| FifoScheduler::new());
+        sim.add_process(ToyNode::Server { id: ServerId(0) });
+    }
+}

@@ -13,7 +13,7 @@
 //!   swap-remove; a dense `MsgId → slot` table keeps slots addressable.
 //! * **Rank selection in send order** — a Fenwick (binary indexed) tree over
 //!   the id space marks live ids, giving O(log n)
-//!   [`MessagePool::nth_live`] / [`MessagePool::min_live`] and an ascending
+//!   [`MessagePool::nth_live`] rank selection and an ascending
 //!   id-order iterator.  `RandomScheduler` uses rank selection so a uniform
 //!   draw over the pool picks *the k-th message in send order* — exactly
 //!   the semantics of indexing the old send-ordered `Vec`, which keeps
@@ -175,7 +175,7 @@ impl<M> MessagePool<M> {
             self.live.append_zero();
         }
         assert!(self.slot_of[id] == DEAD, "duplicate in-flight message {}", msg.id);
-        let key = msg.deliver_at.unwrap_or(msg.sent_at);
+        let key = msg.delivery_key();
         self.slot_of[id] = self.slots.len();
         self.live.set(id);
         self.queue.push(Reverse((key, msg.id.0)));
@@ -226,6 +226,22 @@ impl<M> MessagePool<M> {
             if self.contains(MsgId(id)) {
                 return Some(MsgId(id));
             }
+        }
+        None
+    }
+
+    /// The `(delivery_time, id)` key of the live message
+    /// [`MessagePool::pop_earliest`] would yield, without consuming its
+    /// queue entry — amortized O(log n) (stale entries for dead ids are
+    /// discarded on the way).  The sharded engine uses this to decide
+    /// whether the next delivery falls inside the current epoch's
+    /// virtual-time watermark.
+    pub fn peek_earliest(&mut self) -> Option<(u64, MsgId)> {
+        while let Some(Reverse((key, id))) = self.queue.peek().copied() {
+            if self.contains(MsgId(id)) {
+                return Some((key, MsgId(id)));
+            }
+            self.queue.pop();
         }
         None
     }

@@ -51,13 +51,14 @@ pub struct InvocationPlan {
     pub spec: TxSpec,
 }
 
-/// A scheduled invocation, ordered by `(at, tx)` for the invocation queue.
+/// A scheduled invocation, ordered by `(at, tx)` for the invocation queue
+/// (shared with the sharded engine in [`crate::parallel`]).
 #[derive(Debug, Clone)]
-struct QueuedInvocation {
-    at: u64,
-    tx: TxId,
-    client: ClientId,
-    spec: TxSpec,
+pub(crate) struct QueuedInvocation {
+    pub(crate) at: u64,
+    pub(crate) tx: TxId,
+    pub(crate) client: ClientId,
+    pub(crate) spec: TxSpec,
 }
 
 impl PartialEq for QueuedInvocation {
@@ -78,6 +79,12 @@ impl Ord for QueuedInvocation {
         (other.at, other.tx).cmp(&(self.at, self.tx))
     }
 }
+
+// NOTE: the dispatch core below (`step`'s due-invocation/delivery rules,
+// `dispatch_invocation`, `deliver`, `apply_effects`) is mirrored by
+// `parallel::Shard` — the sharded engine's 1-shard golden bit-parity
+// depends on the two staying in lockstep.  Change both or the
+// `determinism`/`parallel_determinism` suites fail.
 
 /// What a single simulation step did.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -138,12 +138,61 @@ struct TxIndex {
 /// Compact record-time metadata of one send: everything the causal
 /// derivations (round depth, non-blocking verdict, parent links) need,
 /// independent of whether the full `Send` action is still retained.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct SendMeta {
     to: ProcessId,
-    parent: Option<MsgId>,
     kind: MsgKind,
     tx: Option<TxId>,
+    origin: MetaOrigin,
+}
+
+/// Where a send's causal metadata came from.
+#[derive(Debug, Clone)]
+enum MetaOrigin {
+    /// The send was recorded by this trace; its causal ancestors are
+    /// reachable by walking `parent` links through `send_meta`.
+    Local {
+        /// The message whose handler produced this send, if any.
+        parent: Option<MsgId>,
+    },
+    /// The send happened in *another* trace (a different shard of a
+    /// parallel simulation) and arrived here through
+    /// [`Trace::import_envelope`].  The ancestor chain is not locally
+    /// walkable, so the envelope carries its pre-folded summary instead.
+    Imported {
+        /// Destination counts over the message's whole ancestor chain,
+        /// **including the message's own destination** — the summary
+        /// [`Trace::chain_depth`] needs to finish a walk that crosses a
+        /// shard boundary.
+        dests: Box<[(ProcessId, u32)]>,
+        /// Classification of the causal parent, for the non-blocking
+        /// verdict of read responses.
+        parent_kind: Option<MsgKind>,
+        /// Transaction attribution of the causal parent.
+        parent_tx: Option<TxId>,
+    },
+}
+
+/// The causal metadata of one message in transit between two traces: what a
+/// sharded engine ships alongside a cross-shard [`crate::PendingMessage`] so
+/// the receiving shard's trace can derive the same round counts and
+/// non-blocking verdicts the sending shard would have.  Produce with
+/// [`Trace::export_envelope`], consume with [`Trace::import_envelope`].
+#[derive(Debug, Clone)]
+pub struct CausalEnvelope {
+    /// Destination of the message itself.
+    pub to: ProcessId,
+    /// Classification of the message.
+    pub kind: MsgKind,
+    /// Transaction attribution of the message.
+    pub tx: Option<TxId>,
+    /// Destination counts over the message and all its causal ancestors
+    /// (the message's own destination included).
+    pub dests: Vec<(ProcessId, u32)>,
+    /// Classification of the causal parent, if the sending trace knew it.
+    pub parent_kind: Option<MsgKind>,
+    /// Transaction attribution of the causal parent.
+    pub parent_tx: Option<TxId>,
 }
 
 /// The ordered list of external actions of one execution, with incremental
@@ -286,9 +335,9 @@ impl Trace {
                     *msg,
                     SendMeta {
                         to: *to,
-                        parent: *parent,
                         kind: info.kind,
                         tx: info.tx,
+                        origin: MetaOrigin::Local { parent: *parent },
                     },
                 );
                 if self.capacity.is_some() {
@@ -327,7 +376,11 @@ impl Trace {
                 // protocols address control messages only to servers and
                 // emit no post-RESP traffic on hot paths, so the consumed
                 // aggregates are unaffected — guarded by the bounded-vs-
-                // unbounded workload tests across every protocol.)
+                // unbounded workload tests across every protocol.)  The
+                // sharded engine prunes one more class — deliveries of
+                // transactions invoked on another shard — via
+                // [`Trace::prune_meta`] *after* the delivery's handler
+                // runs, so the handler's own sends still fold the chain.
                 if self.capacity.is_some() {
                     let prunable = match info.tx {
                         None => true,
@@ -363,12 +416,19 @@ impl Trace {
         // Non-blocking iff the response's causal parent is a read
         // request of the same transaction (the server answered
         // within the handler of the request, without waiting for
-        // any other input action).
-        let nonblocking = self
-            .parent_of(msg)
-            .and_then(|parent| self.send_meta.get(&parent))
-            .map(|meta| meta.kind == MsgKind::ReadRequest && meta.tx == Some(tx))
-            .unwrap_or(false);
+        // any other input action).  For a response that crossed a shard
+        // boundary the parent lives in the sending shard's trace, so the
+        // imported envelope carries the parent's classification instead.
+        let nonblocking = match self.send_meta.get(&msg).map(|m| &m.origin) {
+            Some(MetaOrigin::Imported { parent_kind, parent_tx, .. }) => {
+                *parent_kind == Some(MsgKind::ReadRequest) && *parent_tx == Some(tx)
+            }
+            _ => self
+                .parent_of(msg)
+                .and_then(|parent| self.send_meta.get(&parent))
+                .map(|meta| meta.kind == MsgKind::ReadRequest && meta.tx == Some(tx))
+                .unwrap_or(false),
+        };
         self.by_tx.entry(tx).or_default().reads.push(ReadResult {
             object,
             server,
@@ -378,18 +438,137 @@ impl Trace {
     }
 
     /// Walks a send's causal parent chain, counting `1 +` the hops whose
-    /// send was addressed to `sender`.
+    /// send was addressed to `sender`.  A hop whose metadata was imported
+    /// from another shard carries its whole remaining chain pre-folded
+    /// (destination counts), so the walk finishes there in O(1).
     fn chain_depth(&self, sender: ProcessId, parent: Option<MsgId>) -> u32 {
         let mut depth = 1u32;
         let mut cur = parent;
         while let Some(p) = cur {
             let Some(meta) = self.send_meta.get(&p) else { break };
-            if meta.to == sender {
-                depth += 1;
+            match &meta.origin {
+                MetaOrigin::Local { parent } => {
+                    if meta.to == sender {
+                        depth += 1;
+                    }
+                    cur = *parent;
+                }
+                MetaOrigin::Imported { dests, .. } => {
+                    // `dests` already includes the hop's own destination.
+                    depth += dests
+                        .iter()
+                        .find(|(d, _)| *d == sender)
+                        .map(|(_, c)| *c)
+                        .unwrap_or(0);
+                    break;
+                }
             }
-            cur = meta.parent;
         }
         depth
+    }
+
+    /// Folds the destination counts of `msg`'s causal chain (its own
+    /// destination included) into `counts`, finishing in O(1) at any hop
+    /// whose metadata was itself imported.
+    fn fold_chain_dests(&self, msg: MsgId, counts: &mut Vec<(ProcessId, u32)>) {
+        let mut bump = |dest: ProcessId, by: u32| {
+            match counts.iter_mut().find(|(d, _)| *d == dest) {
+                Some((_, c)) => *c += by,
+                None => counts.push((dest, by)),
+            }
+        };
+        let mut cur = Some(msg);
+        while let Some(p) = cur {
+            let Some(meta) = self.send_meta.get(&p) else { break };
+            match &meta.origin {
+                MetaOrigin::Local { parent } => {
+                    bump(meta.to, 1);
+                    cur = *parent;
+                }
+                MetaOrigin::Imported { dests, .. } => {
+                    for (d, c) in dests.iter() {
+                        bump(*d, *c);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Exports the causal metadata of a send this trace recorded, for
+    /// shipping alongside a cross-shard message.  Returns `None` if the
+    /// send's metadata is unknown (never recorded, or already pruned in
+    /// bounded mode — the importing side then treats the message as
+    /// causally opaque, exactly as a bounded trace's broken chain does).
+    pub fn export_envelope(&self, msg: MsgId) -> Option<CausalEnvelope> {
+        let meta = self.send_meta.get(&msg)?;
+        let mut dests = Vec::new();
+        self.fold_chain_dests(msg, &mut dests);
+        let (parent_kind, parent_tx) = match &meta.origin {
+            MetaOrigin::Local { parent } => parent
+                .and_then(|p| self.send_meta.get(&p))
+                .map(|pm| (Some(pm.kind), pm.tx))
+                .unwrap_or((None, None)),
+            MetaOrigin::Imported { parent_kind, parent_tx, .. } => (*parent_kind, *parent_tx),
+        };
+        Some(CausalEnvelope {
+            to: meta.to,
+            kind: meta.kind,
+            tx: meta.tx,
+            dests,
+            parent_kind,
+            parent_tx,
+        })
+    }
+
+    /// Bounded mode only: drops the causal metadata of one message — the
+    /// sharded engine's two extra pruning points, keeping a bounded
+    /// shard's table O(in-flight) even though RESP-time pruning only ever
+    /// fires on the invoking client's shard:
+    ///
+    /// * a send whose message **departed** to another shard (its envelope
+    ///   was exported): it can never be the causal parent of a local send
+    ///   — parents are assigned while handling a delivery, and this
+    ///   message will be delivered (envelope re-imported) elsewhere;
+    /// * a delivered message of a transaction **invoked on another
+    ///   shard**, pruned *after* its handler's effects were applied (the
+    ///   handler's own sends fold the chain first); no local RESP will
+    ///   ever prune it, and only the invoker's shard derives read/round
+    ///   aggregates from it.
+    ///
+    /// No-op on unbounded traces, which keep every meta for retrospective
+    /// [`Trace::parent_of`] queries.
+    pub fn prune_meta(&mut self, msg: MsgId) {
+        if self.capacity.is_some() {
+            self.send_meta.remove(&msg);
+        }
+    }
+
+    /// Imports the causal metadata of a message sent by another trace, so
+    /// that this trace can derive round depths and non-blocking verdicts
+    /// for deliveries of (and sends caused by) `msg`.  In bounded mode the
+    /// imported entry joins the same pruning regime as local sends: dropped
+    /// at the attributed transaction's RESP, or at delivery for
+    /// control/straggler traffic.
+    pub fn import_envelope(&mut self, msg: MsgId, envelope: CausalEnvelope) {
+        if self.capacity.is_some() {
+            if let Some(tx) = envelope.tx {
+                self.by_tx.entry(tx).or_default().msgs.push(msg);
+            }
+        }
+        self.send_meta.insert(
+            msg,
+            SendMeta {
+                to: envelope.to,
+                kind: envelope.kind,
+                tx: envelope.tx,
+                origin: MetaOrigin::Imported {
+                    dests: envelope.dests.into_boxed_slice(),
+                    parent_kind: envelope.parent_kind,
+                    parent_tx: envelope.parent_tx,
+                },
+            },
+        );
     }
 
     /// The retained actions in order: the full log for an unbounded trace,
@@ -454,9 +633,13 @@ impl Trace {
     /// O(1).  Parent links survive action eviction in unbounded traces;
     /// bounded traces forget them for completed transactions (pruned at
     /// RESP) and for delivered control/straggler messages (pruned at
-    /// delivery).
+    /// delivery).  Messages whose metadata was imported from another shard
+    /// report no parent (the parent lives in the sending shard's trace).
     pub fn parent_of(&self, msg: MsgId) -> Option<MsgId> {
-        self.send_meta.get(&msg).and_then(|m| m.parent)
+        match self.send_meta.get(&msg).map(|m| &m.origin) {
+            Some(MetaOrigin::Local { parent }) => *parent,
+            _ => None,
+        }
     }
 
     /// Number of client-to-client messages attributed to `tx` — O(1).
@@ -800,6 +983,76 @@ mod tests {
         let retained_seqs: Vec<u64> = bounded.at(client(0)).iter().map(|a| a.seq).collect();
         assert!(retained_seqs.iter().all(|s| *s >= bounded.evicted_len() as u64));
         assert!(!retained_seqs.is_empty());
+    }
+
+    #[test]
+    fn envelopes_carry_causality_across_traces() {
+        // Two shards: the client lives in trace `a`, the server in `b`.
+        // The round/non-blocking instrumentation derived at the client must
+        // match what a single trace holding both processes would compute.
+        let tx = TxId(1);
+        let mut a = Trace::new();
+        let mut b = Trace::new();
+        a.record(0, client(0), ActionKind::Invoke { tx, kind: TxKind::Read });
+        let req_info = MsgInfo::read_request(tx, Some(ObjectId(0)));
+        a.record(
+            1,
+            client(0),
+            ActionKind::Send { msg: MsgId(0), to: server(0), parent: None, info: req_info },
+        );
+        // Request crosses a → b.
+        let env = a.export_envelope(MsgId(0)).expect("request meta recorded");
+        assert_eq!(env.dests, vec![(server(0), 1)]);
+        b.import_envelope(MsgId(0), env);
+        b.record(
+            2,
+            server(0),
+            ActionKind::Recv { msg: MsgId(0), from: client(0), info: req_info },
+        );
+        let resp_info = MsgInfo::read_response(tx, Some(ObjectId(0)), 1);
+        b.record(
+            3,
+            server(0),
+            ActionKind::Send {
+                msg: MsgId(1),
+                to: client(0),
+                parent: Some(MsgId(0)),
+                info: resp_info,
+            },
+        );
+        // The server's own depth folds the imported request chain.
+        assert_eq!(b.rounds_of(tx, server(0)), 2);
+        // Response crosses b → a.
+        let env = b.export_envelope(MsgId(1)).expect("response meta recorded");
+        assert_eq!(env.parent_kind, Some(MsgKind::ReadRequest));
+        assert_eq!(env.parent_tx, Some(tx));
+        let mut dests = env.dests.clone();
+        dests.sort();
+        assert_eq!(dests, vec![(client(0), 1), (server(0), 1)]);
+        a.import_envelope(MsgId(1), env);
+        a.record(
+            4,
+            client(0),
+            ActionKind::Recv { msg: MsgId(1), from: server(0), info: resp_info },
+        );
+        // Imported metadata reports no locally walkable parent…
+        assert_eq!(a.parent_of(MsgId(1)), None);
+        // …but the non-blocking verdict still sees the cross-shard parent.
+        let reads = a.read_results(tx);
+        assert_eq!(reads.len(), 1);
+        assert!(reads[0].nonblocking, "parent was the read request itself");
+        // A second-round send at the client counts the imported response.
+        a.record(
+            5,
+            client(0),
+            ActionKind::Send {
+                msg: MsgId(2),
+                to: server(1),
+                parent: Some(MsgId(1)),
+                info: MsgInfo::read_request(tx, Some(ObjectId(1))),
+            },
+        );
+        assert_eq!(a.rounds_of(tx, client(0)), 2);
     }
 
     #[test]

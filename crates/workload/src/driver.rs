@@ -96,6 +96,27 @@ impl WorkloadDriver {
     /// every workload run is verifiable end to end.  The engine is chosen
     /// by history shape (tag order for tagged protocols, the graph engine
     /// otherwise), so this scales to 100k+ transaction runs.
+    ///
+    /// ```
+    /// use snow_core::SystemConfig;
+    /// use snow_protocols::{build_cluster, ProtocolKind, SchedulerKind};
+    /// use snow_workload::{WorkloadDriver, WorkloadGenerator, WorkloadSpec};
+    ///
+    /// let config = SystemConfig::mwmr(4, 2, 2);
+    /// let mut cluster = build_cluster(
+    ///     ProtocolKind::AlgB,
+    ///     &config,
+    ///     SchedulerKind::Latency { seed: 5, min: 1, max: 15 },
+    /// )
+    /// .unwrap();
+    /// let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+    ///
+    /// let (history, report, verdict) =
+    ///     WorkloadDriver::new(4).run_checked(cluster.as_mut(), &mut generator, 40);
+    /// assert_eq!(report.completed, 40);
+    /// assert_eq!(history.len(), 40);
+    /// assert!(verdict.is_serializable(), "Algorithm B guarantees S: {verdict:?}");
+    /// ```
     pub fn run_checked(
         &self,
         cluster: &mut dyn Cluster,
@@ -156,7 +177,9 @@ mod tests {
     use super::*;
     use crate::generator::WorkloadSpec;
     use snow_core::SystemConfig;
-    use snow_protocols::{build_cluster, build_cluster_bounded, ProtocolKind, SchedulerKind};
+    use snow_protocols::{
+        build_cluster, build_cluster_bounded, build_cluster_parallel, ProtocolKind, SchedulerKind,
+    };
 
     #[test]
     fn driver_completes_everything_it_issues() {
@@ -250,6 +273,79 @@ mod tests {
                 format!("{full:?}"),
                 format!("{windowed:?}"),
                 "{protocol:?}: bounded trace changed the history"
+            );
+        }
+    }
+
+    #[test]
+    fn driver_runs_checked_on_the_parallel_substrate() {
+        // The sharded engine is a drop-in Cluster: the driver issues the
+        // same workload, everything completes, and the full history is
+        // certified strictly serializable — at one shard byte-identically
+        // to the serial cluster, at four shards by the checker.
+        let config = SystemConfig::mwmr(4, 2, 2);
+        let sched = SchedulerKind::Latency { seed: 21, min: 1, max: 18 };
+        for protocol in [ProtocolKind::AlgB, ProtocolKind::AlgC, ProtocolKind::Blocking] {
+            let mut serial = build_cluster(protocol, &config, sched).unwrap();
+            let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+            let (serial_history, _) =
+                WorkloadDriver::new(4).run(serial.as_mut(), &mut generator, 40);
+
+            let mut one_shard = build_cluster_parallel(protocol, &config, sched, 1).unwrap();
+            let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+            let (one_shard_history, _) =
+                WorkloadDriver::new(4).run(one_shard.as_mut(), &mut generator, 40);
+            assert_eq!(
+                format!("{serial_history:?}"),
+                format!("{one_shard_history:?}"),
+                "{protocol:?}: 1-shard parallel cluster diverged from serial"
+            );
+
+            let mut sharded = build_cluster_parallel(protocol, &config, sched, 4).unwrap();
+            let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+            let (history, report, verdict) =
+                WorkloadDriver::new(4).run_checked(sharded.as_mut(), &mut generator, 40);
+            assert_eq!(report.completed, 40, "{protocol:?}");
+            assert!(
+                verdict.is_serializable(),
+                "{protocol:?} on 4 shards produced a non-serializable history: {verdict:?} \
+                 over {} transactions",
+                history.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_multi_shard_cluster_drives_identical_histories() {
+        // The sharded engine's extra bounded-mode pruning points (departed
+        // sends at export, foreign-transaction deliveries after handling)
+        // must not change any observable aggregate: same protocol,
+        // scheduler, shard count and workload — byte-identical histories.
+        // Blocking (lock convoys), AlgA (C2C) and AlgB (two-round reads)
+        // exercise every causal-chain shape that pruning could break.
+        use snow_protocols::{build_cluster_on, ExecutorKind};
+        let sched = SchedulerKind::Latency { seed: 13, min: 1, max: 20 };
+        let executor = ExecutorKind::ParallelSim { shards: 4 };
+        for protocol in [ProtocolKind::AlgA, ProtocolKind::AlgB, ProtocolKind::Blocking] {
+            let config = if protocol.needs_c2c() {
+                SystemConfig::mwsr(4, 2, true)
+            } else {
+                SystemConfig::mwmr(4, 2, 2)
+            };
+            let mut unbounded =
+                build_cluster_on(protocol, &config, sched, executor, 10_000_000, None).unwrap();
+            let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+            let (full, _) = WorkloadDriver::new(4).run(unbounded.as_mut(), &mut generator, 60);
+
+            let mut bounded =
+                build_cluster_on(protocol, &config, sched, executor, 10_000_000, Some(256))
+                    .unwrap();
+            let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+            let (windowed, _) = WorkloadDriver::new(4).run(bounded.as_mut(), &mut generator, 60);
+            assert_eq!(
+                format!("{full:?}"),
+                format!("{windowed:?}"),
+                "{protocol:?}: bounded multi-shard trace changed the history"
             );
         }
     }

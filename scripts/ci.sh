@@ -2,20 +2,26 @@
 # Tier-1 CI for the snow-rs workspace:
 #
 #   1. release build + full workspace test suite;
-#   2. golden-fingerprint freshness: the committed seeded-history fixtures
+#   2. documentation: `cargo doc --no-deps` must build with warnings
+#      denied (broken intra-doc links fail the build) and every
+#      doc-example must run (`cargo test --doc`);
+#   3. golden-fingerprint freshness: the committed seeded-history fixtures
 #      (tests/golden_histories.txt) must match what the current engine
 #      produces — catching both accidental schedule changes *and* fixture
 #      files regenerated without justification;
-#   3. checker differential suite: the graph strict-serializability engine
+#   4. parallel-engine parity: the sharded engine must reproduce every
+#      golden fixture bit-for-bit at 1 shard and be reproducible at 4
+#      shards (tests/parallel_determinism.rs);
+#   5. checker differential suite: the graph strict-serializability engine
 #      must agree with the complete search on every generated history and
 #      convict the Fig. 5 / impossibility histories;
-#   4. bench_json smoke run: both executors (simulator flood + tokio
-#      runtime read path) and the checker-throughput section must stay
-#      alive end to end.  The smoke run does not overwrite
-#      BENCH_simcore.json; regenerate that separately with
-#      `cargo run -p snow-bench --release --bin bench_json` on quiet
-#      hardware;
-#   5. checker-throughput regression guard: the smoke run's graph-checker
+#   6. bench_json smoke run: all three executors (serial flood, sharded
+#      parallel flood, tokio runtime read path) and the
+#      checker-throughput section must stay alive end to end.  The smoke
+#      run does not overwrite BENCH_simcore.json; regenerate that
+#      separately with `cargo run -p snow-bench --release --bin
+#      bench_json` on quiet hardware;
+#   7. checker-throughput regression guard: the smoke run's graph-checker
 #      rate at 1k transactions must be within 5x of the tracked artifact
 #      (a smoke row on busy CI hardware is noisy; 5x only catches
 #      complexity-class regressions).
@@ -31,6 +37,11 @@ cargo build --release
 echo "== test (workspace) =="
 cargo test --workspace -q
 
+echo "== doc build (warnings denied) + doc-tests =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+cargo test --doc --workspace -q
+echo "docs ok"
+
 echo "== golden fingerprint freshness =="
 if ! diff <(cargo run -q -p snow-bench --release --bin golden_histories) tests/golden_histories.txt; then
     echo "golden_histories.txt is stale or the engine's schedules changed." >&2
@@ -40,6 +51,10 @@ if ! diff <(cargo run -q -p snow-bench --release --bin golden_histories) tests/g
 fi
 echo "fixtures fresh"
 
+echo "== parallel-engine parity (golden bit-parity + determinism) =="
+cargo test -q --release --test parallel_determinism
+echo "parallel parity ok"
+
 echo "== checker differential suite =="
 cargo test -q --release --test checker_differential
 echo "differential ok"
@@ -47,7 +62,12 @@ echo "differential ok"
 echo "== bench_json smoke =="
 smoke_json="$(mktemp)"
 cargo run -q -p snow-bench --release --bin bench_json -- --no-write --smoke > "$smoke_json"
-echo "bench smoke ok"
+if ! grep -q '"parallel_flood"' "$smoke_json" \
+    || ! grep -q '"shards": 4' "$smoke_json"; then
+    echo "smoke run produced no parallel_flood row" >&2
+    exit 1
+fi
+echo "bench smoke ok (serial + parallel flood + runtime + checker)"
 
 echo "== checker_throughput regression guard =="
 rate_at() { # <file> <transactions>: the graph checker's tx_per_sec row

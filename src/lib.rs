@@ -4,9 +4,9 @@
 //! *"SNOW Revisited: Understanding When Ideal READ Transactions Are
 //! Possible"* (Konwar, Lloyd, Lu, Lynch).
 //!
-//! Re-exports every workspace crate under a short module name; see the
-//! README for a tour and `DESIGN.md` / `EXPERIMENTS.md` for the experiment
-//! index.
+//! Re-exports every workspace crate under a short module name; see
+//! `README.md` for the quickstart and `ARCHITECTURE.md` for the crate map,
+//! the `Process`/`Effects` contract and the three execution substrates.
 
 #![forbid(unsafe_code)]
 

@@ -1,0 +1,78 @@
+//! Determinism regression for the sharded parallel engine
+//! (`snow_sim::ParallelSimulation`).
+//!
+//! Two pins:
+//!
+//! * **Golden bit-parity at one shard.**  A 1-shard parallel cluster takes
+//!   the engine's inline fast path, whose step loop replicates the serial
+//!   engine decision for decision — so for every golden (protocol ×
+//!   scheduler) combo it must reproduce the exact fingerprint committed in
+//!   `tests/golden_histories.txt`.  This is the parallel engine's
+//!   equivalence proof, the same way the fixtures proved the event-queue
+//!   refactor equivalent to the linear-scan engine.
+//! * **Seeded determinism at many shards.**  With N shards the
+//!   interleaving legitimately differs from the serial engine's, but the
+//!   observable history must be a pure function of `(seeds, shard count)`
+//!   — independent of how the OS schedules the worker threads.  Two fresh
+//!   runs of every combo at 4 shards must agree byte for byte.
+
+use snow::protocols::ExecutorKind;
+use snow_bench::golden;
+use std::collections::BTreeMap;
+
+const FIXTURE: &str = include_str!("golden_histories.txt");
+
+fn parse_fixture() -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in FIXTURE.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let label = parts.next().expect("fixture label").to_string();
+        let hash = parts
+            .nth(1)
+            .and_then(|p| p.strip_prefix("hash="))
+            .expect("fixture hash");
+        out.insert(label, u64::from_str_radix(hash, 16).expect("fixture hash value"));
+    }
+    out
+}
+
+#[test]
+fn one_shard_parallel_engine_reproduces_every_golden_fixture() {
+    let fixtures = parse_fixture();
+    let mut mismatches = Vec::new();
+    for combo in golden::combos() {
+        let want = fixtures
+            .get(&combo.label)
+            .unwrap_or_else(|| panic!("no fixture for {}", combo.label));
+        let canon = golden::run_combo_on(&combo, ExecutorKind::ParallelSim { shards: 1 });
+        let got = golden::fingerprint(&canon);
+        if got != *want {
+            eprintln!(
+                "=== {} parallel(1) mismatch: want {want:016x}, got {got:016x} ===\n{canon}",
+                combo.label
+            );
+            mismatches.push(combo.label.clone());
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "1-shard parallel histories diverged from the serial golden fixtures: {mismatches:?}"
+    );
+}
+
+#[test]
+fn multi_shard_runs_are_reproducible_for_every_combo() {
+    let executor = ExecutorKind::ParallelSim { shards: 4 };
+    for combo in golden::combos() {
+        assert_eq!(
+            golden::run_combo_on(&combo, executor),
+            golden::run_combo_on(&combo, executor),
+            "{} not reproducible at 4 shards",
+            combo.label
+        );
+    }
+}

@@ -22,7 +22,7 @@
 
 use snow::checker::{GraphChecker, SnowChecker, Verdict};
 use snow::core::{ClientId, History, SystemConfig, TxSpec};
-use snow::protocols::ProtocolKind;
+use snow::protocols::{ExecutorKind, ProtocolKind};
 use snow::runtime::AsyncCluster;
 use snow_bench::golden;
 
@@ -145,6 +145,69 @@ async fn concurrent_batches_are_serializability_equivalent_across_executors() {
         assert_eq!(runtime_history.incomplete_count(), 0, "{protocol:?}");
         assert_eq!(runtime_history.len(), issued, "{protocol:?}");
         assert_strictly_serializable(&format!("{protocol:?}/runtime"), &runtime_history);
+    }
+}
+
+/// The sharded parallel simulator is the third executor under the parity
+/// harness.  For a *serial* plan the protocol's semantics are
+/// schedule-independent, so a multi-shard run — whose interleaving differs
+/// from the serial engine's by design — must still produce the same
+/// semantic digest the serial engine and the tokio runtime agree on.
+#[test]
+fn multi_shard_parallel_engine_agrees_semantically_on_serial_plans() {
+    for protocol in ProtocolKind::all() {
+        let (config, plan) = golden::parity_plan(protocol);
+        let digest_of: fn(&History) -> String = if protocol == ProtocolKind::Eiger {
+            golden::semantic_digest
+        } else {
+            golden::instrumented_digest
+        };
+        for combo in golden::combos().iter().filter(|c| c.protocol == protocol) {
+            let serial =
+                golden::run_plan_on_simulator(protocol, &config, combo.scheduler, &plan);
+            let parallel = golden::run_plan_on(
+                protocol,
+                &config,
+                combo.scheduler,
+                ExecutorKind::ParallelSim { shards: 4 },
+                &plan,
+            );
+            assert_eq!(parallel.incomplete_count(), 0, "{}", combo.label);
+            assert_eq!(
+                digest_of(&serial),
+                digest_of(&parallel),
+                "{}: serial and 4-shard parallel engines disagree on history semantics",
+                combo.label
+            );
+        }
+    }
+}
+
+/// Concurrent batches on the sharded engine: as with the tokio runtime,
+/// outcomes are schedule-dependent, so the contract is
+/// serializability-equivalence — every history the parallel engine
+/// produces, at every shard count, must be certified strictly serializable
+/// by the graph checker.
+#[test]
+fn multi_shard_concurrent_batches_are_strictly_serializable() {
+    for protocol in [ProtocolKind::AlgB, ProtocolKind::AlgC, ProtocolKind::Blocking] {
+        let (config, batches) = golden::concurrent_parity_plan(protocol);
+        for combo in golden::combos().iter().filter(|c| c.protocol == protocol) {
+            for shards in [2usize, 4] {
+                let history = golden::run_concurrent_plan_on(
+                    protocol,
+                    &config,
+                    combo.scheduler,
+                    ExecutorKind::ParallelSim { shards },
+                    &batches,
+                );
+                assert_eq!(history.incomplete_count(), 0, "{}/{shards}", combo.label);
+                assert_strictly_serializable(
+                    &format!("{}/parallel{shards}", combo.label),
+                    &history,
+                );
+            }
+        }
     }
 }
 
