@@ -594,7 +594,10 @@ fn build_ctx(history: &History) -> Result<Ctx<'_>, Verdict> {
 
     // Observations of completed reads decide optional-write inclusion.
     let mut optional_included = vec![false; optional.len()];
-    let mut raw_obs: Vec<(usize, ObjectId, Option<(bool, usize)>)> = Vec::new();
+    // One read observation: (reader index, object, observed writer —
+    // `(is_optional, index)` — if the read saw a non-initial key).
+    type RawObservation = (usize, ObjectId, Option<(bool, usize)>);
+    let mut raw_obs: Vec<RawObservation> = Vec::new();
     for (ri, rec) in mandatory.iter().enumerate() {
         let Some(TxOutcome::Read(read)) = rec.outcome.as_ref() else { continue };
         for or in &read.reads {
@@ -665,7 +668,8 @@ fn extend(
             indeg[j] += 1;
         }
     }
-    let mut heap: BinaryHeap<Reverse<((u64, u64, u64), usize)>> = members
+    type TieKeyed = Reverse<((u64, u64, u64), usize)>;
+    let mut heap: BinaryHeap<TieKeyed> = members
         .iter()
         .enumerate()
         .filter(|&(i, _)| indeg[i] == 0)
@@ -767,7 +771,8 @@ fn kahn_pass(ctx: &Ctx, orders: &BTreeMap<ObjectId, ObjectOrder>) -> Pass {
             (instants[node - n], 0, 0)
         }
     };
-    let mut heap: BinaryHeap<Reverse<((u64, u8, u64), usize)>> = (0..total)
+    type TimeKeyed = Reverse<((u64, u8, u64), usize)>;
+    let mut heap: BinaryHeap<TimeKeyed> = (0..total)
         .filter(|&v| indeg[v] == 0)
         .map(|v| Reverse((key(v), v)))
         .collect();

@@ -47,6 +47,14 @@ pub trait Process {
     fn on_message(&mut self, from: ProcessId, msg: Self::Msg, effects: &mut Effects<Self::Msg>);
 }
 
+/// The buffered sends of one handler call: `(destination, message)` pairs,
+/// in emission order.
+pub type Sends<M> = Vec<(ProcessId, M)>;
+
+/// The buffered RESP events of one handler call: `(transaction, outcome)`
+/// pairs, in emission order.
+pub type Responses = Vec<(TxId, TxOutcome)>;
+
 /// The output-action buffer a handler writes into.
 ///
 /// All sends and responses emitted during one handler call are tagged by the
@@ -98,7 +106,7 @@ impl<M> Effects<M> {
     }
 
     /// Drains the buffered output actions: `(sends, responses)`.
-    pub fn into_parts(self) -> (Vec<(ProcessId, M)>, Vec<(TxId, TxOutcome)>) {
+    pub fn into_parts(self) -> (Sends<M>, Responses) {
         (self.sends, self.responses)
     }
 }

@@ -200,7 +200,7 @@ impl Execution {
     pub fn move_left(&self, label: &str) -> Result<(Execution, String), CommuteError> {
         let pos = self
             .position(label)
-            .ok_or_else(|| CommuteError::OutOfRange(usize::MAX))?;
+            .ok_or(CommuteError::OutOfRange(usize::MAX))?;
         if pos == 0 {
             return Err(CommuteError::OutOfRange(0));
         }
@@ -222,7 +222,7 @@ impl Execution {
         loop {
             let pos = exec
                 .position(label)
-                .ok_or_else(|| CommuteError::OutOfRange(usize::MAX))?;
+                .ok_or(CommuteError::OutOfRange(usize::MAX))?;
             if pos == 0 {
                 break;
             }

@@ -138,14 +138,9 @@ pub fn run_two_client_chain() -> TwoClientReport {
     // which sends its request), then F1y, then E1 (which must stay after
     // both F fragments because it receives their responses).
     for fragment in ["F1x", "F1y", "E1"] {
-        loop {
-            match move_left_with_recreation(&exec, fragment) {
-                Some((next, mv)) => {
-                    moves.push(mv);
-                    exec = next;
-                }
-                None => break,
-            }
+        while let Some((next, mv)) = move_left_with_recreation(&exec, fragment) {
+            moves.push(mv);
+            exec = next;
         }
     }
 

@@ -166,7 +166,7 @@ impl AlgAWriter {
         writes: Vec<(ObjectId, Value)>,
         effects: &mut Effects<AlgAMsg>,
     ) {
-        let key = self.keys.next();
+        let key = self.keys.allocate();
         let objects: Vec<ObjectId> = writes.iter().map(|(o, _)| *o).collect();
         self.pending = Some(PendingWrite::new(tx, key, objects));
         for (object, value) in writes {

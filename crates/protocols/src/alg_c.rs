@@ -360,7 +360,7 @@ impl Process for AlgCNode {
             }
             (AlgCNode::Writer(w), TxSpec::Write(write)) => {
                 assert!(w.pending.is_none(), "writer invoked while a WRITE is outstanding");
-                let key = w.keys.next();
+                let key = w.keys.allocate();
                 let objects: Vec<ObjectId> = write.writes.iter().map(|(o, _)| *o).collect();
                 w.pending = Some(PendingWrite::new(tx_id, key, objects));
                 for (object, value) in write.writes {
@@ -612,15 +612,16 @@ mod tests {
         let writers: Vec<_> = config.writers().collect();
         for seed in 0..10u64 {
             let mut sim = build(&config, seed);
-            let mut txs = Vec::new();
-            txs.push(sim.invoke_at(
-                0,
-                writers[0],
-                TxSpec::write(vec![(ObjectId(0), Value(1)), (ObjectId(1), Value(2))]),
-            ));
-            txs.push(sim.invoke_at(1, writers[1], TxSpec::write(vec![(ObjectId(2), Value(3))])));
-            txs.push(sim.invoke_at(2, readers[0], TxSpec::read(vec![ObjectId(0), ObjectId(1)])));
-            txs.push(sim.invoke_at(3, readers[1], TxSpec::read(vec![ObjectId(1), ObjectId(2)])));
+            let txs = vec![
+                sim.invoke_at(
+                    0,
+                    writers[0],
+                    TxSpec::write(vec![(ObjectId(0), Value(1)), (ObjectId(1), Value(2))]),
+                ),
+                sim.invoke_at(1, writers[1], TxSpec::write(vec![(ObjectId(2), Value(3))])),
+                sim.invoke_at(2, readers[0], TxSpec::read(vec![ObjectId(0), ObjectId(1)])),
+                sim.invoke_at(3, readers[1], TxSpec::read(vec![ObjectId(1), ObjectId(2)])),
+            ];
             sim.run_until_quiescent();
             for tx in &txs {
                 assert!(sim.is_complete(*tx), "seed {seed}");

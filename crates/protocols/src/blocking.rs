@@ -289,7 +289,7 @@ impl Process for BlockingNode {
             TxSpec::Write(w) => (w.objects(), w.writes, true),
         };
         objects.sort();
-        let key = if is_write { client.keys.next() } else { Key::initial() };
+        let key = if is_write { client.keys.allocate() } else { Key::initial() };
         client.pending = Some(PendingBlocking {
             tx: tx_id,
             to_lock: objects.into_iter().collect(),

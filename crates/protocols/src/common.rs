@@ -188,7 +188,7 @@ impl KeyAllocator {
     }
 
     /// Allocates the next key.
-    pub fn next(&mut self) -> Key {
+    pub fn allocate(&mut self) -> Key {
         self.z += 1;
         Key::new(self.z, self.writer)
     }
@@ -308,8 +308,8 @@ mod tests {
     #[test]
     fn key_allocator_is_monotonic_and_writer_scoped() {
         let mut a = KeyAllocator::new(ClientId(2));
-        let k1 = a.next();
-        let k2 = a.next();
+        let k1 = a.allocate();
+        let k2 = a.allocate();
         assert_eq!(k1, Key::new(1, ClientId(2)));
         assert_eq!(k2, Key::new(2, ClientId(2)));
         assert_eq!(a.allocated(), 2);

@@ -93,8 +93,10 @@ pub enum SchedulerKind {
 ///   event-queue simulator (`snow_sim::Simulation`);
 /// * [`ExecutorKind::ParallelSim`] — the sharded parallel simulator
 ///   (`snow_sim::ParallelSimulation`): one worker thread per shard,
-///   deterministic epoch-barrier message exchange.  With `shards: 1` it
-///   reproduces the serial simulator bit-for-bit;
+///   deterministic epoch-barrier message exchange.  Both simulators run
+///   the same dispatch core (`snow-sim`'s `engine` module) — the serial
+///   engine *is* the 1-shard instantiation, so `shards: 1` reproduces it
+///   bit-for-bit;
 /// * the tokio runtime (`snow_runtime::AsyncCluster`) — real threads and
 ///   channels, wall-clock timing.  It is asynchronous, so it lives behind
 ///   its own async API rather than the synchronous [`Cluster`] trait;

@@ -373,7 +373,7 @@ impl Process for EigerNode {
             (EigerNode::Writer(w), TxSpec::Write(write)) => {
                 assert!(w.pending.is_none(), "writer invoked while a WRITE is outstanding");
                 w.clock += 1;
-                let key = w.keys.next();
+                let key = w.keys.allocate();
                 w.pending = Some((tx_id, key, write.writes.len(), 0, 0));
                 for (object, value) in write.writes {
                     let server = w.config.server_for(object);

@@ -144,7 +144,7 @@ impl Process for SimpleNode {
             }
             TxSpec::Write(write) => {
                 assert!(client.pending_write.is_none(), "client write invoked while one is outstanding");
-                let key = client.keys.next();
+                let key = client.keys.allocate();
                 client.pending_write = Some((tx_id, key, write.writes.len()));
                 for (object, value) in write.writes {
                     let server = client.config.server_for(object);

@@ -180,7 +180,7 @@ impl<M: Send + 'static> AsyncCluster<M> {
                             ancestor_dest_counts: ancestor_dest_counts.clone(),
                             nonblocking: info.kind == MsgKind::ReadResponse
                                 && info.tx.is_some()
-                                && parent.as_ref().map_or(false, |p| {
+                                && parent.as_ref().is_some_and(|p| {
                                     p.info.kind == MsgKind::ReadRequest && p.info.tx == info.tx
                                 }),
                         };

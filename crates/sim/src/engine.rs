@@ -1,0 +1,491 @@
+//! The **single dispatch core** every simulator substrate runs on.
+//!
+//! [`DispatchCore`] owns one partition of a deployment's processes plus the
+//! indexed structures the step loop needs — a [`MessagePool`] delivery heap,
+//! a `(at, TxId)`-keyed invocation heap, a [`Scheduler`] instance, a
+//! [`Trace`] and the per-transaction records — and makes **every dispatch
+//! decision in the workspace**: invocation-vs-delivery choice, clock
+//! advance, handler execution, effect application, step accounting, and the
+//! adversarial driving entry points ([`Simulation::deliver_where`],
+//! [`Simulation::force_invoke`]).
+//!
+//! The serial [`Simulation`] wraps exactly one core (`index 0, stride 1`,
+//! so every process is local and the cross-shard outbox stays empty); the
+//! sharded [`crate::ParallelSimulation`] instantiates one core per shard
+//! and exchanges the cores' outboxes at its epoch barrier.  Historically
+//! the two engines carried hand-mirrored copies of this logic ("change
+//! dispatch semantics in both places"); the mirror is gone — `scripts/
+//! ci.sh` enforces that this module remains the only definition site of
+//! the dispatch primitives (`fn step`, `fn run_epoch`,
+//! `fn dispatch_invocation`, `fn deliver`, `fn apply_effects`, …).
+//!
+//! # The clock invariant
+//!
+//! All clock movement funnels through [`DispatchCore::advance_past`]:
+//! dispatching an event advances `now` to `max(now, event_time) + 1`, so
+//! **no event is ever dispatched at a clock earlier than its own
+//! timestamp** — a delivery never happens before its scheduler-stamped
+//! `deliver_at`, a (possibly forced) invocation never before its planned
+//! `at`.  The paper's SNOW arguments and the strict-serializability
+//! checkers derive real-time precedence edges from these timestamps, so a
+//! violation silently widens or inverts the intervals they reason about.
+//! The pre-unification `deliver_where`/`force_invoke` paths advanced
+//! `now += 1` without the clamp, letting adversarial schedules (the
+//! Figs. 3–5 style constructions) record a RESP *before* the delivery
+//! that caused it; the clamp fixes that, and debug assertions downstream
+//! of it — the delivery-timestamp check in `DispatchCore::deliver` and
+//! the monotonicity check in [`Trace::record`] — keep the invariant
+//! audited.
+
+use crate::message::{MsgId, PendingMessage, SimMessage as _};
+use crate::pool::MessagePool;
+use crate::parallel::shard_of;
+use crate::scheduler::Scheduler;
+use crate::sim::Simulation;
+use crate::trace::{ActionKind, CausalEnvelope, Trace};
+use snow_core::{ClientId, Effects, History, Process, ProcessId, TxId, TxKind, TxRecord, TxSpec};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// What a single simulation step did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An invocation was dispatched to a client.
+    Invoked(TxId),
+    /// A message was delivered.
+    Delivered(MsgId),
+    /// Nothing left to do: no pending messages and no future invocations.
+    Quiescent,
+}
+
+/// A scheduled invocation, ordered by `(at, tx)` for the invocation queue.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedInvocation {
+    pub(crate) at: u64,
+    pub(crate) tx: TxId,
+    pub(crate) client: ClientId,
+    pub(crate) spec: TxSpec,
+}
+
+impl PartialEq for QueuedInvocation {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.tx) == (other.at, other.tx)
+    }
+}
+impl Eq for QueuedInvocation {}
+impl PartialOrd for QueuedInvocation {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedInvocation {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (at, tx) on top.
+        (other.at, other.tx).cmp(&(self.at, self.tx))
+    }
+}
+
+/// A cross-shard message in transit, carrying its causal metadata.
+pub(crate) struct Transit<M> {
+    pub(crate) msg: PendingMessage<M>,
+    pub(crate) causality: Option<CausalEnvelope>,
+}
+
+impl<M> Transit<M> {
+    /// The delivery-queue key the destination pool will use
+    /// ([`PendingMessage::delivery_key`] — one rule, shared with
+    /// [`MessagePool`]'s heap, so routing order and pool order agree).
+    pub(crate) fn key(&self) -> u64 {
+        self.msg.delivery_key()
+    }
+}
+
+/// One dispatch core: a self-contained engine over a subset (possibly all)
+/// of a deployment's processes.  See the module docs for how the serial
+/// and sharded substrates wrap it.
+pub(crate) struct DispatchCore<P: Process, S> {
+    /// Which shard this core is (0 for the serial engine).
+    pub(crate) index: usize,
+    /// Total number of shards; message ids are strided by it (the serial
+    /// engine's stride of 1 assigns densely, exactly as it always did).
+    pub(crate) stride: u64,
+    pub(crate) processes: BTreeMap<ProcessId, P>,
+    pub(crate) pool: MessagePool<P::Msg>,
+    pub(crate) invocations: BinaryHeap<QueuedInvocation>,
+    pub(crate) scheduler: S,
+    pub(crate) trace: Trace,
+    pub(crate) records: BTreeMap<TxId, TxRecord>,
+    pub(crate) now: u64,
+    pub(crate) next_msg: u64,
+    pub(crate) steps: u64,
+    pub(crate) max_steps: u64,
+    /// Sends addressed to processes of another core, buffered for the
+    /// epoch exchange.  Always empty at stride 1 (everything is local).
+    pub(crate) outbox: Vec<Transit<P::Msg>>,
+}
+
+impl<P, S> DispatchCore<P, S>
+where
+    P: Process,
+    S: Scheduler<P::Msg>,
+{
+    pub(crate) fn new(index: usize, stride: u64, scheduler: S) -> Self {
+        DispatchCore {
+            index,
+            stride,
+            processes: BTreeMap::new(),
+            pool: MessagePool::new(),
+            invocations: BinaryHeap::new(),
+            scheduler,
+            trace: Trace::new(),
+            records: BTreeMap::new(),
+            now: 0,
+            next_msg: index as u64,
+            steps: 0,
+            max_steps: 1_000_000,
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Registers a process.  Panics if a process with the same id exists.
+    pub(crate) fn add_process(&mut self, process: P) {
+        let id = process.id();
+        let prev = self.processes.insert(id, process);
+        assert!(prev.is_none(), "duplicate process id {id}");
+    }
+
+    pub(crate) fn is_local(&self, id: ProcessId) -> bool {
+        shard_of(id, self.stride as usize) == self.index
+    }
+
+    pub(crate) fn is_complete(&self, tx: TxId) -> bool {
+        self.records.get(&tx).map(|r| r.is_complete()).unwrap_or(false)
+    }
+
+    /// True if this core has nothing left to do (nothing pending, nothing
+    /// planned, nothing awaiting the exchange).
+    pub(crate) fn is_quiescent(&self) -> bool {
+        self.pool.is_empty() && self.invocations.is_empty() && self.outbox.is_empty()
+    }
+
+    /// Folds a routed cross-shard message into the local pool and trace.
+    pub(crate) fn accept(&mut self, transit: Transit<P::Msg>) {
+        if let Some(causality) = transit.causality {
+            self.trace.import_envelope(transit.msg.id, causality);
+        }
+        self.pool.insert(transit.msg);
+    }
+
+    /// The earliest virtual time at which this core could take a step
+    /// under the dispatch rules, or `None` if it has no work.  Exactly two
+    /// dispatch cases exist: a due invocation (planned time reached, or
+    /// nothing pending to deliver), else the earliest pending delivery (a
+    /// non-empty pool always has a live queue entry).
+    pub(crate) fn next_processable(&mut self) -> Option<u64> {
+        if let Some(inv) = self.invocations.peek() {
+            if inv.at <= self.now || self.pool.is_empty() {
+                return Some(inv.at);
+            }
+        }
+        self.pool.peek_earliest().map(|(key, _)| key)
+    }
+
+    fn count_step(&mut self) {
+        self.steps += 1;
+        assert!(
+            self.steps <= self.max_steps,
+            "engine (shard {}) exceeded {} steps; likely livelock",
+            self.index,
+            self.max_steps
+        );
+    }
+
+    /// The one clock rule: dispatching an event stamped `event_at`
+    /// advances `now` to `max(now, event_at) + 1`.  Every `now` mutation
+    /// in the workspace goes through here, so the invariant *an event is
+    /// never dispatched at a clock earlier than its own timestamp* holds
+    /// by construction.  A path that bypassed the clamp would trip the
+    /// debug assertions downstream of it: the timestamp check in
+    /// [`DispatchCore::deliver`] and the monotonicity check in
+    /// [`Trace::record`].
+    fn advance_past(&mut self, event_at: u64) {
+        self.now = self.now.max(event_at) + 1;
+    }
+
+    /// One dispatch decision under `watermark`: a due invocation (planned
+    /// time reached, or nothing pending to deliver) wins over a delivery;
+    /// deliveries are chosen by the scheduler, which may pick *any* live
+    /// message, not just ones keyed inside the watermark — the watermark
+    /// only gates *whether* a dispatch happens (the due invocation or the
+    /// earliest pending delivery must fall below it).  Returns `None`
+    /// without counting a step if nothing below the watermark is
+    /// dispatchable.  The serial engine passes `u64::MAX`.
+    fn try_dispatch(&mut self, watermark: u64) -> Option<StepOutcome> {
+        let due = self
+            .invocations
+            .peek()
+            .map(|inv| (inv.at <= self.now || self.pool.is_empty()) && inv.at < watermark)
+            .unwrap_or(false);
+        if due {
+            let inv = self.invocations.pop().expect("peeked invocation");
+            self.count_step();
+            self.advance_past(inv.at);
+            self.dispatch_invocation(inv.tx, inv.client, inv.spec);
+            return Some(StepOutcome::Invoked(inv.tx));
+        }
+        let deliverable = self
+            .pool
+            .peek_earliest()
+            .map(|(key, _)| key < watermark)
+            .unwrap_or(false);
+        if !deliverable {
+            return None;
+        }
+        match self.scheduler.next(&mut self.pool, self.now) {
+            Some(id) => {
+                self.count_step();
+                let msg = self
+                    .pool
+                    .remove(id)
+                    .expect("scheduler must choose a live message");
+                self.advance_past(msg.deliver_at.unwrap_or(self.now));
+                self.deliver(msg);
+                Some(StepOutcome::Delivered(id))
+            }
+            None => None,
+        }
+    }
+
+    /// One serial step (the historical [`Simulation::step`] contract): an
+    /// idle probe — nothing dispatchable — still counts a step.
+    pub(crate) fn step(&mut self) -> StepOutcome {
+        match self.try_dispatch(u64::MAX) {
+            Some(outcome) => outcome,
+            None => {
+                self.count_step();
+                StepOutcome::Quiescent
+            }
+        }
+    }
+
+    /// Drains local events by the dispatch rules until neither a due
+    /// invocation nor the earliest pending delivery falls below
+    /// `watermark`, the core has nothing left, or (if watching) the
+    /// watched transaction completes.  Returns steps executed.
+    pub(crate) fn run_epoch(&mut self, watermark: u64, watch: Option<TxId>) -> u64 {
+        let start = self.steps;
+        loop {
+            if let Some(tx) = watch {
+                if self.is_complete(tx) {
+                    break;
+                }
+            }
+            if self.try_dispatch(watermark).is_none() {
+                break;
+            }
+        }
+        self.steps - start
+    }
+
+    /// Manual (adversarial) delivery of the first pending message (in send
+    /// order) matching `pred`, bypassing the scheduler — see
+    /// [`Simulation::deliver_where`].  The clock clamp is the same as a
+    /// scheduled delivery's: adversarial order, not adversarial time
+    /// travel.
+    pub(crate) fn deliver_where<F>(&mut self, pred: F) -> Option<MsgId>
+    where
+        F: Fn(&PendingMessage<P::Msg>) -> bool,
+    {
+        let id = self.pool.iter().find(|p| pred(p)).map(|p| p.id)?;
+        let msg = self.pool.remove(id).expect("matched message is live");
+        self.advance_past(msg.deliver_at.unwrap_or(self.now));
+        self.deliver(msg);
+        Some(id)
+    }
+
+    /// Manual (adversarial) dispatch of `client`'s next planned invocation
+    /// — see [`Simulation::force_invoke`].  The clock clamp matches the
+    /// scheduled invocation rule: the INV is recorded no earlier than its
+    /// planned time.
+    pub(crate) fn force_invoke(&mut self, client: ClientId) -> Option<TxId> {
+        // "Next" = smallest (at, tx) among that client's plans, matching the
+        // engine's dispatch order.  Heap iteration is unordered, so take the
+        // minimum explicitly; this adversarial path may be O(n).
+        let target = self
+            .invocations
+            .iter()
+            .filter(|inv| inv.client == client)
+            .max() // QueuedInvocation's Ord is reversed: max = earliest
+            .cloned()?;
+        self.invocations.retain(|inv| inv.tx != target.tx);
+        self.advance_past(target.at);
+        self.dispatch_invocation(target.tx, target.client, target.spec);
+        Some(target.tx)
+    }
+
+    fn dispatch_invocation(&mut self, tx: TxId, client: ClientId, spec: TxSpec) {
+        let pid = ProcessId::Client(client);
+        self.trace.record(
+            self.now,
+            pid,
+            ActionKind::Invoke { tx, kind: spec.kind() },
+        );
+        self.records
+            .insert(tx, TxRecord::invoked(tx, client, spec.clone(), self.now));
+        let mut effects = Effects::new(self.now);
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .unwrap_or_else(|| panic!("invocation for unknown process {pid}"));
+        process.on_invoke(tx, spec, &mut effects);
+        self.apply_effects(pid, None, effects);
+    }
+
+    fn deliver(&mut self, msg: PendingMessage<P::Msg>) {
+        // Delivery must happen strictly after the message's own timestamp.
+        // `sent_at` is only comparable to `now` on a single-core clock
+        // (shards advance their virtual clocks independently).
+        debug_assert!(
+            msg.deliver_at.is_none_or(|at| at < self.now)
+                && (self.stride > 1 || msg.sent_at < self.now),
+            "message {} delivered before its own timestamp (sent_at {}, deliver_at {:?}, now {})",
+            msg.id,
+            msg.sent_at,
+            msg.deliver_at,
+            self.now
+        );
+        let info = msg.msg.info();
+        self.trace.record(
+            self.now,
+            msg.dst,
+            ActionKind::Recv { msg: msg.id, from: msg.src, info },
+        );
+        let mut effects = Effects::new(self.now);
+        let process = self
+            .processes
+            .get_mut(&msg.dst)
+            .unwrap_or_else(|| panic!("message to unknown process {}", msg.dst));
+        process.on_message(msg.src, msg.msg, &mut effects);
+        self.apply_effects(msg.dst, Some(msg.id), effects);
+        // Bounded mode: this core only needs a delivered message's causal
+        // metadata for aggregates of transactions *invoked here* (the
+        // records map is exactly that set) — RESP-time pruning covers
+        // those.  Anything else would leak until the run ends, since no
+        // local RESP will ever drop it; prune it now that the handler's
+        // sends have folded its chain.  (At stride 1 every transaction is
+        // invoked here, so this never fires on the serial engine.)
+        if self.stride > 1
+            && info.tx.map(|tx| !self.records.contains_key(&tx)).unwrap_or(false)
+        {
+            self.trace.prune_meta(msg.id);
+        }
+    }
+
+    fn apply_effects(&mut self, at: ProcessId, parent: Option<MsgId>, effects: Effects<P::Msg>) {
+        let (sends, responses) = effects.into_parts();
+        for (to, m) in sends {
+            let id = MsgId(self.next_msg);
+            self.next_msg += self.stride;
+            let info = m.info();
+            self.trace.record(
+                self.now,
+                at,
+                ActionKind::Send { msg: id, to, parent, info },
+            );
+            let deliver_at = self.scheduler.on_send(self.now);
+            let pending = PendingMessage {
+                id,
+                src: at,
+                dst: to,
+                msg: m,
+                sent_at: self.now,
+                parent,
+                deliver_at,
+            };
+            if self.is_local(to) {
+                self.pool.insert(pending);
+            } else {
+                let causality = self.trace.export_envelope(id);
+                // Bounded mode: the local meta of a departed message can
+                // never be walked again on this core — only its envelope
+                // travels on.
+                self.trace.prune_meta(id);
+                self.outbox.push(Transit { msg: pending, causality });
+            }
+        }
+        for (tx, outcome) in responses {
+            self.trace.record(self.now, at, ActionKind::Respond { tx });
+            if let Some(rec) = self.records.get_mut(&tx) {
+                rec.responded_at = Some(self.now);
+                rec.outcome = Some(outcome);
+            }
+        }
+    }
+
+    /// Appends this core's transaction records to `history`, enriched with
+    /// the core's trace aggregates (rounds, read instrumentation) and a
+    /// caller-supplied C2C count (the sharded engine sums across cores).
+    /// Callers sort the assembled history by `(invoked_at, tx_id)` once all
+    /// cores have contributed.
+    pub(crate) fn collect_records(&self, history: &mut History, c2c_of: impl Fn(TxId) -> u32) {
+        for (tx, rec) in &self.records {
+            let mut rec = rec.clone();
+            let client = ProcessId::Client(rec.client);
+            rec.rounds = self.trace.rounds_of(*tx, client);
+            rec.c2c_messages = c2c_of(*tx);
+            if rec.kind() == TxKind::Read {
+                rec.reads = self.trace.read_results(*tx).to_vec();
+            }
+            history.push(rec);
+        }
+    }
+}
+
+// The serial façade's dispatch entry points are defined here, next to the
+// core, so that this module remains the single definition site of dispatch
+// semantics (`scripts/ci.sh` greps for strays).  Everything else about
+// `Simulation` — construction, planning, accessors, run loops, history
+// assembly — lives in `crate::sim`.
+impl<P, S> Simulation<P, S>
+where
+    P: Process,
+    S: Scheduler<P::Msg>,
+{
+    /// Executes one step: dispatches the earliest due invocation if any,
+    /// otherwise delivers the message chosen by the scheduler.  O(log n).
+    pub fn step(&mut self) -> StepOutcome {
+        self.core.step()
+    }
+
+    /// Manual (adversarial) driving: delivers the first pending message (in
+    /// send order) matching `pred`, bypassing the scheduler.  Returns the
+    /// delivered message id, or `None` if nothing matched.
+    ///
+    /// The adversary controls *order*, not *time*: the clock advances to
+    /// `max(now, deliver_at) + 1` exactly as for a scheduled delivery, so a
+    /// latency-stamped message delivered adversarially can never produce
+    /// actions (e.g. a RESP) timestamped before its own delivery time.
+    /// Under schedulers that stamp no delivery time (FIFO, random) the
+    /// clamp is a no-op and the historical `now + 1` behaviour is
+    /// unchanged — the Figs. 3–5 constructions drive those.
+    pub fn deliver_where<F>(&mut self, pred: F) -> Option<MsgId>
+    where
+        F: Fn(&PendingMessage<P::Msg>) -> bool,
+    {
+        self.core.deliver_where(pred)
+    }
+
+    /// Manual driving: dispatches the next scheduled invocation for
+    /// `client` without waiting for the engine to reach it.  Returns the
+    /// transaction id, or `None` if no invocation is queued for that
+    /// client.
+    ///
+    /// The clock clamp matches the engine's own invocation rule: the INV
+    /// is recorded at `max(now, at) + 1`, never before the invocation's
+    /// planned time (forcing controls *order* relative to other queued
+    /// work, it does not rewind time).
+    pub fn force_invoke(&mut self, client: ClientId) -> Option<TxId> {
+        self.core.force_invoke(client)
+    }
+}

@@ -35,10 +35,17 @@
 //! running one worker thread per shard, exchanging cross-shard messages at
 //! deterministic epoch barriers; with one shard it reproduces the serial
 //! engine bit for bit.
+//!
+//! Both simulators execute on **one dispatch core** (the private `engine`
+//! module): [`Simulation`] wraps a single core, [`ParallelSimulation`]
+//! one per shard.  Every dispatch decision — including the clock
+//! invariant that no event is dispatched before its own timestamp — is
+//! defined exactly once there.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 pub mod message;
 pub mod parallel;
 pub mod pool;

@@ -3,11 +3,12 @@
 //!
 //! [`ParallelSimulation`] partitions the processes of a deployment into
 //! **shards** ([`shard_of`]: servers by `ServerId`, clients by `ClientId`)
-//! and runs one sub-engine per shard on its own worker thread.  Each shard
-//! owns the same indexed structures as the serial [`crate::Simulation`] —
-//! a [`MessagePool`] delivery heap, a `(at, TxId)`-keyed invocation heap,
-//! its own [`Scheduler`] instance and its own [`Trace`] — so shard-disjoint
-//! deliveries proceed with no synchronization at all.
+//! and runs one instance of the workspace's single dispatch core
+//! (`engine::DispatchCore` — **the same type** the serial
+//! [`crate::Simulation`] wraps) per shard, each on its own worker thread.
+//! Every core owns its delivery pool, `(at, TxId)`-keyed invocation heap,
+//! [`Scheduler`] instance and [`Trace`], so shard-disjoint deliveries
+//! proceed with no synchronization at all.
 //!
 //! # The deterministic epoch barrier
 //!
@@ -20,8 +21,9 @@
 //! 2. one leader computes the global watermark `min(reports) +
 //!    epoch_width`; if no shard has work and nothing is in transit, the
 //!    system is quiescent;
-//! 3. every worker drains its sub-queues by the serial engine's dispatch
-//!    rules, buffering cross-shard sends.  The watermark gates *whether
+//! 3. every worker drains its sub-queues by the dispatch core's rules
+//!    (`DispatchCore::run_epoch`), buffering cross-shard sends.  The
+//!    watermark gates *whether
 //!    the shard keeps stepping* — it steps while a due invocation or its
 //!    earliest pending delivery falls below the watermark — while the
 //!    scheduler stays the same unconstrained adversary it is on the
@@ -29,7 +31,7 @@
 //!    past the watermark while earlier ones are pending);
 //! 4. the leader routes the union of the outboxes in `(deliver_at,
 //!    MsgId)` order to the destination shards, together with each
-//!    message's [`CausalEnvelope`] so the receiving shard's trace keeps
+//!    message's [`crate::CausalEnvelope`] so the receiving shard's trace keeps
 //!    deriving exact round counts and non-blocking verdicts.
 //!
 //! Every decision in this cycle — watermark, routing order, per-shard
@@ -41,11 +43,15 @@
 //!
 //! # Relation to the serial engine
 //!
-//! With one shard there is nothing to exchange: the engine takes an
-//! inline fast path (no threads, watermark `u64::MAX`) whose step loop is
-//! the serial engine's, decision for decision.  A 1-shard
+//! There is exactly one step-loop implementation in this workspace:
+//! `DispatchCore` makes every invocation-vs-delivery choice, clock
+//! advance and effect application for both substrates (see the private
+//! `engine` module; `scripts/ci.sh` rejects any second definition of
+//! the dispatch primitives).  With one shard there is nothing to
+//! exchange: the engine takes an inline fast path (no threads, watermark
+//! `u64::MAX`) that *is* the serial engine — a 1-shard
 //! `ParallelSimulation` therefore reproduces the serial golden histories
-//! **bit-identically** — pinned by the `parallel_determinism` integration
+//! **bit-identically**, pinned by the `parallel_determinism` integration
 //! test over all 30 golden (protocol × scheduler) combos.  With more
 //! shards the interleaving (and therefore each history's timings and
 //! observed versions) legitimately differs from the serial engine's, but
@@ -53,13 +59,10 @@
 //! semantically equal on serial plans — pinned by the multi-shard cases in
 //! `runtime_parity`.
 
-use crate::message::{MsgId, PendingMessage, SimMessage as _};
-use crate::pool::MessagePool;
+use crate::engine::{DispatchCore, QueuedInvocation, Transit};
 use crate::scheduler::Scheduler;
-use crate::sim::QueuedInvocation;
-use crate::trace::{ActionKind, CausalEnvelope, Trace};
-use snow_core::{ClientId, Effects, History, Process, ProcessId, TxId, TxKind, TxRecord, TxSpec};
-use std::collections::{BTreeMap, BinaryHeap};
+use crate::trace::Trace;
+use snow_core::{ClientId, History, Process, ProcessId, TxId, TxSpec};
 use std::sync::{Barrier, Mutex};
 
 /// Default virtual-time width of one epoch: how far past the globally
@@ -91,247 +94,6 @@ pub fn shard_seed(seed: u64, shard: usize) -> u64 {
     }
 }
 
-/// A cross-shard message in transit, carrying its causal metadata.
-struct Transit<M> {
-    msg: PendingMessage<M>,
-    causality: Option<CausalEnvelope>,
-}
-
-impl<M> Transit<M> {
-    /// The delivery-queue key the destination pool will use
-    /// ([`PendingMessage::delivery_key`] — one rule, shared with
-    /// [`MessagePool`]'s heap, so routing order and pool order agree).
-    fn key(&self) -> u64 {
-        self.msg.delivery_key()
-    }
-}
-
-/// One shard: a self-contained sub-engine over a subset of the processes.
-///
-/// `dispatch_invocation`/`deliver`/`apply_effects` and `run_epoch`'s
-/// dispatch rules deliberately mirror [`crate::Simulation`]'s step loop
-/// line for line — the 1-shard bit-parity guarantee *is* that mirroring.
-/// Change dispatch semantics in both places or the golden-fixture suites
-/// (`determinism`, `parallel_determinism`) will fail; folding the serial
-/// engine onto a single `Shard` to end the duplication is a ROADMAP
-/// follow-up.
-struct Shard<P: Process, S> {
-    index: usize,
-    stride: u64,
-    processes: BTreeMap<ProcessId, P>,
-    pool: MessagePool<P::Msg>,
-    invocations: BinaryHeap<QueuedInvocation>,
-    scheduler: S,
-    trace: Trace,
-    records: BTreeMap<TxId, TxRecord>,
-    now: u64,
-    next_msg: u64,
-    steps: u64,
-    max_steps: u64,
-    outbox: Vec<Transit<P::Msg>>,
-}
-
-impl<P, S> Shard<P, S>
-where
-    P: Process,
-    S: Scheduler<P::Msg>,
-{
-    fn new(index: usize, stride: u64, scheduler: S) -> Self {
-        Shard {
-            index,
-            stride,
-            processes: BTreeMap::new(),
-            pool: MessagePool::new(),
-            invocations: BinaryHeap::new(),
-            scheduler,
-            trace: Trace::new(),
-            records: BTreeMap::new(),
-            now: 0,
-            next_msg: index as u64,
-            steps: 0,
-            max_steps: 1_000_000,
-            outbox: Vec::new(),
-        }
-    }
-
-    fn is_local(&self, id: ProcessId) -> bool {
-        shard_of(id, self.stride as usize) == self.index
-    }
-
-    fn is_complete(&self, tx: TxId) -> bool {
-        self.records.get(&tx).map(|r| r.is_complete()).unwrap_or(false)
-    }
-
-    /// Folds a routed cross-shard message into the local pool and trace.
-    fn accept(&mut self, transit: Transit<P::Msg>) {
-        if let Some(causality) = transit.causality {
-            self.trace.import_envelope(transit.msg.id, causality);
-        }
-        self.pool.insert(transit.msg);
-    }
-
-    /// The earliest virtual time at which this shard could take a step
-    /// under the serial dispatch rules, or `None` if it has no work.
-    /// Exactly two dispatch cases exist: a due invocation (planned time
-    /// reached, or nothing pending to deliver), else the earliest pending
-    /// delivery (a non-empty pool always has a live queue entry).
-    fn next_processable(&mut self) -> Option<u64> {
-        if let Some(inv) = self.invocations.peek() {
-            if inv.at <= self.now || self.pool.is_empty() {
-                return Some(inv.at);
-            }
-        }
-        self.pool.peek_earliest().map(|(key, _)| key)
-    }
-
-    /// Drains local events by the serial engine's dispatch rules: a due
-    /// invocation (planned time reached, or nothing pending to deliver)
-    /// wins over a delivery; deliveries are chosen by the shard's
-    /// scheduler, which — exactly as on the serial engine — may pick *any*
-    /// live message, not just ones keyed inside the watermark.  The
-    /// watermark gates continuation: the loop stops when neither a due
-    /// invocation nor the earliest pending delivery falls below it, when
-    /// the shard has nothing left, or (if watching) when the watched
-    /// transaction completes.  Returns steps executed.
-    fn run_epoch(&mut self, watermark: u64, watch: Option<TxId>) -> u64 {
-        let start = self.steps;
-        loop {
-            if let Some(tx) = watch {
-                if self.is_complete(tx) {
-                    break;
-                }
-            }
-            let due = self
-                .invocations
-                .peek()
-                .map(|inv| (inv.at <= self.now || self.pool.is_empty()) && inv.at < watermark)
-                .unwrap_or(false);
-            if due {
-                let inv = self.invocations.pop().expect("peeked invocation");
-                self.count_step();
-                self.now = self.now.max(inv.at) + 1;
-                self.dispatch_invocation(inv.tx, inv.client, inv.spec);
-                continue;
-            }
-            let deliverable = self
-                .pool
-                .peek_earliest()
-                .map(|(key, _)| key < watermark)
-                .unwrap_or(false);
-            if !deliverable {
-                break;
-            }
-            match self.scheduler.next(&mut self.pool, self.now) {
-                Some(id) => {
-                    self.count_step();
-                    let msg = self
-                        .pool
-                        .remove(id)
-                        .expect("scheduler must choose a live message");
-                    self.now = self.now.max(msg.deliver_at.unwrap_or(self.now)) + 1;
-                    self.deliver(msg);
-                }
-                None => break,
-            }
-        }
-        self.steps - start
-    }
-
-    fn count_step(&mut self) {
-        self.steps += 1;
-        assert!(
-            self.steps <= self.max_steps,
-            "shard {} exceeded {} steps; likely livelock",
-            self.index,
-            self.max_steps
-        );
-    }
-
-    fn dispatch_invocation(&mut self, tx: TxId, client: ClientId, spec: TxSpec) {
-        let pid = ProcessId::Client(client);
-        self.trace.record(
-            self.now,
-            pid,
-            ActionKind::Invoke { tx, kind: spec.kind() },
-        );
-        self.records
-            .insert(tx, TxRecord::invoked(tx, client, spec.clone(), self.now));
-        let mut effects = Effects::new(self.now);
-        let process = self
-            .processes
-            .get_mut(&pid)
-            .unwrap_or_else(|| panic!("invocation for unknown process {pid}"));
-        process.on_invoke(tx, spec, &mut effects);
-        self.apply_effects(pid, None, effects);
-    }
-
-    fn deliver(&mut self, msg: PendingMessage<P::Msg>) {
-        let info = msg.msg.info();
-        self.trace.record(
-            self.now,
-            msg.dst,
-            ActionKind::Recv { msg: msg.id, from: msg.src, info },
-        );
-        let mut effects = Effects::new(self.now);
-        let process = self
-            .processes
-            .get_mut(&msg.dst)
-            .unwrap_or_else(|| panic!("message to unknown process {}", msg.dst));
-        process.on_message(msg.src, msg.msg, &mut effects);
-        self.apply_effects(msg.dst, Some(msg.id), effects);
-        // Bounded mode: this shard only needs a delivered message's causal
-        // metadata for aggregates of transactions *invoked here* (the
-        // records map is exactly that set) — RESP-time pruning covers
-        // those.  Anything else would leak until the run ends, since no
-        // local RESP will ever drop it; prune it now that the handler's
-        // sends have folded its chain.
-        if info.tx.map(|tx| !self.records.contains_key(&tx)).unwrap_or(false) {
-            self.trace.prune_meta(msg.id);
-        }
-    }
-
-    fn apply_effects(&mut self, at: ProcessId, parent: Option<MsgId>, effects: Effects<P::Msg>) {
-        let (sends, responses) = effects.into_parts();
-        for (to, m) in sends {
-            let id = MsgId(self.next_msg);
-            self.next_msg += self.stride;
-            let info = m.info();
-            self.trace.record(
-                self.now,
-                at,
-                ActionKind::Send { msg: id, to, parent, info },
-            );
-            let deliver_at = self.scheduler.on_send(self.now);
-            let pending = PendingMessage {
-                id,
-                src: at,
-                dst: to,
-                msg: m,
-                sent_at: self.now,
-                parent,
-                deliver_at,
-            };
-            if self.is_local(to) {
-                self.pool.insert(pending);
-            } else {
-                let causality = self.trace.export_envelope(id);
-                // Bounded mode: the local meta of a departed message can
-                // never be walked again on this shard — only its envelope
-                // travels on.
-                self.trace.prune_meta(id);
-                self.outbox.push(Transit { msg: pending, causality });
-            }
-        }
-        for (tx, outcome) in responses {
-            self.trace.record(self.now, at, ActionKind::Respond { tx });
-            if let Some(rec) = self.records.get_mut(&tx) {
-                rec.responded_at = Some(self.now);
-                rec.outcome = Some(outcome);
-            }
-        }
-    }
-}
-
 /// Shared barrier state of one parallel run.
 struct ExchangeState<M> {
     /// Cross-shard messages buffered by the epoch that just ran.
@@ -356,7 +118,7 @@ struct ExchangeState<M> {
 }
 
 /// A deterministic sharded simulation: the same
-/// [`Process`]/[`Effects`] contract as [`crate::Simulation`], executed by
+/// [`Process`]/[`crate::Effects`] contract as [`crate::Simulation`], executed by
 /// one worker thread per shard with cross-shard messages exchanged at
 /// deterministic epoch barriers.
 ///
@@ -366,7 +128,7 @@ struct ExchangeState<M> {
 /// for a drop-in (bit-identical) replacement of the serial engine, and
 /// shard count ≈ the number of physical cores for throughput.
 pub struct ParallelSimulation<P: Process, S> {
-    shards: Vec<Shard<P, S>>,
+    shards: Vec<DispatchCore<P, S>>,
     next_tx: u64,
     epoch_width: u64,
 }
@@ -387,7 +149,7 @@ where
         assert!(shards > 0, "a simulation needs at least one shard");
         ParallelSimulation {
             shards: (0..shards)
-                .map(|i| Shard::new(i, shards as u64, make_scheduler(i)))
+                .map(|i| DispatchCore::new(i, shards as u64, make_scheduler(i)))
                 .collect(),
             next_tx: 0,
             epoch_width: DEFAULT_EPOCH_WIDTH,
@@ -445,8 +207,7 @@ where
     pub fn add_process(&mut self, process: P) {
         let id = process.id();
         let shard = shard_of(id, self.shards.len());
-        let prev = self.shards[shard].processes.insert(id, process);
-        assert!(prev.is_none(), "duplicate process id {id}");
+        self.shards[shard].add_process(process);
     }
 
     /// Schedules `spec` to be invoked by `client` at virtual time `at` on
@@ -556,16 +317,9 @@ where
     pub fn history(&self) -> History {
         let mut history = History::new();
         for shard in &self.shards {
-            for (tx, rec) in &shard.records {
-                let mut rec = rec.clone();
-                let client = ProcessId::Client(rec.client);
-                rec.rounds = shard.trace.rounds_of(*tx, client);
-                rec.c2c_messages = self.shards.iter().map(|s| s.trace.c2c_count(*tx)).sum();
-                if rec.kind() == TxKind::Read {
-                    rec.reads = shard.trace.read_results(*tx).to_vec();
-                }
-                history.push(rec);
-            }
+            shard.collect_records(&mut history, |tx| {
+                self.shards.iter().map(|s| s.trace.c2c_count(tx)).sum()
+            });
         }
         history.records.sort_by_key(|r| (r.invoked_at, r.tx_id));
         history
@@ -583,7 +337,7 @@ where
 ///    in `(deliver_at, MsgId)` order to the destination shards; *wait*
 ///    (so no worker starts the next epoch's inbound take mid-routing).
 fn worker<P, S>(
-    shard: &mut Shard<P, S>,
+    shard: &mut DispatchCore<P, S>,
     state: &Mutex<ExchangeState<P::Msg>>,
     barrier: &Barrier,
     shard_count: usize,
@@ -668,10 +422,12 @@ fn worker<P, S>(
 mod tests {
     use super::*;
     use crate::scheduler::{FifoScheduler, LatencyScheduler, RandomScheduler};
+    use crate::trace::ActionKind;
     use crate::Simulation;
+    use std::collections::BTreeMap;
     use snow_core::{
-        Key, MsgInfo, ObjectId, ObjectRead, ProtocolMessage, ReadOutcome, ServerId, TxOutcome,
-        Value,
+        Effects, Key, MsgInfo, ObjectId, ObjectRead, ProtocolMessage, ReadOutcome, ServerId,
+        TxOutcome, Value,
     };
 
     /// A toy read protocol spanning shards: the client sends one request

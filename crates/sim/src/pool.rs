@@ -233,9 +233,10 @@ impl<M> MessagePool<M> {
     /// The `(delivery_time, id)` key of the live message
     /// [`MessagePool::pop_earliest`] would yield, without consuming its
     /// queue entry — amortized O(log n) (stale entries for dead ids are
-    /// discarded on the way).  The sharded engine uses this to decide
-    /// whether the next delivery falls inside the current epoch's
-    /// virtual-time watermark.
+    /// discarded on the way).  The dispatch core uses this to decide
+    /// whether the next delivery falls inside the current watermark
+    /// (`u64::MAX` on the serial path, the epoch's virtual-time watermark
+    /// on the sharded path).
     pub fn peek_earliest(&mut self) -> Option<(u64, MsgId)> {
         while let Some(Reverse((key, id))) = self.queue.peek().copied() {
             if self.contains(MsgId(id)) {

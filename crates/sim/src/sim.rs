@@ -1,16 +1,16 @@
-//! The simulation engine: processes + indexed message pool + scheduler +
-//! trace.
+//! The serial simulation façade: one dispatch core (the private
+//! `engine` module) driving all processes.
 //!
 //! # Event-queue architecture and complexity contract
 //!
 //! The engine keeps three indexed structures so the step loop does no
 //! linear scanning:
 //!
-//! * in-flight messages live in a [`MessagePool`] — a slot vector with O(1)
-//!   swap-remove, a `(delivery_time, MsgId)` binary heap for O(log n)
-//!   earliest-delivery pops, and a Fenwick live-index for O(log n) rank
-//!   selection in send order (see [`crate::pool`]);
-//! * planned invocations live in a [`BinaryHeap`] keyed by `(at, TxId)`, so
+//! * in-flight messages live in a [`MessagePool`](crate::MessagePool) — a
+//!   slot vector with O(1) swap-remove, a `(delivery_time, MsgId)` binary
+//!   heap for O(log n) earliest-delivery pops, and a Fenwick live-index for
+//!   O(log n) rank selection in send order (see [`crate::pool`]);
+//! * planned invocations live in a `BinaryHeap` keyed by `(at, TxId)`, so
 //!   scheduling n invocations is O(n log n) total (the old sorted-`Vec`
 //!   insert was O(n² log n)) and the next due invocation is an O(1) peek;
 //! * the [`Trace`] folds every recorded action into per-transaction indexes
@@ -23,20 +23,32 @@
 //! ([`Simulation::deliver_where`], [`Simulation::force_invoke`]) trades this
 //! for expressiveness: it scans in send order (O(matches · log n)) exactly
 //! like the historical `Vec`-based engine, which keeps the
-//! `snow-impossibility` constructions unchanged.
+//! `snow-impossibility` constructions unchanged.  Adversaries control
+//! *order*, never *time*: the dispatch core clamps the clock so no event is
+//! dispatched before its own timestamp (see the `engine` module).
+//!
+//! # One dispatch core
+//!
+//! Every dispatch decision — invocation-vs-delivery choice, clock advance,
+//! handler execution, effect application, step accounting — is made by
+//! `engine::DispatchCore`, the same type the sharded
+//! [`crate::ParallelSimulation`] instantiates once per shard.  `Simulation`
+//! is the 1-shard wrapper (`index 0, stride 1`): it owns exactly one core,
+//! every process is local to it, and its cross-shard outbox is vestigial.
+//! There is no second step-loop implementation to keep in lockstep.
 //!
 //! Determinism: a run is a pure function of `(configuration, scheduler
 //! seed, invocation plan)`.  The indexed engine reproduces the linear-scan
 //! engine's schedules bit-for-bit — verified by the `determinism`
 //! integration test against committed golden histories.
 
-use crate::message::{MsgId, PendingMessage, SimMessage};
-use crate::pool::MessagePool;
+use crate::engine::{DispatchCore, QueuedInvocation};
+use crate::message::PendingMessage;
 use crate::scheduler::Scheduler;
-use crate::trace::{ActionKind, Trace};
-use snow_core::{ClientId, Effects, History, Process, ProcessId, TxId, TxKind, TxRecord, TxSpec};
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, BTreeMap};
+use crate::trace::Trace;
+use snow_core::{ClientId, History, Process, ProcessId, TxId, TxSpec};
+
+pub use crate::engine::StepOutcome;
 
 /// A planned invocation: at simulation time `at`, client `client` invokes
 /// `spec` (well-formedness — one outstanding transaction per client — is the
@@ -51,66 +63,12 @@ pub struct InvocationPlan {
     pub spec: TxSpec,
 }
 
-/// A scheduled invocation, ordered by `(at, tx)` for the invocation queue
-/// (shared with the sharded engine in [`crate::parallel`]).
-#[derive(Debug, Clone)]
-pub(crate) struct QueuedInvocation {
-    pub(crate) at: u64,
-    pub(crate) tx: TxId,
-    pub(crate) client: ClientId,
-    pub(crate) spec: TxSpec,
-}
-
-impl PartialEq for QueuedInvocation {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.tx) == (other.at, other.tx)
-    }
-}
-impl Eq for QueuedInvocation {}
-impl PartialOrd for QueuedInvocation {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueuedInvocation {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest
-        // (at, tx) on top.
-        (other.at, other.tx).cmp(&(self.at, self.tx))
-    }
-}
-
-// NOTE: the dispatch core below (`step`'s due-invocation/delivery rules,
-// `dispatch_invocation`, `deliver`, `apply_effects`) is mirrored by
-// `parallel::Shard` — the sharded engine's 1-shard golden bit-parity
-// depends on the two staying in lockstep.  Change both or the
-// `determinism`/`parallel_determinism` suites fail.
-
-/// What a single simulation step did.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StepOutcome {
-    /// An invocation was dispatched to a client.
-    Invoked(TxId),
-    /// A message was delivered.
-    Delivered(MsgId),
-    /// Nothing left to do: no pending messages and no future invocations.
-    Quiescent,
-}
-
 /// A deterministic simulation of a set of processes exchanging messages over
-/// reliable asynchronous channels.
+/// reliable asynchronous channels: the 1-shard instantiation of the
+/// workspace's single dispatch core (the private `engine` module).
 pub struct Simulation<P: Process, S> {
-    processes: BTreeMap<ProcessId, P>,
-    pool: MessagePool<P::Msg>,
-    invocations: BinaryHeap<QueuedInvocation>,
-    scheduler: S,
-    trace: Trace,
-    records: BTreeMap<TxId, TxRecord>,
-    now: u64,
-    next_msg: u64,
+    pub(crate) core: DispatchCore<P, S>,
     next_tx: u64,
-    max_steps: u64,
-    steps: u64,
 }
 
 impl<P, S> Simulation<P, S>
@@ -121,23 +79,14 @@ where
     /// Creates an empty simulation driven by `scheduler`.
     pub fn new(scheduler: S) -> Self {
         Simulation {
-            processes: BTreeMap::new(),
-            pool: MessagePool::new(),
-            invocations: BinaryHeap::new(),
-            scheduler,
-            trace: Trace::new(),
-            records: BTreeMap::new(),
-            now: 0,
-            next_msg: 0,
+            core: DispatchCore::new(0, 1, scheduler),
             next_tx: 0,
-            max_steps: 1_000_000,
-            steps: 0,
         }
     }
 
     /// Overrides the safety cap on the number of steps a run may take.
     pub fn with_max_steps(mut self, max_steps: u64) -> Self {
-        self.max_steps = max_steps;
+        self.core.max_steps = max_steps;
         self
     }
 
@@ -152,18 +101,16 @@ where
     /// 100k+/million-transaction rows.
     pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
         assert!(
-            self.trace.is_empty(),
+            self.core.trace.is_empty(),
             "set the trace capacity before running the simulation"
         );
-        self.trace = Trace::with_action_capacity(capacity);
+        self.core.trace = Trace::with_action_capacity(capacity);
         self
     }
 
     /// Registers a process.  Panics if a process with the same id exists.
     pub fn add_process(&mut self, process: P) {
-        let id = process.id();
-        let prev = self.processes.insert(id, process);
-        assert!(prev.is_none(), "duplicate process id {id}");
+        self.core.add_process(process);
     }
 
     /// Schedules `spec` to be invoked by `client` at simulation time `at` —
@@ -173,99 +120,60 @@ where
     pub fn invoke_at(&mut self, at: u64, client: ClientId, spec: TxSpec) -> TxId {
         let tx = TxId(self.next_tx);
         self.next_tx += 1;
-        self.invocations.push(QueuedInvocation { at, tx, client, spec });
+        self.core.invocations.push(QueuedInvocation { at, tx, client, spec });
         tx
     }
 
     /// Schedules `spec` to be invoked immediately (at the current time).
     pub fn invoke_now(&mut self, client: ClientId, spec: TxSpec) -> TxId {
-        self.invoke_at(self.now, client, spec)
+        self.invoke_at(self.core.now, client, spec)
     }
 
     /// Current simulation time.
     pub fn now(&self) -> u64 {
-        self.now
+        self.core.now
     }
 
     /// Number of messages currently in flight.
     pub fn pending_count(&self) -> usize {
-        self.pool.len()
+        self.core.pool.len()
     }
 
     /// The in-flight messages, in send (id) order.
     pub fn pending(&self) -> impl Iterator<Item = &PendingMessage<P::Msg>> + '_ {
-        self.pool.iter()
+        self.core.pool.iter()
     }
 
     /// The trace recorded so far.
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        &self.core.trace
     }
 
     /// Access to a registered process (for assertions in tests/harnesses).
     pub fn process(&self, id: ProcessId) -> Option<&P> {
-        self.processes.get(&id)
+        self.core.processes.get(&id)
     }
 
     /// True if transaction `tx` has completed.
     pub fn is_complete(&self, tx: TxId) -> bool {
-        self.records.get(&tx).map(|r| r.is_complete()).unwrap_or(false)
+        self.core.is_complete(tx)
     }
 
     /// True if there is nothing left to do.
     pub fn is_quiescent(&self) -> bool {
-        self.pool.is_empty() && self.invocations.is_empty()
-    }
-
-    /// Executes one step: dispatches the earliest due invocation if any,
-    /// otherwise delivers the message chosen by the scheduler.  O(log n).
-    pub fn step(&mut self) -> StepOutcome {
-        self.steps += 1;
-        assert!(
-            self.steps <= self.max_steps,
-            "simulation exceeded {} steps; likely livelock",
-            self.max_steps
-        );
-
-        // Dispatch an invocation if one is due at or before `now`, or if
-        // there are no pending messages (time jumps forward to the next
-        // invocation).
-        let due = self
-            .invocations
-            .peek()
-            .map(|inv| inv.at <= self.now || self.pool.is_empty())
-            .unwrap_or(false);
-        if due {
-            let inv = self.invocations.pop().expect("peeked invocation");
-            self.now = self.now.max(inv.at) + 1;
-            self.dispatch_invocation(inv.tx, inv.client, inv.spec);
-            return StepOutcome::Invoked(inv.tx);
-        }
-
-        match self.scheduler.next(&mut self.pool, self.now) {
-            Some(id) => {
-                let msg = self
-                    .pool
-                    .remove(id)
-                    .expect("scheduler must choose a live message");
-                self.now = self.now.max(msg.deliver_at.unwrap_or(self.now)) + 1;
-                self.deliver(msg);
-                StepOutcome::Delivered(id)
-            }
-            None => StepOutcome::Quiescent,
-        }
+        self.core.is_quiescent()
     }
 
     /// Runs until no work remains (or the step cap is hit).  Returns the
     /// number of steps executed.
     pub fn run_until_quiescent(&mut self) -> u64 {
-        let start = self.steps;
+        let start = self.core.steps;
         while !self.is_quiescent() {
             if self.step() == StepOutcome::Quiescent {
                 break;
             }
         }
-        self.steps - start
+        self.core.steps - start
     }
 
     /// Runs until transaction `tx` completes (or the system goes quiescent).
@@ -279,116 +187,6 @@ where
         self.is_complete(tx)
     }
 
-    /// Manual (adversarial) driving: delivers the first pending message (in
-    /// send order) matching `pred`, bypassing the scheduler.  Returns the
-    /// delivered message id, or `None` if nothing matched.
-    pub fn deliver_where<F>(&mut self, pred: F) -> Option<MsgId>
-    where
-        F: Fn(&PendingMessage<P::Msg>) -> bool,
-    {
-        let id = self.pool.iter().find(|p| pred(p)).map(|p| p.id)?;
-        let msg = self.pool.remove(id).expect("matched message is live");
-        self.now += 1;
-        self.deliver(msg);
-        Some(id)
-    }
-
-    /// Manual driving: dispatches the next scheduled invocation for `client`
-    /// immediately, regardless of its planned time.  Returns the transaction
-    /// id, or `None` if no invocation is queued for that client.
-    pub fn force_invoke(&mut self, client: ClientId) -> Option<TxId> {
-        // "Next" = smallest (at, tx) among that client's plans, matching the
-        // engine's dispatch order.  Heap iteration is unordered, so take the
-        // minimum explicitly; this adversarial path may be O(n).
-        let target = self
-            .invocations
-            .iter()
-            .filter(|inv| inv.client == client)
-            .max() // QueuedInvocation's Ord is reversed: max = earliest
-            .cloned()?;
-        self.invocations.retain(|inv| inv.tx != target.tx);
-        self.now += 1;
-        self.dispatch_invocation(target.tx, target.client, target.spec);
-        Some(target.tx)
-    }
-
-    fn dispatch_invocation(&mut self, tx: TxId, client: ClientId, spec: TxSpec) {
-        let pid = ProcessId::Client(client);
-        self.trace.record(
-            self.now,
-            pid,
-            ActionKind::Invoke {
-                tx,
-                kind: spec.kind(),
-            },
-        );
-        self.records
-            .insert(tx, TxRecord::invoked(tx, client, spec.clone(), self.now));
-        let mut effects = Effects::new(self.now);
-        let process = self
-            .processes
-            .get_mut(&pid)
-            .unwrap_or_else(|| panic!("invocation for unknown process {pid}"));
-        process.on_invoke(tx, spec, &mut effects);
-        self.apply_effects(pid, None, effects);
-    }
-
-    fn deliver(&mut self, msg: PendingMessage<P::Msg>) {
-        let info = msg.msg.info();
-        self.trace.record(
-            self.now,
-            msg.dst,
-            ActionKind::Recv {
-                msg: msg.id,
-                from: msg.src,
-                info,
-            },
-        );
-        let mut effects = Effects::new(self.now);
-        let process = self
-            .processes
-            .get_mut(&msg.dst)
-            .unwrap_or_else(|| panic!("message to unknown process {}", msg.dst));
-        process.on_message(msg.src, msg.msg, &mut effects);
-        self.apply_effects(msg.dst, Some(msg.id), effects);
-    }
-
-    fn apply_effects(&mut self, at: ProcessId, parent: Option<MsgId>, effects: Effects<P::Msg>) {
-        let (sends, responses) = effects.into_parts();
-        for (to, m) in sends {
-            let id = MsgId(self.next_msg);
-            self.next_msg += 1;
-            let info = m.info();
-            self.trace.record(
-                self.now,
-                at,
-                ActionKind::Send {
-                    msg: id,
-                    to,
-                    parent,
-                    info,
-                },
-            );
-            let deliver_at = self.scheduler.on_send(self.now);
-            self.pool.insert(PendingMessage {
-                id,
-                src: at,
-                dst: to,
-                msg: m,
-                sent_at: self.now,
-                parent,
-                deliver_at,
-            });
-        }
-        for (tx, outcome) in responses {
-            self.trace.record(self.now, at, ActionKind::Respond { tx });
-            if let Some(rec) = self.records.get_mut(&tx) {
-                rec.responded_at = Some(self.now);
-                rec.outcome = Some(outcome);
-            }
-        }
-    }
-
     /// Assembles the [`History`] of the run so far.  Rounds,
     /// versions-per-read, non-blocking flags and C2C counts come from the
     /// trace's per-transaction indexes, so this is a single pass over the
@@ -396,16 +194,8 @@ where
     /// transaction.
     pub fn history(&self) -> History {
         let mut history = History::new();
-        for (tx, rec) in &self.records {
-            let mut rec = rec.clone();
-            let client = ProcessId::Client(rec.client);
-            rec.rounds = self.trace.rounds_of(*tx, client);
-            rec.c2c_messages = self.trace.c2c_count(*tx);
-            if rec.kind() == TxKind::Read {
-                rec.reads = self.trace.read_results(*tx).to_vec();
-            }
-            history.push(rec);
-        }
+        self.core
+            .collect_records(&mut history, |tx| self.core.trace.c2c_count(tx));
         history.records.sort_by_key(|r| (r.invoked_at, r.tx_id));
         history
     }
@@ -417,7 +207,7 @@ mod tests {
     use crate::message::{MsgInfo, SimMessage};
     use crate::scheduler::{FifoScheduler, LatencyScheduler, RandomScheduler};
     use snow_core::{
-        Key, ObjectId, ObjectRead, ReadOutcome, ServerId, TxOutcome, Value,
+        Effects, Key, ObjectId, ObjectRead, ReadOutcome, ServerId, TxOutcome, TxSpec, Value,
     };
 
     /// A toy read protocol: the client sends one request per object, each
@@ -668,5 +458,93 @@ mod tests {
         sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(0)]));
         sim.run_until_quiescent();
         let _ = sim.with_trace_capacity(4);
+    }
+
+    /// Regression for the adversarial-delivery clock-skew bug: before the
+    /// dispatch-core unification, `deliver_where` advanced `now += 1`
+    /// without clamping to the delivered message's `deliver_at`, so a
+    /// latency-stamped message delivered adversarially could enable a RESP
+    /// timestamped *before* the delivery that caused it — silently
+    /// widening/inverting the real-time intervals the checkers turn into
+    /// precedence edges.  Post-fix, the clock clamps exactly like a
+    /// scheduled delivery's.
+    #[test]
+    fn adversarial_delivery_cannot_rewind_time_before_deliver_at() {
+        // Fixed 50-tick latency: the request sent at the INV (time 1) is
+        // stamped deliver_at = 51.
+        let mut sim = toy_sim(LatencyScheduler::new(1, 50, 50));
+        let tx = sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(0)]));
+        assert_eq!(sim.step(), StepOutcome::Invoked(tx));
+        let request_deliver_at = sim.pending().next().unwrap().deliver_at.unwrap();
+        assert_eq!(request_deliver_at, 51);
+
+        // Adversarial delivery of the late-scheduled request must advance
+        // the clock past its delivery time (pre-fix: now became 3).
+        sim.deliver_where(|_| true).expect("request in flight");
+        assert!(
+            sim.now() > request_deliver_at,
+            "delivery at now={} precedes its own deliver_at={request_deliver_at}",
+            sim.now()
+        );
+
+        // Drain the reply adversarially too and check the derived history:
+        // the RESP must not precede the delivery that enabled it.
+        sim.deliver_where(|_| true).expect("reply in flight");
+        assert!(sim.is_complete(tx));
+        let responded_at = sim.history().get(tx).unwrap().responded_at.unwrap();
+        assert!(
+            responded_at > request_deliver_at,
+            "RESP at {responded_at} precedes the enabling delivery time {request_deliver_at}"
+        );
+    }
+
+    /// Companion regression for `force_invoke`: a forced invocation is
+    /// dispatched ahead of other queued work, but its INV timestamp must
+    /// never regress below the invocation's planned time.
+    #[test]
+    fn forced_invocation_cannot_regress_below_its_planned_time() {
+        let mut sim = toy_sim(FifoScheduler::new());
+        let tx = sim.invoke_at(1_000, ClientId(0), TxSpec::read(vec![ObjectId(0)]));
+        assert_eq!(sim.force_invoke(ClientId(0)), Some(tx));
+        let invoked_at = sim.history().get(tx).unwrap().invoked_at;
+        assert!(
+            invoked_at > 1_000,
+            "forced INV at {invoked_at} regressed below its planned time 1000"
+        );
+        sim.run_until_quiescent();
+        assert!(sim.is_complete(tx));
+    }
+
+    /// The recorded trace of an adversarially driven run has monotone
+    /// (non-decreasing) action timestamps — the invariant the checkers'
+    /// real-time precedence edges rely on.
+    #[test]
+    fn adversarially_driven_trace_timestamps_are_monotone() {
+        let mut sim = toy_sim(LatencyScheduler::new(9, 1, 40));
+        for i in 0..6u64 {
+            sim.invoke_at(i * 7, ClientId(0), TxSpec::read(vec![ObjectId(0), ObjectId(1)]));
+        }
+        // Mix forced invocations, adversarial deliveries and normal steps.
+        let mut flip = 0u64;
+        while !sim.is_quiescent() {
+            flip += 1;
+            match flip % 3 {
+                0 => {
+                    sim.force_invoke(ClientId(0));
+                }
+                1 => {
+                    sim.deliver_where(|p| p.dst == ProcessId::Client(ClientId(0)));
+                }
+                _ => {}
+            }
+            if sim.step() == StepOutcome::Quiescent {
+                break;
+            }
+        }
+        let times: Vec<u64> = sim.trace().actions().iter().map(|a| a.time).collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "trace timestamps regressed: {times:?}"
+        );
     }
 }

@@ -218,6 +218,9 @@ pub struct Trace {
     by_tx: HashMap<TxId, TxIndex>,
     /// Per-process action seqs (the projection `trace(α)|p`).
     by_proc: HashMap<ProcessId, VecDeque<u64>>,
+    /// Highest action time recorded so far — backs the debug-mode
+    /// monotonicity assertion in [`Trace::record`].
+    last_time: u64,
 }
 
 impl Trace {
@@ -255,6 +258,15 @@ impl Trace {
     /// Appends an action, assigning it the next sequence number and folding
     /// it into the derived indexes.
     pub fn record(&mut self, time: u64, at: ProcessId, kind: ActionKind) {
+        // The real-time precedence edges the checkers derive are only
+        // trustworthy if recorded action times never regress — the engine's
+        // clock clamp guarantees it; this assertion keeps it audited.
+        debug_assert!(
+            time >= self.last_time,
+            "non-monotone trace timestamp: recording {time} after {}",
+            self.last_time
+        );
+        self.last_time = time;
         let seq = self.recorded;
         self.recorded += 1;
         let action = Action { seq, time, at, kind };

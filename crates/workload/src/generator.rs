@@ -206,11 +206,10 @@ impl WorkloadGenerator {
 /// Sanity helper used by tests: checks that a generated transaction respects
 /// the role split of the configuration.
 pub fn respects_roles(config: &SystemConfig, tx: &GeneratedTx) -> bool {
-    match (config.role_of(tx.client), tx.spec.kind()) {
-        (Some(ClientRole::Reader), TxKind::Read) => true,
-        (Some(ClientRole::Writer), TxKind::Write) => true,
-        _ => false,
-    }
+    matches!(
+        (config.role_of(tx.client), tx.spec.kind()),
+        (Some(ClientRole::Reader), TxKind::Read) | (Some(ClientRole::Writer), TxKind::Write)
+    )
 }
 
 #[cfg(test)]

@@ -2,9 +2,16 @@
 # Tier-1 CI for the snow-rs workspace:
 #
 #   1. release build + full workspace test suite;
-#   2. documentation: `cargo doc --no-deps` must build with warnings
-#      denied (broken intra-doc links fail the build) and every
+#   2. lints + documentation: `cargo clippy --workspace --all-targets`
+#      with warnings denied; `cargo doc --no-deps` must build with
+#      warnings denied (broken intra-doc links fail the build) and every
 #      doc-example must run (`cargo test --doc`);
+#   2b. single-dispatch-core guard: crates/sim/src/engine.rs is the only
+#      file in the sim crate allowed to define the dispatch primitives
+#      (fn step / run_epoch / dispatch_invocation / deliver /
+#      apply_effects / deliver_where / force_invoke / try_dispatch).
+#      The serial and sharded engines once carried hand-mirrored copies
+#      of this logic; a second definition site means the mirror is back;
 #   3. golden-fingerprint freshness: the committed seeded-history fixtures
 #      (tests/golden_histories.txt) must match what the current engine
 #      produces — catching both accidental schedule changes *and* fixture
@@ -36,6 +43,23 @@ cargo build --release
 
 echo "== test (workspace) =="
 cargo test --workspace -q
+
+echo "== clippy (workspace, all targets, warnings denied) =="
+cargo clippy --workspace --all-targets -q -- -D warnings
+echo "clippy clean"
+
+echo "== single dispatch core (one step-loop definition site) =="
+strays="$(grep -rn --include='*.rs' -E \
+    'fn (step|try_dispatch|run_epoch|dispatch_invocation|deliver|apply_effects|deliver_where|force_invoke)\(' \
+    crates/sim/src | grep -v '^crates/sim/src/engine.rs:' || true)"
+if [ -n "$strays" ]; then
+    echo "dispatch primitives defined outside crates/sim/src/engine.rs:" >&2
+    echo "$strays" >&2
+    echo "The dispatch core was unified to end the Simulation/Shard mirror;" >&2
+    echo "route new dispatch logic through engine::DispatchCore instead." >&2
+    exit 1
+fi
+echo "dispatch core unified"
 
 echo "== doc build (warnings denied) + doc-tests =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q

@@ -226,3 +226,45 @@ async fn runtime_digest_is_reproducible() {
     let second = golden::semantic_digest(&run_plan_on_runtime(ProtocolKind::Eiger, &config, &plan).await);
     assert_eq!(first, second, "Eiger");
 }
+
+/// ROADMAP runtime-parity follow-up (b): Eiger's round count is exempted
+/// from the cross-executor parity digest because its logical-clock second
+/// round is schedule-dependent — which previously left Eiger's round logic
+/// with no guard at all.  Pin it under deterministic schedules instead:
+/// the serial parity plan, run on the simulator under FIFO and under one
+/// seeded-random schedule, must produce exactly these per-transaction
+/// round counts.  A regression in Eiger's second-round trigger (the
+/// validity-interval overlap check on clock-valued versions) changes this
+/// sequence and fails here, even though the parity digest ignores it.
+///
+/// The two schedules legitimately disagree (transaction 15 needs a second
+/// round under FIFO but not under Random(7)) — that disagreement is *why*
+/// rounds are exempt from the digest, and pinning both keeps the
+/// schedule-dependence itself visible.
+#[test]
+fn eiger_round_counts_are_pinned_under_deterministic_schedules() {
+    use snow::protocols::SchedulerKind;
+
+    let (config, plan) = golden::parity_plan(ProtocolKind::Eiger);
+    let rounds_under = |sched: SchedulerKind| -> Vec<u32> {
+        let history =
+            golden::run_plan_on_simulator(ProtocolKind::Eiger, &config, sched, &plan);
+        let mut records: Vec<_> = history.records.iter().collect();
+        records.sort_by_key(|r| r.tx_id);
+        records.iter().map(|r| r.rounds).collect()
+    };
+
+    let fifo = rounds_under(SchedulerKind::Fifo);
+    assert_eq!(
+        fifo,
+        vec![1, 1, 1, 1, 1, 1, 2, 1, 2, 1, 1, 1, 1, 1, 1, 2, 1, 1, 1, 1],
+        "Eiger round counts changed under the FIFO schedule"
+    );
+
+    let random = rounds_under(SchedulerKind::Random(7));
+    assert_eq!(
+        random,
+        vec![1, 1, 1, 1, 1, 1, 2, 1, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1],
+        "Eiger round counts changed under the seeded-random schedule"
+    );
+}
