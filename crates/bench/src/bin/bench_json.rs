@@ -15,6 +15,10 @@
 //! * `runtime_read_latency` — wall-clock READ latency per protocol on the
 //!   tokio cluster, through the same erased deployment path the simulator
 //!   uses;
+//! * `open_loop` — deterministic virtual-time latency-vs-offered-load
+//!   curves per protocol (p50/p99 in ticks at each offered rate, plus the
+//!   saturation knee) and Zipf hot-key contention sweeps, from the
+//!   open-loop driver (`snow_workload::open_loop`);
 //! * `checker_throughput` — transactions per second of the graph-based
 //!   strict-serializability checker over full workload-driver histories
 //!   (1k/10k/100k transactions, bounded-trace clusters).  Every row must be
@@ -28,11 +32,99 @@
 use snow_bench::simcore::{run_flood, run_flood_paired, run_flood_parallel, FloodStats};
 use snow_checker::{GraphChecker, LatencyStats, Verdict};
 use snow_core::SystemConfig;
-use snow_protocols::{build_cluster_bounded, ProtocolKind, SchedulerKind};
+use snow_protocols::{build_cluster_bounded, ExecutorKind, ProtocolKind, SchedulerKind};
 use snow_runtime::cluster::measure_read_latencies;
-use snow_workload::{WorkloadDriver, WorkloadGenerator, WorkloadSpec};
+use snow_workload::{
+    rate_sweep, zipf_sweep, OpenLoopReport, OpenLoopSpec, WorkloadDriver, WorkloadGenerator,
+    WorkloadSpec,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Scheduler for the open-loop sweeps: the same latency distribution the
+/// golden fixtures and checker benches use.
+const OPEN_LOOP_SCHED: SchedulerKind = SchedulerKind::Latency { seed: 11, min: 1, max: 16 };
+
+fn open_loop_point(label: &str, report: &OpenLoopReport) -> String {
+    format!(
+        "{{{label}, \"realized_offered\": {:.1}, \"achieved\": {:.1}, \
+         \"completed\": {}, \"duration_ticks\": {}, \"p50_ticks\": {}, \"p99_ticks\": {}, \
+         \"read_p50_ticks\": {}, \"read_p99_ticks\": {}, \"saturated\": {}}}",
+        report.realized_offered_rate,
+        report.achieved_rate,
+        report.completed,
+        report.duration,
+        report.latency.p50,
+        report.latency.p99,
+        report.read_latency.p50,
+        report.read_latency.p99,
+        report.saturated
+    )
+}
+
+/// One latency-vs-throughput curve: `protocol` swept across `rates`
+/// (arrivals per kilotick of virtual time) on the serial engine.
+/// Latencies are *virtual ticks* measured from the scheduled arrival, so
+/// the numbers are deterministic per seed — a changed curve means changed
+/// protocol behaviour, not host noise.
+fn open_loop_curve(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    base: &OpenLoopSpec,
+    rates: &[u64],
+) -> String {
+    let sweep = rate_sweep(protocol, config, base, rates, OPEN_LOOP_SCHED, ExecutorKind::SerialSim)
+        .expect("open-loop sweep");
+    let knee = sweep.knee().map_or("null".to_string(), |k| k.to_string());
+    eprintln!(
+        "open_loop {:?}: knee={} p99@{}={} ticks",
+        protocol,
+        knee,
+        rates[0],
+        sweep.points[0].latency.p99
+    );
+    let points = sweep
+        .points
+        .iter()
+        .map(|p| format!("      {}", open_loop_point(&format!("\"rate\": {}", p.offered_rate), p)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "    {{\"protocol\": \"{protocol:?}\", \"knee\": {knee}, \"points\": [\n{points}\n    ]}}"
+    )
+}
+
+/// Hot-key contention curves: Zipf exponent swept at a fixed pre-knee rate
+/// on a write-heavy mix.  Contention-free reads (AlgC) should barely move;
+/// the blocking baseline's tail degrades as the hot key serializes.
+fn open_loop_zipf(protocol: ProtocolKind, config: &SystemConfig) -> String {
+    let base = OpenLoopSpec {
+        workload: WorkloadSpec::write_heavy(),
+        rate: 30,
+        arrivals: 200,
+        arrival_seed: 3,
+    };
+    let points = zipf_sweep(
+        protocol,
+        config,
+        &base,
+        &[0.0, 0.8, 1.2],
+        OPEN_LOOP_SCHED,
+        ExecutorKind::SerialSim,
+    )
+    .expect("zipf sweep");
+    points
+        .iter()
+        .map(|(exp, r)| {
+            let label = format!(
+                "\"protocol\": \"{protocol:?}\", \"zipf_exponent\": {exp:.1}, \"rate\": {}",
+                r.offered_rate
+            );
+            format!("    {}", open_loop_point(&label, r))
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
 
 /// One `checker_throughput` measurement: drives `transactions` through an
 /// Algorithm B cluster in bounded-trace mode and times the graph checker
@@ -179,7 +271,7 @@ fn main() {
     // Runtime section: wall-clock READ latency per protocol on the tokio
     // cluster (seeded with a few writes first), so regressions in the async
     // executor path are visible in the same artifact as the simulator's.
-    let (writes, reads) = if smoke { (2, 10) } else { (10, 200) };
+    let (writes, warmup, reads) = if smoke { (2, 2, 10) } else { (10, 50, 200) };
     let rt = tokio::runtime::Builder::new_multi_thread()
         .worker_threads(4)
         .enable_all()
@@ -193,7 +285,7 @@ fn main() {
             SystemConfig::mwmr(4, 1, 1)
         };
         let latencies = rt
-            .block_on(measure_read_latencies(protocol, &config, writes, reads))
+            .block_on(measure_read_latencies(protocol, &config, writes, warmup, reads))
             .expect("runtime read latencies");
         let stats = LatencyStats::from_samples(&latencies);
         eprintln!(
@@ -205,11 +297,31 @@ fn main() {
         }
         write!(
             runtime_results,
-            "    {{\"protocol\": \"{protocol:?}\", \"reads\": {reads}, \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {:.1}}}",
+            "    {{\"protocol\": \"{protocol:?}\", \"warmup\": {warmup}, \"reads\": {reads}, \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {:.1}}}",
             stats.p50, stats.p99, stats.mean
         )
         .expect("string write");
     }
+
+    // Open-loop section: virtual-time latency-vs-offered-load curves per
+    // protocol, plus Zipf hot-key contention sweeps.  These are
+    // deterministic (virtual ticks, fixed seeds) and cheap, so smoke runs
+    // use the identical configuration — the CI regression guard compares a
+    // smoke run's curves directly against this tracked artifact.
+    let ol_config = SystemConfig::mwmr(4, 4, 4);
+    let ol_base = OpenLoopSpec { arrivals: 400, ..OpenLoopSpec::tao_like(0) };
+    let ol_rates: &[u64] = &[25, 50, 100, 200, 400];
+    let open_loop_curves = [ProtocolKind::AlgB, ProtocolKind::AlgC, ProtocolKind::Blocking]
+        .into_iter()
+        .map(|p| open_loop_curve(p, &ol_config, &ol_base, ol_rates))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let zipf_config = SystemConfig::mwmr(2, 2, 2);
+    let open_loop_zipf_rows = [ProtocolKind::AlgC, ProtocolKind::Blocking]
+        .into_iter()
+        .map(|p| open_loop_zipf(p, &zipf_config))
+        .collect::<Vec<_>>()
+        .join(",\n");
 
     // Checker section: full-history strict-serializability throughput.
     let checker_sizes: &[usize] = if smoke {
@@ -224,7 +336,8 @@ fn main() {
         .join(",\n");
 
     let json = format!(
-        "{{\n  \"bench\": \"sim_core\",\n  \"scenario\": \"flood\",\n  \"engine\": \"event-queue\",\n  \"smoke\": {smoke},\n  \"host_threads\": {host_threads},\n  \"results\": [\n{results}\n  ],\n  \"parallel_flood\": [\n{parallel_results}\n  ],\n  \"runtime_read_latency\": [\n{runtime_results}\n  ],\n  \"checker_throughput\": [\n{checker_results}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"sim_core\",\n  \"scenario\": \"flood\",\n  \"engine\": \"event-queue\",\n  \"smoke\": {smoke},\n  \"host_threads\": {host_threads},\n  \"results\": [\n{results}\n  ],\n  \"parallel_flood\": [\n{parallel_results}\n  ],\n  \"runtime_read_latency\": [\n{runtime_results}\n  ],\n  \"open_loop\": {{\n    \"rate_unit\": \"tx_per_kilotick\",\n    \"latency_unit\": \"virtual_ticks\",\n    \"arrivals\": {},\n    \"curves\": [\n{open_loop_curves}\n  ],\n    \"zipf\": [\n{open_loop_zipf_rows}\n  ]}},\n  \"checker_throughput\": [\n{checker_results}\n  ]\n}}\n",
+        ol_base.arrivals
     );
     if write {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json");

@@ -42,7 +42,7 @@ fn main() {
             SystemConfig::mwmr(4, 1, 1)
         };
         let latencies = rt
-            .block_on(measure_read_latencies(protocol, &rt_config, 10, 200))
+            .block_on(measure_read_latencies(protocol, &rt_config, 10, 50, 200))
             .unwrap();
         let rt_stats = LatencyStats::from_samples(&latencies);
         println!(

@@ -37,6 +37,7 @@
 
 pub mod config;
 pub mod error;
+pub mod hash;
 pub mod history;
 pub mod ids;
 pub mod key;
@@ -49,6 +50,7 @@ pub mod value;
 
 pub use config::SystemConfig;
 pub use error::{Result, SnowError};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use history::{History, ReadResult, TxRecord};
 pub use msg::{MsgId, MsgInfo, MsgKind, ProtocolMessage};
 pub use process::{Effects, Process, Responses, Sends};

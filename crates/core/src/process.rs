@@ -14,6 +14,7 @@ use crate::ids::ProcessId;
 use crate::msg::ProtocolMessage;
 use crate::txn::{TxOutcome, TxSpec};
 use crate::ids::TxId;
+use smallvec::SmallVec;
 
 /// A process (I/O automaton) participating in an execution.
 ///
@@ -49,11 +50,18 @@ pub trait Process {
 
 /// The buffered sends of one handler call: `(destination, message)` pairs,
 /// in emission order.
-pub type Sends<M> = Vec<(ProcessId, M)>;
+///
+/// Inline capacity 4: most handler calls emit 0–1 sends (server echoes,
+/// client RESPs) and the common fan-out burst is one message per server in a
+/// small quorum, so the hot delivery path never heap-allocates.
+pub type Sends<M> = SmallVec<[(ProcessId, M); 4]>;
 
 /// The buffered RESP events of one handler call: `(transaction, outcome)`
 /// pairs, in emission order.
-pub type Responses = Vec<(TxId, TxOutcome)>;
+///
+/// Inline capacity 2: a handler responds to at most its own transaction in
+/// every protocol in this workspace; 2 leaves headroom for batched RESPs.
+pub type Responses = SmallVec<[(TxId, TxOutcome); 2]>;
 
 /// The output-action buffer a handler writes into.
 ///
@@ -66,17 +74,20 @@ pub struct Effects<M> {
     /// Current logical time (read-only for handlers; 0 on substrates without
     /// a logical clock).
     now: u64,
-    sends: Vec<(ProcessId, M)>,
-    responses: Vec<(TxId, TxOutcome)>,
+    sends: Sends<M>,
+    responses: Responses,
 }
 
 impl<M> Effects<M> {
     /// Creates an empty buffer at logical time `now`.
+    ///
+    /// Allocation-free: both buffers start inline (see [`Sends`] /
+    /// [`Responses`]) and only spill to the heap past their inline capacity.
     pub fn new(now: u64) -> Self {
         Effects {
             now,
-            sends: Vec::new(),
-            responses: Vec::new(),
+            sends: SmallVec::new(),
+            responses: SmallVec::new(),
         }
     }
 
@@ -153,6 +164,30 @@ mod tests {
         let (sends, resps) = e.into_parts();
         assert_eq!(sends.len(), 1);
         assert_eq!(resps[0].0, TxId(3));
+    }
+
+    #[test]
+    fn effects_buffers_stay_inline_then_spill_in_order() {
+        let mut e: Effects<Ping> = Effects::new(0);
+        // Typical handler fan-out (≤ 4 sends) must not spill to the heap…
+        for i in 0..4 {
+            e.send(ProcessId::Client(ClientId(i)), Ping);
+        }
+        assert!(!e.sends.spilled());
+        // …and a larger burst spills while preserving emission order exactly.
+        for i in 4..9 {
+            e.send(ProcessId::Client(ClientId(i)), Ping);
+        }
+        assert!(e.sends.spilled());
+        let (sends, _) = e.into_parts();
+        let order: Vec<u32> = sends
+            .into_iter()
+            .map(|(to, _)| match to {
+                ProcessId::Client(c) => c.0,
+                other => panic!("unexpected destination {other}"),
+            })
+            .collect();
+        assert_eq!(order, (0..9).collect::<Vec<u32>>());
     }
 
     #[test]

@@ -135,6 +135,12 @@ pub trait Cluster {
     fn run_until_quiescent(&mut self) -> u64;
     /// Runs until `tx` completes; returns whether it did.
     fn run_until_complete(&mut self, tx: TxId) -> bool;
+    /// Runs until **any** transaction in `watch` completes (or the system
+    /// goes quiescent), returning the first completed one in `watch` order.
+    /// An empty `watch` returns `None` without running.  This is what an
+    /// open-loop driver needs: with one outstanding transaction per client
+    /// it waits for *any* client to free, not for one specific target.
+    fn run_until_any_complete(&mut self, watch: &[TxId]) -> Option<TxId>;
     /// True if `tx` has completed.
     fn is_complete(&self, tx: TxId) -> bool;
     /// The history of the run so far.
@@ -156,6 +162,9 @@ where
     }
     fn run_until_complete(&mut self, tx: TxId) -> bool {
         Simulation::run_until_complete(self, tx)
+    }
+    fn run_until_any_complete(&mut self, watch: &[TxId]) -> Option<TxId> {
+        Simulation::run_until_any_complete(self, watch)
     }
     fn is_complete(&self, tx: TxId) -> bool {
         Simulation::is_complete(self, tx)
@@ -182,6 +191,9 @@ where
     }
     fn run_until_complete(&mut self, tx: TxId) -> bool {
         ParallelSimulation::run_until_complete(self, tx)
+    }
+    fn run_until_any_complete(&mut self, watch: &[TxId]) -> Option<TxId> {
+        ParallelSimulation::run_until_any_complete(self, watch)
     }
     fn is_complete(&self, tx: TxId) -> bool {
         ParallelSimulation::is_complete(self, tx)

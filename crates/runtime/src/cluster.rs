@@ -15,11 +15,16 @@
 //! checker-ready, which is what the runtime/simulator parity harness
 //! (`tests/runtime_parity.rs`) compares.
 //!
-//! Instrumentation cost: every tx-attributed send/receipt takes one lock on
-//! a shared per-transaction map.  At the scales the runtime serves today
-//! (latency tables, parity fixtures) this is noise; if the runtime becomes
-//! a throughput substrate, shard the map by `TxId` or accumulate per task
-//! and fold at RESP time (see ROADMAP).
+//! Instrumentation cost: every tx-attributed send/receipt locks the
+//! transaction's **stripe** of a `TxId`-sharded slot map ([`TX_SHARDS`]
+//! stripes, one `Mutex<FxHashMap<TxId, TxSlot>>` each) — there is no global
+//! mutex anywhere on the per-send path, so concurrent transactions whose
+//! ids land on different stripes never contend (`scripts/ci.sh` greps this
+//! file to keep it that way).  Each slot carries the transaction's
+//! completion waiter and its instrumentation accumulator; completed
+//! records land in a per-stripe history vector and are merged (sorted by
+//! `(invoked_at, tx_id)`, the simulator's convention) only when
+//! [`AsyncCluster::history`] is called.
 
 use parking_lot::Mutex;
 use snow_core::{
@@ -27,7 +32,8 @@ use snow_core::{
     SnowError, SystemConfig, TxId, TxKind, TxOutcome, TxRecord, TxSpec,
 };
 use snow_protocols::{deploy_any, AnyMsg, ProtocolKind};
-use std::collections::{HashMap, HashSet};
+use snow_core::FxHashMap;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -93,19 +99,47 @@ struct TxInstrument {
     reads: Vec<ReadResult>,
 }
 
+/// Number of `TxId` stripes in the shared slot map (power of two).  With
+/// ids assigned sequentially, consecutive transactions land on distinct
+/// stripes, so the per-send instrumentation path of concurrent
+/// transactions is lock-disjoint.
+pub const TX_SHARDS: usize = 16;
+
+/// The stripe of the sharded slot map transaction `tx` lives on.
+fn stripe_of(tx: TxId) -> usize {
+    tx.0 as usize & (TX_SHARDS - 1)
+}
+
+/// Per-transaction bookkeeping: the completion waiter (taken at RESP) and
+/// the instrumentation accumulator (folded into the record at finish).
+/// One map entry per in-flight transaction, in its `TxId`'s stripe.
+struct TxSlot {
+    waiter: Option<oneshot::Sender<TxOutcome>>,
+    instrument: TxInstrument,
+}
+
 struct Shared {
-    waiters: Mutex<HashMap<TxId, oneshot::Sender<TxOutcome>>>,
-    instruments: Mutex<HashMap<TxId, TxInstrument>>,
+    /// `TxId`-striped transaction slots — the per-send tx-instrumentation
+    /// path locks exactly one stripe, never a global map.
+    stripes: [Mutex<FxHashMap<TxId, TxSlot>>; TX_SHARDS],
+}
+
+impl Shared {
+    fn stripe(&self, tx: TxId) -> &Mutex<FxHashMap<TxId, TxSlot>> {
+        &self.stripes[stripe_of(tx)]
+    }
 }
 
 /// A running cluster of tokio tasks executing one protocol deployment.
 pub struct AsyncCluster<M: Send + 'static> {
-    inboxes: HashMap<ProcessId, mpsc::UnboundedSender<Input<M>>>,
+    inboxes: FxHashMap<ProcessId, mpsc::UnboundedSender<Input<M>>>,
     handles: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
     next_tx: AtomicU64,
     started: Instant,
-    history: Mutex<History>,
+    /// Completed records, striped like the slot map; merged and sorted on
+    /// [`AsyncCluster::history`].
+    histories: [Mutex<Vec<TxRecord>>; TX_SHARDS],
 }
 
 impl AsyncCluster<AnyMsg> {
@@ -127,10 +161,10 @@ impl<M: Send + 'static> AsyncCluster<M> {
         M: ProtocolMessage,
     {
         let shared = Arc::new(Shared {
-            waiters: Mutex::new(HashMap::new()),
-            instruments: Mutex::new(HashMap::new()),
+            stripes: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
         });
-        let mut inboxes: HashMap<ProcessId, mpsc::UnboundedSender<Input<M>>> = HashMap::new();
+        let mut inboxes: FxHashMap<ProcessId, mpsc::UnboundedSender<Input<M>>> =
+            FxHashMap::default();
         let mut receivers = Vec::new();
         for node in &nodes {
             let (tx, rx) = mpsc::unbounded_channel();
@@ -191,7 +225,12 @@ impl<M: Send + 'static> AsyncCluster<M> {
                         }
                     }
                     for (tx, outcome) in responses {
-                        if let Some(waiter) = shared.waiters.lock().remove(&tx) {
+                        let waiter = shared
+                            .stripe(tx)
+                            .lock()
+                            .get_mut(&tx)
+                            .and_then(|slot| slot.waiter.take());
+                        if let Some(waiter) = waiter {
                             let _ = waiter.send(outcome);
                         }
                     }
@@ -204,7 +243,7 @@ impl<M: Send + 'static> AsyncCluster<M> {
             shared,
             next_tx: AtomicU64::new(0),
             started: Instant::now(),
-            history: Mutex::new(History::new()),
+            histories: std::array::from_fn(|_| Mutex::new(Vec::new())),
         }
     }
 
@@ -220,14 +259,16 @@ impl<M: Send + 'static> AsyncCluster<M> {
             .get(&ProcessId::Client(client))
             .ok_or_else(|| SnowError::Transport(format!("unknown client {client}")))?;
         let (done_tx, done_rx) = oneshot::channel();
-        self.shared.waiters.lock().insert(tx, done_tx);
-        self.shared.instruments.lock().insert(
+        self.shared.stripe(tx).lock().insert(
             tx,
-            TxInstrument {
-                invoker: ProcessId::Client(client),
-                rounds: 0,
-                c2c: 0,
-                reads: Vec::new(),
+            TxSlot {
+                waiter: Some(done_tx),
+                instrument: TxInstrument {
+                    invoker: ProcessId::Client(client),
+                    rounds: 0,
+                    c2c: 0,
+                    reads: Vec::new(),
+                },
             },
         );
         let invoked_at = self.started.elapsed().as_nanos() as u64;
@@ -242,8 +283,7 @@ impl<M: Send + 'static> AsyncCluster<M> {
     /// Drops the bookkeeping of a transaction that will never finish, so
     /// failed or abandoned executions don't grow the shared maps forever.
     fn abandon(&self, tx: TxId) {
-        self.shared.waiters.lock().remove(&tx);
-        self.shared.instruments.lock().remove(&tx);
+        self.shared.stripe(tx).lock().remove(&tx);
     }
 
     /// Assembles the completed record of `tx`, folding in the accumulated
@@ -260,14 +300,15 @@ impl<M: Send + 'static> AsyncCluster<M> {
         let mut record = TxRecord::invoked(tx, client, spec, invoked_at);
         record.responded_at = Some(invoked_at + latency.as_nanos() as u64);
         record.outcome = Some(outcome.clone());
-        if let Some(ins) = self.shared.instruments.lock().remove(&tx) {
+        if let Some(slot) = self.shared.stripe(tx).lock().remove(&tx) {
+            let ins = slot.instrument;
             record.rounds = ins.rounds;
             record.c2c_messages = ins.c2c;
             if record.kind() == TxKind::Read {
                 record.reads = ins.reads;
             }
         }
-        self.history.lock().push(record);
+        self.histories[stripe_of(tx)].lock().push(record);
         ExecReport { tx, outcome, latency }
     }
 
@@ -339,9 +380,18 @@ impl<M: Send + 'static> AsyncCluster<M> {
     }
 
     /// The history of everything executed so far (latencies in nanoseconds,
-    /// round/C2C/per-read instrumentation included).
+    /// round/C2C/per-read instrumentation included).  Merges the per-stripe
+    /// record vectors, sorted by `(invoked_at, tx_id)` — the simulator
+    /// histories' convention.
     pub fn history(&self) -> History {
-        self.history.lock().clone()
+        let mut history = History::new();
+        for stripe in &self.histories {
+            for record in stripe.lock().iter() {
+                history.push(record.clone());
+            }
+        }
+        history.records.sort_by_key(|r| (r.invoked_at, r.tx_id));
+        history
     }
 
     /// Shuts the cluster down and waits for every task to exit.
@@ -357,7 +407,9 @@ impl<M: Send + 'static> AsyncCluster<M> {
 }
 
 /// Folds one send into the per-transaction instrumentation — the same rules
-/// `snow_sim::Trace::record` applies to `Send` actions.
+/// `snow_sim::Trace::record` applies to `Send` actions.  Locks only the
+/// transaction's stripe: sends of stripe-disjoint transactions never
+/// serialize on each other.
 fn record_send(
     shared: &Shared,
     sender: ProcessId,
@@ -365,8 +417,9 @@ fn record_send(
     ancestor_dest_counts: &[(ProcessId, u32)],
 ) {
     let Some(tx) = info.tx else { return };
-    let mut instruments = shared.instruments.lock();
-    let Some(ins) = instruments.get_mut(&tx) else { return };
+    let mut stripe = shared.stripe(tx).lock();
+    let Some(slot) = stripe.get_mut(&tx) else { return };
+    let ins = &mut slot.instrument;
     if info.kind == MsgKind::ClientToClient {
         ins.c2c += 1;
         return;
@@ -394,8 +447,9 @@ fn record_receipt(shared: &Shared, receiver: ProcessId, from: ProcessId, meta: &
     let Some(server) = from.as_server() else {
         return;
     };
-    let mut instruments = shared.instruments.lock();
-    let Some(ins) = instruments.get_mut(&tx) else { return };
+    let mut stripe = shared.stripe(tx).lock();
+    let Some(slot) = stripe.get_mut(&tx) else { return };
+    let ins = &mut slot.instrument;
     if ins.invoker != receiver {
         return;
     }
@@ -407,15 +461,23 @@ fn record_receipt(shared: &Shared, receiver: ProcessId, from: ProcessId, meta: &
     });
 }
 
-/// Runs `reads` READ transactions (each over `objects`) against a freshly
-/// spawned cluster of `protocol`, after seeding it with `writes` WRITE
-/// transactions, and returns the read latencies in nanoseconds.  This is the
-/// helper the latency benchmarks use; it is one code path for every
-/// protocol, courtesy of the erased deployment layer.
+/// Runs `reads` timed READ transactions (each over `objects`) against a
+/// freshly spawned cluster of `protocol`, after seeding it with `writes`
+/// WRITE transactions and `warmup` *untimed* reads, and returns the timed
+/// read latencies in nanoseconds.
+///
+/// The warmup phase exists because a cold cluster's first reads pay
+/// one-time costs (task wakeup paths, allocator warmup, branch training)
+/// that have nothing to do with the protocol: without it, a 200-read
+/// sample's p99 is dominated by cold-start outliers rather than steady
+/// state (ISSUE 6 satellite).  This is the helper the latency benchmarks
+/// use; it is one code path for every protocol, courtesy of the erased
+/// deployment layer.
 pub async fn measure_read_latencies(
     protocol: ProtocolKind,
     config: &SystemConfig,
     writes: usize,
+    warmup: usize,
     reads: usize,
 ) -> Result<Vec<u64>, SnowError> {
     use snow_core::{ObjectId, Value};
@@ -433,6 +495,9 @@ pub async fn measure_read_latencies(
                 .collect(),
         );
         cluster.execute(writer, spec).await?;
+    }
+    for _ in 0..warmup {
+        cluster.execute(reader, read_spec.clone()).await?;
     }
     let mut latencies = Vec::with_capacity(reads);
     for _ in 0..reads {
@@ -519,7 +584,7 @@ mod tests {
             } else {
                 SystemConfig::mwmr(2, 1, 1)
             };
-            let latencies = measure_read_latencies(protocol, &config, 3, 5).await.unwrap();
+            let latencies = measure_read_latencies(protocol, &config, 3, 2, 5).await.unwrap();
             assert_eq!(latencies.len(), 5, "{protocol:?}");
             assert!(latencies.iter().all(|l| *l > 0), "{protocol:?}");
         }
@@ -569,6 +634,19 @@ mod tests {
         assert_eq!(ok.len(), 1);
         assert_eq!(cluster.history().len(), 1);
         cluster.shutdown().await;
+    }
+
+    #[test]
+    fn sequential_transactions_land_on_distinct_stripes() {
+        // The de-serialization property: with sequentially assigned ids,
+        // any TX_SHARDS consecutive transactions occupy TX_SHARDS distinct
+        // stripes, so their per-send instrumentation paths take disjoint
+        // locks.  (That the stripes are separate Mutex instances is by
+        // construction of the `stripes` array.)
+        let stripes: HashSet<usize> = (0..TX_SHARDS as u64)
+            .map(|i| stripe_of(TxId(1_000 + i)))
+            .collect();
+        assert_eq!(stripes.len(), TX_SHARDS);
     }
 
     #[tokio::test]

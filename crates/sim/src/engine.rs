@@ -271,15 +271,13 @@ where
 
     /// Drains local events by the dispatch rules until neither a due
     /// invocation nor the earliest pending delivery falls below
-    /// `watermark`, the core has nothing left, or (if watching) the
+    /// `watermark`, the core has nothing left, or (if watching) **any**
     /// watched transaction completes.  Returns steps executed.
-    pub(crate) fn run_epoch(&mut self, watermark: u64, watch: Option<TxId>) -> u64 {
+    pub(crate) fn run_epoch(&mut self, watermark: u64, watch: &[TxId]) -> u64 {
         let start = self.steps;
         loop {
-            if let Some(tx) = watch {
-                if self.is_complete(tx) {
-                    break;
-                }
+            if watch.iter().any(|&tx| self.is_complete(tx)) {
+                break;
             }
             if self.try_dispatch(watermark).is_none() {
                 break;

@@ -264,18 +264,33 @@ where
     /// Runs until no work remains anywhere (or a shard hits its step cap).
     /// Returns the number of steps executed across all shards.
     pub fn run_until_quiescent(&mut self) -> u64 {
-        self.run(None)
+        self.run(&[])
     }
 
     /// Runs until transaction `tx` completes (or the system goes
     /// quiescent).  Returns `true` if the transaction completed.
     pub fn run_until_complete(&mut self, tx: TxId) -> bool {
-        self.run(Some(tx));
+        self.run(&[tx]);
         self.is_complete(tx)
     }
 
-    /// The epoch-barrier driver (see the module docs for the cycle).
-    fn run(&mut self, watch: Option<TxId>) -> u64 {
+    /// Runs until **any** transaction in `watch` completes (or the system
+    /// goes quiescent).  Returns the first completed transaction in `watch`
+    /// order.  The open-loop driver's primitive (see
+    /// [`crate::Simulation::run_until_any_complete`]); an empty `watch`
+    /// returns `None` without running.
+    pub fn run_until_any_complete(&mut self, watch: &[TxId]) -> Option<TxId> {
+        if watch.is_empty() {
+            return None;
+        }
+        self.run(watch);
+        watch.iter().copied().find(|&tx| self.is_complete(tx))
+    }
+
+    /// The epoch-barrier driver (see the module docs for the cycle).  An
+    /// empty `watch` means "run to quiescence"; otherwise the run stops at
+    /// the epoch boundary after any watched transaction completes.
+    fn run(&mut self, watch: &[TxId]) -> u64 {
         let start = self.total_steps();
         if self.shards.len() == 1 {
             // Inline fast path: one shard is the serial engine — no
@@ -342,7 +357,7 @@ fn worker<P, S>(
     barrier: &Barrier,
     shard_count: usize,
     width: u64,
-    watch: Option<TxId>,
+    watch: &[TxId],
 ) where
     P: Process,
     S: Scheduler<P::Msg>,
@@ -367,10 +382,8 @@ fn worker<P, S>(
         {
             let mut st = state.lock().expect("exchange lock");
             st.reports[shard.index] = if dead { None } else { shard.next_processable() };
-            if let Some(tx) = watch {
-                if !dead && shard.is_complete(tx) {
-                    st.watch_done = true;
-                }
+            if !dead && watch.iter().any(|&tx| shard.is_complete(tx)) {
+                st.watch_done = true;
             }
         }
         if barrier.wait().is_leader() {

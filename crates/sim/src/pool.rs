@@ -20,16 +20,24 @@
 //!   seeded schedules (and therefore golden histories) bit-identical across
 //!   the engine refactor.
 //!
-//! Memory: the id-indexed tables grow with the total number of messages
-//! ever sent (like the trace itself).  The heap holds at most one entry per
-//! sent message; heap-popping schedulers drain it as the run progresses,
-//! while schedulers that never pop (e.g. the random adversary) leave one
-//! stale entry per send until the pool is dropped — the same order of
-//! growth as the trace's action log.
+//! Memory: the id-indexed tables are a **sliding window** over the id
+//! space.  Delivered ids at the front of the window are trimmed (and the
+//! Fenwick tree rebuilt) once the dead prefix reaches half the window, so a
+//! long run's index footprint is O(in-flight), not O(messages-ever-sent) —
+//! the property that keeps open-loop saturation runs flat in memory.  Live
+//! ids below the window base (cross-shard imports racing a trim) fall back
+//! to a `BTreeMap` side-table; it is empty on the serial path.  `MsgId`s
+//! themselves stay monotone — only the *index* is windowed — so rank
+//! selection still means "k-th live message in send order" and seeded
+//! schedules (golden histories) are unchanged.  The delivery heap holds at
+//! most one entry per sent message; heap-popping schedulers drain it as the
+//! run progresses, while schedulers that never pop (e.g. the random
+//! adversary) leave one stale entry per send until the pool is dropped —
+//! the same order of growth as the trace's action log.
 
 use crate::message::{MsgId, PendingMessage};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// A Fenwick (binary indexed) tree over a growable 0/1 array, supporting
 /// O(log n) set/clear, prefix counts, and rank selection.
@@ -117,16 +125,46 @@ impl Fenwick {
         }
         Some(pos) // pos is 1-based index of the match, i.e. 0-based position
     }
+
+    /// Builds a tree from a liveness bitmap in O(n) (used when the message
+    /// pool trims its index window).
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut tree: Vec<u32> = bits.into_iter().map(u32::from).collect();
+        let count = tree.iter().map(|&v| v as usize).sum();
+        let n = tree.len();
+        for i in 1..=n {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= n {
+                tree[parent - 1] += tree[i - 1];
+            }
+        }
+        Fenwick { tree, count }
+    }
 }
 
 /// The set of in-flight messages, indexed for O(log n) scheduling.
+///
+/// The `MsgId → slot` index is a sliding window: ids below `base` that have
+/// been retired are trimmed away, so the index stays O(in-flight) no matter
+/// how many messages a run sends (satellite of ISSUE 6 — the previous dense
+/// table grew monotonically with every id ever seen).
 #[derive(Debug, Clone)]
 pub struct MessagePool<M> {
     /// Live messages in arbitrary slot order (swap-remove).
     slots: Vec<PendingMessage<M>>,
-    /// Dense `MsgId → slot` table; [`DEAD`] marks delivered/unknown ids.
-    slot_of: Vec<usize>,
-    /// Live-id marks over the id space, for rank selection.
+    /// Windowed `MsgId → slot` table: `window[id - base]`; [`DEAD`] marks
+    /// delivered/unknown ids.
+    window: Vec<usize>,
+    /// First id covered by `window`.
+    base: u64,
+    /// Number of leading [`DEAD`] entries of `window` already verified
+    /// (monotone between trims; reset if an import lands inside it).
+    dead_prefix: usize,
+    /// Live ids below `base` — cross-shard imports that raced a trim.
+    /// Always empty on the serial path; iterated before the window by
+    /// rank selection (every old id precedes every windowed id).
+    old: BTreeMap<u64, usize>,
+    /// Live-id marks over the window's offsets, for rank selection.
     live: Fenwick,
     /// Delivery queue keyed by `(delivery_time, id)`; entries for dead ids
     /// are skipped lazily on pop.
@@ -135,11 +173,17 @@ pub struct MessagePool<M> {
 
 const DEAD: usize = usize::MAX;
 
+/// Minimum dead prefix before a trim is worth a Fenwick rebuild.
+const TRIM_MIN: usize = 64;
+
 impl<M> Default for MessagePool<M> {
     fn default() -> Self {
         MessagePool {
             slots: Vec::new(),
-            slot_of: Vec::new(),
+            window: Vec::new(),
+            base: 0,
+            dead_prefix: 0,
+            old: BTreeMap::new(),
             live: Fenwick::new(),
             queue: BinaryHeap::new(),
         }
@@ -162,6 +206,42 @@ impl<M> MessagePool<M> {
         self.slots.is_empty()
     }
 
+    /// The slot holding live message `id`, or `None`.
+    fn slot_index(&self, id: u64) -> Option<usize> {
+        if id >= self.base {
+            match self.window.get((id - self.base) as usize) {
+                Some(&slot) if slot != DEAD => Some(slot),
+                _ => None,
+            }
+        } else {
+            self.old.get(&id).copied()
+        }
+    }
+
+    /// Points the index entry for live message `id` at `slot`.
+    fn set_slot(&mut self, id: u64, slot: usize) {
+        if id >= self.base {
+            self.window[(id - self.base) as usize] = slot;
+        } else {
+            self.old.insert(id, slot);
+        }
+    }
+
+    /// Advances the verified dead prefix and, once it reaches both
+    /// [`TRIM_MIN`] and half the window, slides the window base past it —
+    /// amortized O(1) per message over a run.
+    fn maybe_trim(&mut self) {
+        while self.dead_prefix < self.window.len() && self.window[self.dead_prefix] == DEAD {
+            self.dead_prefix += 1;
+        }
+        if self.dead_prefix >= TRIM_MIN && self.dead_prefix * 2 >= self.window.len() {
+            self.window.drain(..self.dead_prefix);
+            self.base += self.dead_prefix as u64;
+            self.dead_prefix = 0;
+            self.live = Fenwick::from_bits(self.window.iter().map(|&slot| slot != DEAD));
+        }
+    }
+
     /// Inserts a newly sent message.  Its delivery-queue key is
     /// `deliver_at` when the scheduler stamped one, else the send time
     /// (under a monotone clock both orders FIFO delivery by send order).
@@ -169,51 +249,63 @@ impl<M> MessagePool<M> {
     /// # Panics
     /// Panics if a message with the same id is already live.
     pub fn insert(&mut self, msg: PendingMessage<M>) {
-        let id = msg.id.0 as usize;
-        while self.slot_of.len() <= id {
-            self.slot_of.push(DEAD);
-            self.live.append_zero();
-        }
-        assert!(self.slot_of[id] == DEAD, "duplicate in-flight message {}", msg.id);
+        let id = msg.id.0;
+        assert!(
+            self.slot_index(id).is_none(),
+            "duplicate in-flight message {}",
+            msg.id
+        );
         let key = msg.delivery_key();
-        self.slot_of[id] = self.slots.len();
-        self.live.set(id);
-        self.queue.push(Reverse((key, msg.id.0)));
+        let slot = self.slots.len();
+        if id >= self.base {
+            let offset = (id - self.base) as usize;
+            while self.window.len() <= offset {
+                self.window.push(DEAD);
+                self.live.append_zero();
+            }
+            self.window[offset] = slot;
+            self.live.set(offset);
+            // An import landing inside the verified dead prefix reopens it.
+            if offset < self.dead_prefix {
+                self.dead_prefix = offset;
+            }
+        } else {
+            // Cross-shard import below the window base (raced a trim).
+            self.old.insert(id, slot);
+        }
+        self.queue.push(Reverse((key, id)));
         self.slots.push(msg);
+        self.maybe_trim();
     }
 
     /// True if `id` is in flight.
     pub fn contains(&self, id: MsgId) -> bool {
-        self.slot_of
-            .get(id.0 as usize)
-            .is_some_and(|slot| *slot != DEAD)
+        self.slot_index(id.0).is_some()
     }
 
     /// The in-flight message `id`, if any.
     pub fn get(&self, id: MsgId) -> Option<&PendingMessage<M>> {
-        let slot = *self.slot_of.get(id.0 as usize)?;
-        if slot == DEAD {
-            None
-        } else {
-            Some(&self.slots[slot])
-        }
+        self.slot_index(id.0).map(|slot| &self.slots[slot])
     }
 
     /// Removes and returns message `id` in O(1) (swap-remove) plus an
     /// O(log n) live-index update.  Any delivery-queue entry for `id`
     /// becomes stale and is skipped lazily.
     pub fn remove(&mut self, id: MsgId) -> Option<PendingMessage<M>> {
-        let index = id.0 as usize;
-        let slot = *self.slot_of.get(index)?;
-        if slot == DEAD {
-            return None;
+        let slot = self.slot_index(id.0)?;
+        if id.0 >= self.base {
+            let offset = (id.0 - self.base) as usize;
+            self.window[offset] = DEAD;
+            self.live.clear(offset);
+        } else {
+            self.old.remove(&id.0);
         }
-        self.slot_of[index] = DEAD;
-        self.live.clear(index);
         let msg = self.slots.swap_remove(slot);
-        if let Some(moved) = self.slots.get(slot) {
-            self.slot_of[moved.id.0 as usize] = slot;
+        if slot < self.slots.len() {
+            let moved_id = self.slots[slot].id.0;
+            self.set_slot(moved_id, slot);
         }
+        self.maybe_trim();
         Some(msg)
     }
 
@@ -247,9 +339,29 @@ impl<M> MessagePool<M> {
         None
     }
 
-    /// The `k`-th live message in ascending id (send) order — O(log n).
+    /// The `k`-th live message in ascending id (send) order — O(log n)
+    /// (plus O(|old|) when pre-window imports exist; every old id precedes
+    /// every windowed id, so the global order is old-ids-then-window).
     pub fn nth_live(&self, k: usize) -> Option<MsgId> {
-        self.live.kth(k).map(|index| MsgId(index as u64))
+        if k < self.old.len() {
+            return self.old.keys().nth(k).map(|&id| MsgId(id));
+        }
+        self.live
+            .kth(k - self.old.len())
+            .map(|offset| MsgId(self.base + offset as u64))
+    }
+
+    /// Index-footprint diagnostic: `(window entries, pre-window side-table
+    /// entries)`.  Regression tests use this to prove long runs stay
+    /// O(in-flight) rather than O(ids-ever-seen).
+    pub fn index_footprint(&self) -> (usize, usize) {
+        (self.window.len(), self.old.len())
+    }
+
+    /// First id covered by the index window (ids below it are either
+    /// retired or in the `old` side-table).
+    pub fn window_base(&self) -> u64 {
+        self.base
     }
 
     /// Iterates over in-flight messages in ascending id (send) order.
@@ -351,6 +463,60 @@ mod tests {
         pool.remove(MsgId(1)).unwrap();
         assert_eq!(pool.pop_earliest(), None);
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn index_stays_bounded_under_long_churn() {
+        // Regression for ISSUE 6: the old dense `slot_of` table grew with
+        // every id ever seen (200k entries here).  The windowed index must
+        // stay O(in-flight) — a few hundred entries for 128 in flight.
+        let mut pool: MessagePool<M> = MessagePool::new();
+        const TOTAL: u64 = 200_000;
+        const IN_FLIGHT: u64 = 128;
+        for id in 0..TOTAL {
+            pool.insert(pending(id, id, Some(id + 5)));
+            if id >= IN_FLIGHT {
+                pool.remove(MsgId(id - IN_FLIGHT)).unwrap();
+            }
+        }
+        assert_eq!(pool.len(), IN_FLIGHT as usize);
+        let (window, old) = pool.index_footprint();
+        assert_eq!(old, 0, "serial-path churn must not populate the side-table");
+        assert!(
+            window < 1_024,
+            "index window grew to {window} entries for {IN_FLIGHT} in flight"
+        );
+        assert!(pool.window_base() > TOTAL - 2 * IN_FLIGHT - 2 * 64);
+        // The index still resolves the survivors, in send order.
+        let ids: Vec<u64> = pool.iter().map(|m| m.id.0).collect();
+        assert_eq!(ids, (TOTAL - IN_FLIGHT..TOTAL).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn pre_window_imports_keep_global_send_order() {
+        // Cross-shard imports can carry ids below the trimmed window base;
+        // they must stay addressable and sort before every windowed id.
+        let mut pool: MessagePool<M> = MessagePool::new();
+        for id in 0..400 {
+            pool.insert(pending(id, id, None));
+        }
+        for id in 0..300 {
+            pool.remove(MsgId(id)).unwrap();
+        }
+        let base = pool.window_base();
+        assert!(base > 0, "expected churn to trim the window");
+        // An import whose id falls below the base lands in the side-table.
+        let import = base - 1;
+        pool.insert(pending(import, 0, None));
+        let (_, old) = pool.index_footprint();
+        assert_eq!(old, 1);
+        assert!(pool.contains(MsgId(import)));
+        assert_eq!(pool.nth_live(0), Some(MsgId(import)));
+        assert_eq!(pool.nth_live(1), Some(MsgId(300)));
+        let removed = pool.remove(MsgId(import)).unwrap();
+        assert_eq!(removed.id, MsgId(import));
+        assert_eq!(pool.index_footprint().1, 0);
+        assert_eq!(pool.nth_live(0), Some(MsgId(300)));
     }
 
     #[test]

@@ -187,6 +187,29 @@ where
         self.is_complete(tx)
     }
 
+    /// Runs until **any** transaction in `watch` completes (or the system
+    /// goes quiescent).  Returns the first completed transaction in `watch`
+    /// order — a deterministic tie-break when one step completes several.
+    ///
+    /// This is the open-loop driver's primitive: with one outstanding
+    /// transaction per client it needs "wake me when any client frees", not
+    /// [`Simulation::run_until_complete`]'s single-target wait (which would
+    /// stall every other client's next arrival behind one slow
+    /// transaction).  An empty `watch` returns `None` without stepping.
+    pub fn run_until_any_complete(&mut self, watch: &[TxId]) -> Option<TxId> {
+        if watch.is_empty() {
+            return None;
+        }
+        loop {
+            if let Some(&tx) = watch.iter().find(|&&tx| self.is_complete(tx)) {
+                return Some(tx);
+            }
+            if self.is_quiescent() || self.step() == StepOutcome::Quiescent {
+                return watch.iter().copied().find(|&tx| self.is_complete(tx));
+            }
+        }
+    }
+
     /// Assembles the [`History`] of the run so far.  Rounds,
     /// versions-per-read, non-blocking flags and C2C counts come from the
     /// trace's per-transaction indexes, so this is a single pass over the
@@ -391,6 +414,23 @@ mod tests {
         assert!(sim.run_until_complete(tx1));
         assert!(sim.is_complete(tx1));
         assert!(sim.run_until_complete(tx2));
+    }
+
+    #[test]
+    fn run_until_any_complete_returns_the_first_finisher() {
+        let mut sim = toy_sim(FifoScheduler::new());
+        let slow = sim.invoke_at(1_000, ClientId(0), TxSpec::read(vec![ObjectId(0)]));
+        let fast = sim.invoke_at(0, ClientId(0), TxSpec::read(vec![ObjectId(1)]));
+        // `fast` completes first even though `slow` leads the watch list.
+        assert_eq!(sim.run_until_any_complete(&[slow, fast]), Some(fast));
+        assert!(!sim.is_complete(slow));
+        assert_eq!(sim.run_until_any_complete(&[slow]), Some(slow));
+        // Empty watch: no stepping, no result.
+        let before = sim.now();
+        assert_eq!(sim.run_until_any_complete(&[]), None);
+        assert_eq!(sim.now(), before);
+        // Nothing left to complete a never-scheduled transaction.
+        assert_eq!(sim.run_until_any_complete(&[TxId(99)]), None);
     }
 
     #[test]

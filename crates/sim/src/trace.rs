@@ -49,7 +49,8 @@
 
 use crate::message::{MsgId, MsgInfo, MsgKind};
 use snow_core::{ProcessId, ReadResult, TxId, TxKind};
-use std::collections::{HashMap, VecDeque};
+use snow_core::FxHashMap;
+use std::collections::VecDeque;
 
 /// The kind of an externally visible action.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -209,15 +210,15 @@ pub struct Trace {
     /// Retained-action cap (`None` = unbounded).
     capacity: Option<usize>,
     /// `MsgId → seq of its Send action`.
-    send_seq: HashMap<MsgId, u64>,
+    send_seq: FxHashMap<MsgId, u64>,
     /// `MsgId → seq of its Recv action`.
-    recv_seq: HashMap<MsgId, u64>,
+    recv_seq: FxHashMap<MsgId, u64>,
     /// `MsgId → send metadata` (kept across evictions; see [`SendMeta`]).
-    send_meta: HashMap<MsgId, SendMeta>,
+    send_meta: FxHashMap<MsgId, SendMeta>,
     /// Per-transaction statistics.
-    by_tx: HashMap<TxId, TxIndex>,
+    by_tx: FxHashMap<TxId, TxIndex>,
     /// Per-process action seqs (the projection `trace(α)|p`).
-    by_proc: HashMap<ProcessId, VecDeque<u64>>,
+    by_proc: FxHashMap<ProcessId, VecDeque<u64>>,
     /// Highest action time recorded so far — backs the debug-mode
     /// monotonicity assertion in [`Trace::record`].
     last_time: u64,

@@ -7,6 +7,12 @@
 //! arbitrarily); across rounds the per-client well-formedness requirement of
 //! the model (one outstanding transaction per client) is preserved by
 //! construction.
+//!
+//! This is a **closed-loop** driver: each round waits for the previous one,
+//! so the offered load adapts to completions and latency can never reveal
+//! saturation.  For latency-under-offered-load curves use the open-loop
+//! driver in [`crate::open_loop`], which schedules arrivals up front at a
+//! configured rate.
 
 use crate::generator::WorkloadGenerator;
 use serde::{Deserialize, Serialize};

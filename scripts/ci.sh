@@ -31,7 +31,16 @@
 #   7. checker-throughput regression guard: the smoke run's graph-checker
 #      rate at 1k transactions must be within 5x of the tracked artifact
 #      (a smoke row on busy CI hardware is noisy; 5x only catches
-#      complexity-class regressions).
+#      complexity-class regressions);
+#   8. open-loop latency regression guard: the smoke run's open_loop
+#      section must exist (curves + knees) and its pre-knee p99 must be
+#      within 5x of the tracked artifact.  Open-loop latencies are
+#      *virtual ticks* — deterministic per seed, not host noise — so a
+#      drift here means the protocols' message behaviour changed;
+#   9. striped-instrumentation guard: the tokio runtime's per-send
+#      transaction bookkeeping must stay striped by TxId — no global
+#      `Mutex<HashMap<TxId, …>>` field may reappear in
+#      crates/runtime/src/cluster.rs.
 #
 # Usage: scripts/ci.sh
 
@@ -91,7 +100,13 @@ if ! grep -q '"parallel_flood"' "$smoke_json" \
     echo "smoke run produced no parallel_flood row" >&2
     exit 1
 fi
-echo "bench smoke ok (serial + parallel flood + runtime + checker)"
+if ! grep -q '"open_loop"' "$smoke_json" \
+    || ! grep -q '"knee"' "$smoke_json" \
+    || ! grep -q '"zipf_exponent"' "$smoke_json"; then
+    echo "smoke run produced no open_loop section (curves + zipf)" >&2
+    exit 1
+fi
+echo "bench smoke ok (serial + parallel flood + runtime + open loop + checker)"
 
 echo "== checker_throughput regression guard =="
 rate_at() { # <file> <transactions>: the graph checker's tx_per_sec row
@@ -100,7 +115,6 @@ rate_at() { # <file> <transactions>: the graph checker's tx_per_sec row
 }
 tracked="$(rate_at BENCH_simcore.json 1000 || true)"
 current="$(rate_at "$smoke_json" 1000 || true)"
-rm -f "$smoke_json"
 if [ -z "$tracked" ]; then
     echo "no tracked checker_throughput row; regenerate BENCH_simcore.json" >&2
     exit 1
@@ -114,5 +128,44 @@ if ! awk -v cur="$current" -v ref="$tracked" 'BEGIN { exit !(cur * 5 >= ref) }';
     exit 1
 fi
 echo "checker throughput ok (tracked ${tracked} tx/s, smoke ${current} tx/s)"
+
+echo "== open_loop latency regression guard =="
+ol_p99_at() { # <file> <rate>: the first curve's (AlgB) p99_ticks at <rate>
+    grep -o "\"rate\": $2,[^}]*" "$1" | head -1 \
+        | grep -o '"p99_ticks": [0-9]*' | sed 's/.*: //'
+}
+ol_tracked="$(ol_p99_at BENCH_simcore.json 50 || true)"
+ol_current="$(ol_p99_at "$smoke_json" 50 || true)"
+if [ -z "$ol_tracked" ]; then
+    echo "no tracked open_loop curve; regenerate BENCH_simcore.json" >&2
+    exit 1
+fi
+if [ -z "$ol_current" ]; then
+    echo "smoke run produced no open_loop p99 at rate 50" >&2
+    exit 1
+fi
+if ! awk -v cur="$ol_current" -v ref="$ol_tracked" 'BEGIN { exit !(cur <= ref * 5) }'; then
+    echo "open-loop p99 regressed > 5x: tracked ${ol_tracked} ticks, now ${ol_current} ticks" >&2
+    echo "(virtual-tick latencies are deterministic: this is a behaviour change, not noise)" >&2
+    exit 1
+fi
+echo "open-loop latency ok (tracked p99 ${ol_tracked} ticks, smoke ${ol_current} ticks)"
+rm -f "$smoke_json"
+
+echo "== striped tx instrumentation (no global per-send mutex) =="
+if ! grep -q 'TX_SHARDS' crates/runtime/src/cluster.rs; then
+    echo "runtime lost its TxId-striped instrumentation (TX_SHARDS)" >&2
+    exit 1
+fi
+global_tx_maps="$(grep -nE '^\s*(waiters|instruments|history):\s*Mutex<' \
+    crates/runtime/src/cluster.rs || true)"
+if [ -n "$global_tx_maps" ]; then
+    echo "global per-transaction mutex field reappeared in the runtime:" >&2
+    echo "$global_tx_maps" >&2
+    echo "Per-send instrumentation must stay striped by TxId (stripe_of);" >&2
+    echo "a single map turns every send into a serialization point." >&2
+    exit 1
+fi
+echo "instrumentation striped"
 
 echo "CI green"

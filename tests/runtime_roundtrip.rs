@@ -39,7 +39,7 @@ async fn read_latency_floor_shape_holds_on_the_runtime() {
     // absolute comparisons are printed by the table_latency harness).
     for protocol in [ProtocolKind::Simple, ProtocolKind::AlgC, ProtocolKind::AlgB] {
         let config = SystemConfig::mwmr(4, 1, 1);
-        let lat = measure_read_latencies(protocol, &config, 5, 30).await.unwrap();
+        let lat = measure_read_latencies(protocol, &config, 5, 5, 30).await.unwrap();
         assert_eq!(lat.len(), 30);
         assert!(lat.iter().all(|l| *l > 0));
     }

@@ -1,0 +1,332 @@
+//! Offline shim for the `smallvec` crate (see `vendor/README.md`).
+//!
+//! Provides [`SmallVec<A>`] with the real crate's `SmallVec<[T; N]>` spelling:
+//! the first `N` elements live inline in the struct (no heap allocation), and
+//! only pushes beyond `N` spill to a heap `Vec`.  The shim is `forbid(unsafe)`:
+//! the inline storage is an `[Option<T>; N]` rather than a
+//! `MaybeUninit` array, trading a discriminant byte per slot for safety.  The
+//! API surface is exactly what this workspace consumes; swap back to crates.io
+//! `smallvec` unchanged when a registry is available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Types usable as the inline backing store of a [`SmallVec`].
+///
+/// Implemented for `[T; N]`, mirroring the real crate's `Array` trait.  The
+/// associated `Options` type is the safe inline representation
+/// (`[Option<T>; N]`).
+pub trait Array {
+    /// Element type.
+    type Item;
+    /// Safe inline storage: one `Option` slot per inline element.
+    type Options: AsRef<[Option<Self::Item>]>
+        + AsMut<[Option<Self::Item>]>
+        + IntoIterator<Item = Option<Self::Item>>;
+    /// Number of inline slots.
+    const CAPACITY: usize;
+    /// An all-`None` inline store.
+    fn empty_options() -> Self::Options;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    type Options = [Option<T>; N];
+    const CAPACITY: usize = N;
+    fn empty_options() -> Self::Options {
+        [(); N].map(|_| None)
+    }
+}
+
+/// A vector whose first `A::CAPACITY` elements are stored inline.
+///
+/// Invariant: for `len` elements, the first `min(len, CAPACITY)` occupy
+/// `inline[0..]` as `Some`, and any overflow lives in `heap` in order.
+pub struct SmallVec<A: Array> {
+    len: usize,
+    inline: A::Options,
+    heap: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Creates an empty vector (no heap allocation).
+    pub fn new() -> Self {
+        SmallVec {
+            len: 0,
+            inline: A::empty_options(),
+            heap: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` once elements have spilled past the inline capacity.
+    pub fn spilled(&self) -> bool {
+        self.len > A::CAPACITY
+    }
+
+    /// The inline capacity `A::CAPACITY`.
+    pub fn inline_size(&self) -> usize {
+        A::CAPACITY
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, value: A::Item) {
+        if self.len < A::CAPACITY {
+            self.inline.as_mut()[self.len] = Some(value);
+        } else {
+            self.heap.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the last element.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        if self.len < A::CAPACITY {
+            self.inline.as_mut()[self.len].take()
+        } else {
+            self.heap.pop()
+        }
+    }
+
+    /// Drops all elements.
+    pub fn clear(&mut self) {
+        for slot in self.inline.as_mut() {
+            *slot = None;
+        }
+        self.heap.clear();
+        self.len = 0;
+    }
+
+    /// Borrowing iterator over the elements in order.
+    pub fn iter(&self) -> Iter<'_, A> {
+        let inline_len = self.len.min(A::CAPACITY);
+        Iter {
+            inline: self.inline.as_ref()[..inline_len].iter(),
+            heap: self.heap.iter(),
+        }
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<A: Array> std::ops::Index<usize> for SmallVec<A> {
+    type Output = A::Item;
+    fn index(&self, index: usize) -> &A::Item {
+        assert!(index < self.len, "index {index} out of bounds (len {})", self.len);
+        if index < A::CAPACITY {
+            self.inline.as_ref()[index]
+                .as_ref()
+                .expect("inline slot within len must be occupied")
+        } else {
+            &self.heap[index - A::CAPACITY]
+        }
+    }
+}
+
+impl<A: Array> std::ops::IndexMut<usize> for SmallVec<A> {
+    fn index_mut(&mut self, index: usize) -> &mut A::Item {
+        assert!(index < self.len, "index {index} out of bounds (len {})", self.len);
+        if index < A::CAPACITY {
+            self.inline.as_mut()[index]
+                .as_mut()
+                .expect("inline slot within len must be occupied")
+        } else {
+            &mut self.heap[index - A::CAPACITY]
+        }
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        let mut v = SmallVec::new();
+        v.extend(iter);
+        v
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        self.iter().cloned().collect()
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+/// Borrowing iterator over a [`SmallVec`] — inline elements, then spilled.
+pub struct Iter<'a, A: Array> {
+    inline: std::slice::Iter<'a, Option<A::Item>>,
+    heap: std::slice::Iter<'a, A::Item>,
+}
+
+impl<'a, A: Array> Iterator for Iter<'a, A> {
+    type Item = &'a A::Item;
+    fn next(&mut self) -> Option<&'a A::Item> {
+        match self.inline.next() {
+            Some(slot) => slot.as_ref(),
+            None => self.heap.next(),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.inline.len() + self.heap.len();
+        (n, Some(n))
+    }
+}
+
+impl<A: Array> ExactSizeIterator for Iter<'_, A> {}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = Iter<'a, A>;
+    fn into_iter(self) -> Iter<'a, A> {
+        self.iter()
+    }
+}
+
+/// Owning iterator over a [`SmallVec`] — inline elements, then spilled.
+pub struct IntoIter<A: Array> {
+    inline: <A::Options as IntoIterator>::IntoIter,
+    inline_remaining: usize,
+    heap: std::vec::IntoIter<A::Item>,
+}
+
+impl<A: Array> Iterator for IntoIter<A> {
+    type Item = A::Item;
+    fn next(&mut self) -> Option<A::Item> {
+        if self.inline_remaining > 0 {
+            self.inline_remaining -= 1;
+            self.inline.next().flatten()
+        } else {
+            self.heap.next()
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.inline_remaining + self.heap.len();
+        (n, Some(n))
+    }
+}
+
+impl<A: Array> ExactSizeIterator for IntoIter<A> {}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = IntoIter<A>;
+    fn into_iter(self) -> IntoIter<A> {
+        IntoIter {
+            inline_remaining: self.len.min(A::CAPACITY),
+            inline: self.inline.into_iter(),
+            heap: self.heap.into_iter(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_under_capacity() {
+        let mut v: SmallVec<[u32; 4]> = SmallVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 4);
+        assert!(!v.spilled());
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_preserving_order() {
+        let mut v: SmallVec<[u32; 2]> = SmallVec::new();
+        for i in 0..7 {
+            v.push(i * 10);
+        }
+        assert!(v.spilled());
+        assert_eq!(v.len(), 7);
+        assert_eq!(v[0], 0);
+        assert_eq!(v[1], 10);
+        assert_eq!(v[6], 60);
+        let owned: Vec<u32> = v.into_iter().collect();
+        assert_eq!(owned, vec![0, 10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn pop_crosses_the_spill_boundary() {
+        let mut v: SmallVec<[u8; 2]> = (0..4u8).collect();
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.pop(), Some(2));
+        assert!(!v.spilled());
+        assert_eq!(v.pop(), Some(1));
+        assert_eq!(v.pop(), Some(0));
+        assert_eq!(v.pop(), None);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn clone_eq_and_debug() {
+        let v: SmallVec<[u32; 2]> = (0..5).collect();
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_eq!(format!("{v:?}"), "[0, 1, 2, 3, 4]");
+        assert_eq!(v.inline_size(), 2);
+        let mut m = w;
+        m[4] = 99;
+        assert_ne!(v, m);
+    }
+
+    #[test]
+    fn exact_size_iterators() {
+        let v: SmallVec<[u32; 3]> = (0..8).collect();
+        assert_eq!(v.iter().len(), 8);
+        assert_eq!(v.into_iter().len(), 8);
+        let e: SmallVec<[u32; 3]> = SmallVec::new();
+        assert_eq!(e.iter().len(), 0);
+    }
+}
