@@ -16,13 +16,18 @@
 //!   tokio cluster, through the same erased deployment path the simulator
 //!   uses;
 //! * `open_loop` — deterministic virtual-time latency-vs-offered-load
-//!   curves per protocol (p50/p99 in ticks at each offered rate, plus the
-//!   saturation knee) and Zipf hot-key contention sweeps, from the
-//!   open-loop driver (`snow_workload::open_loop`);
+//!   curves per protocol and executor (p50/p99 in ticks at each offered
+//!   rate, plus the saturation knee) and Zipf hot-key contention sweeps,
+//!   from the open-loop driver (`snow_workload::open_loop`): serial
+//!   curves first, then the sharded engine's (`"executor": "parallel4"`);
 //! * `checker_throughput` — transactions per second of the graph-based
 //!   strict-serializability checker over full workload-driver histories
 //!   (1k/10k/100k transactions, bounded-trace clusters).  Every row must be
-//!   a definite verdict: `Unknown` aborts the bench.
+//!   a definite verdict: `Unknown` aborts the bench;
+//! * `checker_stream` — the incremental streaming checker
+//!   (`snow_checker::StreamChecker`) over the same commit streams:
+//!   throughput, peak live-window size (its memory bound) and the
+//!   post-hoc wall time on the identical history.
 //!
 //! Run with `cargo run -p snow-bench --release --bin bench_json`.
 //! Pass `--no-write` to print without touching the file, `--smoke` for a
@@ -30,8 +35,8 @@
 //! liveness check, not a trajectory point).
 
 use snow_bench::simcore::{run_flood, run_flood_paired, run_flood_parallel, FloodStats};
-use snow_checker::{GraphChecker, LatencyStats, Verdict};
-use snow_core::SystemConfig;
+use snow_checker::{check_auto, GraphChecker, LatencyStats, StreamChecker, Verdict};
+use snow_core::{History, SystemConfig};
 use snow_protocols::{build_cluster_bounded, ExecutorKind, ProtocolKind, SchedulerKind};
 use snow_runtime::cluster::measure_read_latencies;
 use snow_workload::{
@@ -62,23 +67,36 @@ fn open_loop_point(label: &str, report: &OpenLoopReport) -> String {
     )
 }
 
+/// A stable JSON label for the executor a curve ran on.
+fn executor_label(executor: ExecutorKind) -> String {
+    match executor {
+        ExecutorKind::SerialSim => "serial".to_string(),
+        ExecutorKind::ParallelSim { shards } => format!("parallel{shards}"),
+    }
+}
+
 /// One latency-vs-throughput curve: `protocol` swept across `rates`
-/// (arrivals per kilotick of virtual time) on the serial engine.
-/// Latencies are *virtual ticks* measured from the scheduled arrival, so
-/// the numbers are deterministic per seed — a changed curve means changed
-/// protocol behaviour, not host noise.
+/// (arrivals per kilotick of virtual time) on `executor`.  Latencies are
+/// *virtual ticks* measured from the scheduled arrival, so the numbers
+/// are deterministic per seed — a changed curve means changed protocol
+/// behaviour, not host noise.  Sharded-executor curves measure the same
+/// virtual-time physics through the parallel step loop; interpret their
+/// wall-clock cost (not recorded here) against `host_threads`.
 fn open_loop_curve(
     protocol: ProtocolKind,
     config: &SystemConfig,
     base: &OpenLoopSpec,
     rates: &[u64],
+    executor: ExecutorKind,
 ) -> String {
-    let sweep = rate_sweep(protocol, config, base, rates, OPEN_LOOP_SCHED, ExecutorKind::SerialSim)
+    let sweep = rate_sweep(protocol, config, base, rates, OPEN_LOOP_SCHED, executor)
         .expect("open-loop sweep");
     let knee = sweep.knee().map_or("null".to_string(), |k| k.to_string());
+    let label = executor_label(executor);
     eprintln!(
-        "open_loop {:?}: knee={} p99@{}={} ticks",
+        "open_loop {:?} [{}]: knee={} p99@{}={} ticks",
         protocol,
+        label,
         knee,
         rates[0],
         sweep.points[0].latency.p99
@@ -90,34 +108,30 @@ fn open_loop_curve(
         .collect::<Vec<_>>()
         .join(",\n");
     format!(
-        "    {{\"protocol\": \"{protocol:?}\", \"knee\": {knee}, \"points\": [\n{points}\n    ]}}"
+        "    {{\"protocol\": \"{protocol:?}\", \"executor\": \"{label}\", \"knee\": {knee}, \
+         \"points\": [\n{points}\n    ]}}"
     )
 }
 
 /// Hot-key contention curves: Zipf exponent swept at a fixed pre-knee rate
 /// on a write-heavy mix.  Contention-free reads (AlgC) should barely move;
 /// the blocking baseline's tail degrades as the hot key serializes.
-fn open_loop_zipf(protocol: ProtocolKind, config: &SystemConfig) -> String {
+fn open_loop_zipf(protocol: ProtocolKind, config: &SystemConfig, executor: ExecutorKind) -> String {
     let base = OpenLoopSpec {
         workload: WorkloadSpec::write_heavy(),
         rate: 30,
         arrivals: 200,
         arrival_seed: 3,
     };
-    let points = zipf_sweep(
-        protocol,
-        config,
-        &base,
-        &[0.0, 0.8, 1.2],
-        OPEN_LOOP_SCHED,
-        ExecutorKind::SerialSim,
-    )
-    .expect("zipf sweep");
+    let points = zipf_sweep(protocol, config, &base, &[0.0, 0.8, 1.2], OPEN_LOOP_SCHED, executor)
+        .expect("zipf sweep");
+    let executor = executor_label(executor);
     points
         .iter()
         .map(|(exp, r)| {
             let label = format!(
-                "\"protocol\": \"{protocol:?}\", \"zipf_exponent\": {exp:.1}, \"rate\": {}",
+                "\"protocol\": \"{protocol:?}\", \"executor\": \"{executor}\", \
+                 \"zipf_exponent\": {exp:.1}, \"rate\": {}",
                 r.offered_rate
             );
             format!("    {}", open_loop_point(&label, r))
@@ -126,10 +140,11 @@ fn open_loop_zipf(protocol: ProtocolKind, config: &SystemConfig) -> String {
         .join(",\n")
 }
 
-/// One `checker_throughput` measurement: drives `transactions` through an
-/// Algorithm B cluster in bounded-trace mode and times the graph checker
-/// over the complete history (best of `reps`, least noisy).
-fn checker_row(transactions: usize, reps: usize) -> String {
+/// The shared checker-bench workload: `transactions` write-heavy
+/// transactions driven through an Algorithm B cluster in bounded-trace
+/// mode.  Both checker sections (`checker_throughput` and
+/// `checker_stream`) measure over this same history shape.
+fn checker_bench_history(transactions: usize) -> History {
     let config = SystemConfig::mwmr(8, 4, 4);
     let mut cluster = build_cluster_bounded(
         ProtocolKind::AlgB,
@@ -143,7 +158,14 @@ fn checker_row(transactions: usize, reps: usize) -> String {
     let (history, report) =
         WorkloadDriver::new(8).run(cluster.as_mut(), &mut generator, transactions);
     assert_eq!(report.completed, report.issued, "bench workload must complete");
+    history
+}
 
+/// One `checker_throughput` measurement: drives `transactions` through an
+/// Algorithm B cluster in bounded-trace mode and times the graph checker
+/// over the complete history (best of `reps`, least noisy).
+fn checker_row(transactions: usize, reps: usize) -> String {
+    let history = checker_bench_history(transactions);
     let mut wall = std::time::Duration::MAX;
     let mut verdict_name = "";
     for _ in 0..reps.max(1) {
@@ -166,6 +188,57 @@ fn checker_row(transactions: usize, reps: usize) -> String {
         "    {{\"engine\": \"graph\", \"transactions\": {transactions}, \"wall_ns\": {}, \
          \"tx_per_sec\": {tx_per_sec:.1}, \"verdict\": \"{verdict_name}\"}}",
         wall.as_nanos()
+    )
+}
+
+/// One `checker_stream` measurement: the incremental streaming checker
+/// over the same commit stream the post-hoc sections check, best of
+/// `reps`.  Reports throughput, peak live-window size (the streaming
+/// engine's memory bound — uncertified transactions only, not the full
+/// history) and the post-hoc `check_auto` wall time on the identical
+/// history for the verdict-latency comparison.  Field names deliberately
+/// differ from `checker_throughput`'s (`stream_wall_ns`, not `wall_ns`)
+/// so the CI greps for the two sections cannot collide.
+fn checker_stream_row(transactions: usize, reps: usize) -> String {
+    let history = checker_bench_history(transactions);
+    let mut stream_wall = std::time::Duration::MAX;
+    let mut posthoc_wall = std::time::Duration::MAX;
+    let mut peak_live = 0usize;
+    let mut verdict_name = "";
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let mut checker = StreamChecker::new();
+        checker.feed_history(&history);
+        let verdict = checker.finish();
+        stream_wall = stream_wall.min(start.elapsed());
+        peak_live = checker.peak_live_window();
+        verdict_name = match &verdict {
+            Verdict::Serializable(_) => "serializable",
+            Verdict::NotSerializable(why) => panic!("AlgB history not serializable: {why}"),
+            Verdict::Unknown(why) => {
+                panic!("streaming checker returned Unknown on a workload history: {why}")
+            }
+        };
+        let start = Instant::now();
+        let posthoc = check_auto(&history);
+        posthoc_wall = posthoc_wall.min(start.elapsed());
+        assert!(
+            matches!(posthoc, Verdict::Serializable(_)),
+            "streaming and post-hoc verdicts diverged on the bench history"
+        );
+    }
+    let tx_per_sec = transactions as f64 / stream_wall.as_secs_f64();
+    eprintln!(
+        "checker stream tx={transactions:>7} wall={stream_wall:?} {tx_per_sec:.0} tx/s \
+         peak_live={peak_live} (post-hoc {posthoc_wall:?})"
+    );
+    format!(
+        "    {{\"engine\": \"stream\", \"transactions\": {transactions}, \
+         \"stream_wall_ns\": {}, \"stream_tx_per_sec\": {tx_per_sec:.1}, \
+         \"peak_live_window\": {peak_live}, \"posthoc_wall_ns\": {}, \
+         \"verdict\": \"{verdict_name}\"}}",
+        stream_wall.as_nanos(),
+        posthoc_wall.as_nanos()
     )
 }
 
@@ -308,20 +381,37 @@ fn main() {
     // deterministic (virtual ticks, fixed seeds) and cheap, so smoke runs
     // use the identical configuration — the CI regression guard compares a
     // smoke run's curves directly against this tracked artifact.
+    // The serial curves come first (the CI regression guard reads the
+    // first AlgB curve's pre-knee p99); the sharded-executor curves of the
+    // same schedules follow, labelled by their `executor` field.  Virtual
+    // tick latencies on the sharded engine are comparable numbers, but its
+    // wall-clock cost depends on `host_threads`.
     let ol_config = SystemConfig::mwmr(4, 4, 4);
     let ol_base = OpenLoopSpec { arrivals: 400, ..OpenLoopSpec::tao_like(0) };
     let ol_rates: &[u64] = &[25, 50, 100, 200, 400];
-    let open_loop_curves = [ProtocolKind::AlgB, ProtocolKind::AlgC, ProtocolKind::Blocking]
-        .into_iter()
-        .map(|p| open_loop_curve(p, &ol_config, &ol_base, ol_rates))
+    let ol_protocols = [ProtocolKind::AlgB, ProtocolKind::AlgC, ProtocolKind::Blocking];
+    let ol_executors = [ExecutorKind::SerialSim, ExecutorKind::ParallelSim { shards: 4 }];
+    let open_loop_curves = ol_executors
+        .iter()
+        .flat_map(|&executor| {
+            ol_protocols
+                .into_iter()
+                .map(move |p| (p, executor))
+        })
+        .map(|(p, executor)| open_loop_curve(p, &ol_config, &ol_base, ol_rates, executor))
         .collect::<Vec<_>>()
         .join(",\n");
     let zipf_config = SystemConfig::mwmr(2, 2, 2);
-    let open_loop_zipf_rows = [ProtocolKind::AlgC, ProtocolKind::Blocking]
-        .into_iter()
-        .map(|p| open_loop_zipf(p, &zipf_config))
-        .collect::<Vec<_>>()
-        .join(",\n");
+    let open_loop_zipf_rows = [
+        (ProtocolKind::AlgC, ExecutorKind::SerialSim),
+        (ProtocolKind::Blocking, ExecutorKind::SerialSim),
+        (ProtocolKind::AlgC, ExecutorKind::ParallelSim { shards: 4 }),
+        (ProtocolKind::Blocking, ExecutorKind::ParallelSim { shards: 4 }),
+    ]
+    .into_iter()
+    .map(|(p, executor)| open_loop_zipf(p, &zipf_config, executor))
+    .collect::<Vec<_>>()
+    .join(",\n");
 
     // Checker section: full-history strict-serializability throughput.
     let checker_sizes: &[usize] = if smoke {
@@ -335,8 +425,17 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
 
+    // Streaming-checker section: the incremental engine over the same
+    // histories, with its memory bound (peak live window) and the post-hoc
+    // wall time for the verdict-latency comparison.
+    let checker_stream_results = checker_sizes
+        .iter()
+        .map(|&n| checker_stream_row(n, reps))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let json = format!(
-        "{{\n  \"bench\": \"sim_core\",\n  \"scenario\": \"flood\",\n  \"engine\": \"event-queue\",\n  \"smoke\": {smoke},\n  \"host_threads\": {host_threads},\n  \"results\": [\n{results}\n  ],\n  \"parallel_flood\": [\n{parallel_results}\n  ],\n  \"runtime_read_latency\": [\n{runtime_results}\n  ],\n  \"open_loop\": {{\n    \"rate_unit\": \"tx_per_kilotick\",\n    \"latency_unit\": \"virtual_ticks\",\n    \"arrivals\": {},\n    \"curves\": [\n{open_loop_curves}\n  ],\n    \"zipf\": [\n{open_loop_zipf_rows}\n  ]}},\n  \"checker_throughput\": [\n{checker_results}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"sim_core\",\n  \"scenario\": \"flood\",\n  \"engine\": \"event-queue\",\n  \"smoke\": {smoke},\n  \"host_threads\": {host_threads},\n  \"results\": [\n{results}\n  ],\n  \"parallel_flood\": [\n{parallel_results}\n  ],\n  \"runtime_read_latency\": [\n{runtime_results}\n  ],\n  \"open_loop\": {{\n    \"rate_unit\": \"tx_per_kilotick\",\n    \"latency_unit\": \"virtual_ticks\",\n    \"arrivals\": {},\n    \"curves\": [\n{open_loop_curves}\n  ],\n    \"zipf\": [\n{open_loop_zipf_rows}\n  ]}},\n  \"checker_throughput\": [\n{checker_results}\n  ],\n  \"checker_stream\": [\n{checker_stream_results}\n  ]\n}}\n",
         ol_base.arrivals
     );
     if write {

@@ -67,51 +67,59 @@ impl Default for GraphChecker {
 
 /// One read observation: completed read `reader` returned `write`'s version
 /// (`None` = the initial version `κ₀`) for `object`.
-struct Obs {
-    reader: usize,
-    object: ObjectId,
-    write: Option<usize>,
+///
+/// `pub(crate)` so the streaming checker can derive edges over its live
+/// window with the same machinery.
+pub(crate) struct Obs {
+    pub(crate) reader: usize,
+    pub(crate) object: ObjectId,
+    pub(crate) write: Option<usize>,
 }
 
 /// The per-object version-order state.
-struct ObjectOrder {
+pub(crate) struct ObjectOrder {
     /// Candidate total order (node ids of the object's included writes).
-    candidate: Vec<usize>,
+    pub(crate) candidate: Vec<usize>,
     /// Pairwise analysis, computed eagerly for ambiguous untagged objects
     /// and on demand (only for objects whose writes are caught in a cycle)
     /// for tagged ones.
-    analysis: Option<Analysis>,
+    pub(crate) analysis: Option<Analysis>,
 }
 
 /// Pairwise constraint analysis of one object's writes.
-struct Analysis {
+pub(crate) struct Analysis {
     /// Necessary orientation constraints `(a, b)` = `a ≺ b` (node ids):
     /// real-time precedence plus the forced read-observation inferences.
-    forced: Vec<(usize, usize)>,
+    pub(crate) forced: Vec<(usize, usize)>,
     /// Pairs whose orientation is genuinely free.
-    free: Vec<(usize, usize)>,
+    pub(crate) free: Vec<(usize, usize)>,
 }
 
 /// Everything the graph construction needs about the history.
-struct Ctx<'a> {
+///
+/// The streaming checker builds one of these over its **live window** (its
+/// records borrowed rather than a whole [`History`]'s) and reuses
+/// [`GraphChecker::solve_ctx`] verbatim, so the post-hoc and incremental
+/// engines cannot drift apart on the hard (ambiguous) cases.
+pub(crate) struct Ctx<'a> {
     /// Included transactions; index = node id.
-    txs: Vec<&'a TxRecord>,
+    pub(crate) txs: Vec<&'a TxRecord>,
     /// Included writes per object, unordered.
-    writes_of: BTreeMap<ObjectId, Vec<usize>>,
+    pub(crate) writes_of: BTreeMap<ObjectId, Vec<usize>>,
     /// All read observations of completed reads.
-    obs: Vec<Obs>,
+    pub(crate) obs: Vec<Obs>,
     /// Indices into `obs` per object.
-    obs_of: BTreeMap<ObjectId, Vec<usize>>,
+    pub(crate) obs_of: BTreeMap<ObjectId, Vec<usize>>,
 }
 
 impl<'a> Ctx<'a> {
-    fn inv(&self, node: usize) -> u64 {
+    pub(crate) fn inv(&self, node: usize) -> u64 {
         self.txs[node].invoked_at
     }
 
     /// RESP instant, with incomplete (included optional) writes never
     /// preceding anything.
-    fn resp(&self, node: usize) -> u64 {
+    pub(crate) fn resp(&self, node: usize) -> u64 {
         self.txs[node].responded_at.unwrap_or(u64::MAX)
     }
 
@@ -120,7 +128,7 @@ impl<'a> Ctx<'a> {
     }
 
     /// Deterministic tie-break key for version-order extension.
-    fn tie(&self, node: usize) -> (u64, u64, u64) {
+    pub(crate) fn tie(&self, node: usize) -> (u64, u64, u64) {
         let tag = self.tag_of(node).map(|t| t.0).unwrap_or(0);
         (tag, self.inv(node), self.txs[node].tx_id.0)
     }
@@ -134,9 +142,11 @@ enum Pass {
     Cyclic(Vec<usize>),
 }
 
-/// Outcome of one constraint-splitting branch.
+/// Outcome of one constraint-splitting branch.  A witness carries the
+/// version orders of the successful branch so callers that maintain
+/// derived per-object state (the streaming checker) can adopt them.
 enum Split {
-    Witness(Vec<usize>),
+    Witness(Vec<usize>, BTreeMap<ObjectId, ObjectOrder>),
     Fail,
     /// The search had to give up (budget, or an object too large to
     /// analyse pairwise); the string explains why.
@@ -166,13 +176,24 @@ impl GraphChecker {
         if ctx.txs.is_empty() {
             return Verdict::Serializable(Vec::new());
         }
-        let mut orders = match self.resolve_orders(&ctx) {
-            Ok(orders) => orders,
-            Err(verdict) => return verdict,
-        };
+        match self.solve_ctx(&ctx) {
+            Ok((witness, _)) => self.validated(&ctx, witness),
+            Err(verdict) => verdict,
+        }
+    }
 
-        match kahn_pass(&ctx, &orders) {
-            Pass::Acyclic(witness) => self.validated(&ctx, witness),
+    /// The engine proper, detached from [`History`] so the streaming
+    /// checker can run it over a live-window [`Ctx`]: resolves version
+    /// orders, runs the Kahn pass and falls back to constraint splitting.
+    /// On success returns the topological witness (node ids) **and** the
+    /// per-object version orders of the successful branch.
+    pub(crate) fn solve_ctx(
+        &self,
+        ctx: &Ctx,
+    ) -> Result<(Vec<usize>, BTreeMap<ObjectId, ObjectOrder>), Verdict> {
+        let mut orders = self.resolve_orders(ctx)?;
+        match kahn_pass(ctx, &orders) {
+            Pass::Acyclic(witness) => Ok((witness, orders)),
             Pass::Cyclic(scc_nodes) => {
                 // The candidate orders are cyclic; only free orientation
                 // choices among writes *touching the cycle* can rescue the
@@ -185,26 +206,26 @@ impl GraphChecker {
                 // break the cycle.
                 let mut scc_nodes = scc_nodes;
                 loop {
-                    match self.ensure_analyzed(&ctx, &mut orders, &scc_nodes) {
-                        Err(verdict) => return verdict,
+                    match self.ensure_analyzed(ctx, &mut orders, &scc_nodes) {
+                        Err(verdict) => return Err(verdict),
                         Ok(false) => break,
-                        Ok(true) => match kahn_pass(&ctx, &orders) {
-                            Pass::Acyclic(witness) => return self.validated(&ctx, witness),
+                        Ok(true) => match kahn_pass(ctx, &orders) {
+                            Pass::Acyclic(witness) => return Ok((witness, orders)),
                             Pass::Cyclic(scc) => scc_nodes = scc,
                         },
                     }
                 }
                 let mut budget = self.split_budget;
-                match self.split(&ctx, &mut orders, &mut Vec::new(), scc_nodes, &mut budget) {
-                    Split::Witness(witness) => self.validated(&ctx, witness),
-                    Split::Fail => Verdict::NotSerializable(format!(
+                match self.split(ctx, &mut orders, &mut Vec::new(), scc_nodes, &mut budget) {
+                    Split::Witness(witness, winning) => Ok((witness, winning)),
+                    Split::Fail => Err(Verdict::NotSerializable(format!(
                         "precedence cycle cannot be broken by any version order \
                          (explored {} of {} split states); cycle sample: [{}]",
                         self.split_budget - budget,
                         self.split_budget,
-                        cycle_sample(&ctx, &orders)
-                    )),
-                    Split::Undecided(why) => Verdict::Unknown(why),
+                        cycle_sample(ctx, &orders)
+                    ))),
+                    Split::Undecided(why) => Err(Verdict::Unknown(why)),
                 }
             }
         }
@@ -474,7 +495,7 @@ impl GraphChecker {
                 Ok(true) => match self.reorder(ctx, orders, constraints) {
                     None => return Split::Fail,
                     Some(reordered) => match kahn_pass(ctx, &reordered) {
-                        Pass::Acyclic(witness) => return Split::Witness(witness),
+                        Pass::Acyclic(witness) => return Split::Witness(witness, reordered),
                         Pass::Cyclic(scc) => scc_nodes = scc,
                     },
                 },
@@ -517,7 +538,7 @@ impl GraphChecker {
                 // The chosen orientation contradicts necessary constraints.
                 None => Split::Fail,
                 Some(reordered) => match kahn_pass(ctx, &reordered) {
-                    Pass::Acyclic(witness) => Split::Witness(witness),
+                    Pass::Acyclic(witness) => Split::Witness(witness, reordered),
                     Pass::Cyclic(scc) => self.split(ctx, orders, constraints, scc, budget),
                 },
             };

@@ -3,7 +3,7 @@
 //! Execution-history checkers for the SNOW properties (§2.1) and for strict
 //! serializability of the transaction data type `OT` (§7).
 //!
-//! Three strict-serializability engines are provided:
+//! Four strict-serializability engines are provided:
 //!
 //! * [`strict::TagOrderChecker`] — implements the sufficient condition of
 //!   **Lemma 20** (properties P1–P4 over the tag order).  Its P2/P4
@@ -24,6 +24,13 @@
 //!   consistent with real time and the sequential semantics of `OT`.  It is
 //!   exponential in the worst case but complete, and remains the oracle the
 //!   graph engine is differentially tested against on small histories.
+//! * [`stream::StreamChecker`] — the graph engine made incremental: ingests
+//!   committed transactions one at a time, maintains the precedence DAG
+//!   online with Pearce–Kelly topological ordering, and advances a sliding
+//!   certification frontier that retires certified prefixes so memory stays
+//!   O(live window + in-flight).  Violations are reported at the offending
+//!   transaction; ambiguous windows re-use [`graph::GraphChecker`]'s
+//!   constraint-splitting solver over the live window only.
 //!
 //! [`strict::check_auto`] picks an engine by history shape: all-tagged
 //! histories go to the tag-order checker (at any size), everything else to
@@ -46,6 +53,7 @@ pub mod metrics;
 pub mod ot;
 pub mod report;
 pub mod snow;
+pub mod stream;
 pub mod strict;
 
 pub use graph::GraphChecker;
@@ -53,4 +61,5 @@ pub use metrics::{HistoryMetrics, LatencyStats};
 pub use ot::{ObjectState, SequentialOt};
 pub use report::SnowReport;
 pub use snow::SnowChecker;
+pub use stream::{StreamChecker, StreamReport};
 pub use strict::{check_auto, SearchChecker, TagOrderChecker, Verdict};

@@ -1,0 +1,1609 @@
+//! Streaming strict-serializability: an incremental [`GraphChecker`] with a
+//! sliding certification frontier.
+//!
+//! [`StreamChecker`] ingests **committed** transactions one at a time (in
+//! commit — RESP — order) and maintains the same precedence structure the
+//! post-hoc graph engine builds, online:
+//!
+//! * **Per-object version orders**, extended incrementally: a tagged write
+//!   whose tie key sorts after the current tail is appended in O(1); a write
+//!   that lands inside the order (or any untagged overlap) marks the window
+//!   dirty and triggers a window re-solve.
+//! * **The precedence DAG** over the live window — real-time edges
+//!   (transitively reduced against the live antichain instead of the time
+//!   node chain, which is equivalent over a window whose retired prefix
+//!   wholly precedes it), write→read observation edges, write→write edges
+//!   between consecutive versions and read→successor anti-dependency edges —
+//!   with **Pearce–Kelly online topological ordering**: a new edge that
+//!   respects the current order costs O(1), and only an order-violating edge
+//!   triggers a local reorder of the affected region.
+//! * **A sliding certification frontier.**  `advance_watermark(t)` promises
+//!   that every transaction ingested later was invoked at or after `t`.
+//!   Once a prefix of the window is closed (responded before the watermark),
+//!   has no pending observations and no order ambiguity that the future
+//!   could still flip, its verdict is final: its transactions are appended
+//!   to the witness, replay-validated against [`SequentialOt`], and their
+//!   nodes, edges and version metadata are retired.  Memory stays
+//!   O(live window + in-flight), not O(history).
+//!
+//! When the incremental order breaks (a Pearce–Kelly cycle or a dirty
+//! version order), the checker re-solves **only the live window** through
+//! `GraphChecker::solve_ctx` — the same constraint-splitting fallback the
+//! post-hoc engine uses, so ambiguous overlap groups inside the window are
+//! branched on without rebuilding a whole-history DAG.  Violations are
+//! reported at the offending transaction (see
+//! [`StreamChecker::offending_index`]), not at shutdown.
+//!
+//! Closed but still-ambiguous overlap groups (concurrent writes whose
+//! relative order a *future* stale read could still force) are retired into
+//! **sealed segments**: their verdict contribution is final, but the
+//! segment's internal order stays revisable until a later version of the
+//! object closes, at which point the seal expires and the segment is
+//! replayed into the witness.
+//!
+//! ```
+//! use snow_checker::stream::StreamChecker;
+//! use snow_core::{
+//!     ClientId, History, Key, ObjectId, ObjectRead, ReadOutcome, TxId, TxOutcome,
+//!     TxRecord, TxSpec, Value, WriteOutcome,
+//! };
+//!
+//! let mut checker = StreamChecker::new();
+//! // WRITE x=1, committed at t=10.
+//! let mut w = TxRecord::invoked(
+//!     TxId(0),
+//!     ClientId(0),
+//!     TxSpec::write(vec![(ObjectId(0), Value(1))]),
+//!     0,
+//! );
+//! w.responded_at = Some(10);
+//! let key = Key::new(1, ClientId(0));
+//! w.outcome = Some(TxOutcome::Write(WriteOutcome { key, tag: None }));
+//! checker.ingest(w);
+//! // READ x observing that write, committed at t=30.
+//! let mut r = TxRecord::invoked(TxId(1), ClientId(1), TxSpec::read(vec![ObjectId(0)]), 20);
+//! r.responded_at = Some(30);
+//! r.outcome = Some(TxOutcome::Read(ReadOutcome {
+//!     reads: vec![ObjectRead { object: ObjectId(0), key, value: Value(1) }],
+//!     tag: None,
+//! }));
+//! checker.ingest(r);
+//! // No in-flight transaction can precede t=31 any more: the prefix retires.
+//! checker.advance_watermark(31);
+//! assert_eq!(checker.certified(), 2);
+//! assert!(checker.finish().is_serializable());
+//! ```
+
+use crate::graph::{Ctx, GraphChecker, Obs, ObjectOrder};
+use crate::ot::SequentialOt;
+use crate::strict::{SearchChecker, Verdict};
+use snow_core::{FxHashMap, History, Key, ObjectId, TxKind, TxOutcome, TxRecord};
+use std::collections::{BTreeMap, VecDeque};
+
+/// How many of the earliest records are kept around so an `Unknown` verdict
+/// on a small history can fall back to the complete search, mirroring
+/// [`crate::strict::check_auto`].
+const SEARCH_FALLBACK_KEEP: usize = 25;
+
+/// One observation recorded on a live reader.
+#[derive(Debug, Clone, Copy)]
+struct ReaderObs {
+    object: ObjectId,
+    key: Key,
+    target: ObsTarget,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ObsTarget {
+    /// Observed write is a live node.
+    Live(u32),
+    /// Observed the latest retired version (or κ₀ before any version):
+    /// the reader precedes every live version of the object.
+    Boundary,
+    /// Key not installed yet — the writer may still be in flight.  The
+    /// reader (and the object's writes) are pinned until it resolves.
+    Pending,
+}
+
+/// A transaction in the live window.
+#[derive(Debug)]
+struct LiveTx {
+    rec: TxRecord,
+    /// Global ingest index (commit sequence number), for offending-site
+    /// reporting.
+    index: usize,
+    /// Pearce–Kelly topological key: every edge goes from lower to higher.
+    ord: u64,
+    out: Vec<u32>,
+    preds: Vec<u32>,
+    /// Reads: resolved/pending observations.
+    obs: Vec<ReaderObs>,
+    /// Writes: live readers that observed this version, per object.
+    readers: Vec<(ObjectId, u32)>,
+    /// Number of unresolved observations (reads only).
+    pending_obs: u32,
+}
+
+impl LiveTx {
+    fn inv(&self) -> u64 {
+        self.rec.invoked_at
+    }
+
+    fn resp(&self) -> u64 {
+        self.rec.responded_at.unwrap_or(u64::MAX)
+    }
+
+    fn tie(&self) -> (u64, u64, u64) {
+        let tag = self.rec.outcome.as_ref().and_then(|o| o.tag()).map(|t| t.0).unwrap_or(0);
+        (tag, self.rec.invoked_at, self.rec.tx_id.0)
+    }
+}
+
+/// Per-object streaming state.
+#[derive(Debug, Default)]
+struct ObjectState {
+    /// Live writes in current candidate version order (slot ids).
+    live: Vec<u32>,
+    /// Live readers that must precede the object's first live version
+    /// (κ₀ readers and readers of the latest retired version).
+    boundary_readers: Vec<u32>,
+    /// Latest retired version, when it retired unambiguously.
+    latest_retired: Option<Key>,
+    /// Seal currently holding this object's newest retired (ambiguous)
+    /// versions, if any.
+    open_seal: Option<usize>,
+    /// Total versions retired (sealed or not).
+    retired_versions: u64,
+    /// Unresolved observations on this object: pins write retirement.
+    pending_reads: u32,
+}
+
+/// Where a version key currently lives.
+#[derive(Debug, Clone, Copy)]
+enum KeyState {
+    Live(u32),
+    Sealed { seal: usize },
+    RetiredLatest,
+}
+
+/// A retired-but-revisable segment: a contiguous run of certified
+/// transactions containing at least one ambiguous overlap group.  The
+/// segment's membership in the witness is final; its internal order can
+/// still be re-linearised if a future stale read forces a member to be the
+/// group's last version, until the seal expires (a later version of every
+/// flip object closes).
+#[derive(Debug)]
+struct Seal {
+    /// Segment records, in current internal order.
+    recs: Vec<TxRecord>,
+    /// Per-object projections of live reads that observed a sealed
+    /// version: the constraints every re-linearisation must satisfy.
+    ghosts: Vec<TxRecord>,
+    /// Version keys installed by the segment, per object.
+    members: Vec<(ObjectId, Key)>,
+    /// Objects whose internal order is still revisable (no later version
+    /// of the object has closed yet).
+    open_objects: Vec<ObjectId>,
+}
+
+/// An entry awaiting replay into the final witness.
+#[derive(Debug)]
+enum ReplayEntry {
+    Tx(TxRecord),
+    Seal(usize),
+}
+
+/// Aggregate counters exposed for benchmarking and the bounded-memory CI
+/// assertion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamReport {
+    /// Transactions ingested (committed feed).
+    pub ingested: usize,
+    /// Transactions whose verdict contribution is final.
+    pub certified: usize,
+    /// High-water mark of records held (live window + sealed segments +
+    /// replay tail).
+    pub peak_live_window: usize,
+    /// Records currently held.
+    pub live_window: usize,
+}
+
+/// Incremental strict-serializability checker over a commit stream.
+///
+/// See the [module docs](self) for the algorithm and a usage example.
+#[derive(Debug)]
+pub struct StreamChecker {
+    /// Constraint-splitting budget for window re-solves (see
+    /// [`GraphChecker::split_budget`]).
+    pub split_budget: usize,
+    /// Pairwise-analysis cap for ambiguous overlap groups (see
+    /// [`GraphChecker::max_ambiguous_group`]).
+    pub max_ambiguous_group: usize,
+
+    slots: Vec<Option<LiveTx>>,
+    free: Vec<u32>,
+    /// Live slots in commit (RESP) order.
+    by_resp: Vec<u32>,
+    /// Aligned with `by_resp`: the two largest invocation times over each
+    /// prefix, so real-time edge insertion can binary-search its
+    /// uncovered-predecessor suffix instead of scanning the window.
+    pref_top: Vec<(u64, u64)>,
+    objects: BTreeMap<ObjectId, ObjectState>,
+    keys: FxHashMap<(ObjectId, Key), KeyState>,
+    pending: FxHashMap<(ObjectId, Key), Vec<u32>>,
+    seals: Vec<Seal>,
+    replay_tail: VecDeque<ReplayEntry>,
+    tail_records: usize,
+    witness: Vec<snow_core::TxId>,
+    replay: SequentialOt,
+
+    watermark: u64,
+    last_resp: u64,
+    next_ord: u64,
+    ingested: usize,
+    optional_included: usize,
+    live_count: usize,
+    peak_live: usize,
+    retired_any: bool,
+    finishing: bool,
+    fatal: Option<Verdict>,
+    offending: Option<usize>,
+    early: Vec<TxRecord>,
+}
+
+impl Default for StreamChecker {
+    fn default() -> Self {
+        let g = GraphChecker::default();
+        StreamChecker {
+            split_budget: g.split_budget,
+            max_ambiguous_group: g.max_ambiguous_group,
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_resp: Vec::new(),
+            pref_top: Vec::new(),
+            objects: BTreeMap::new(),
+            keys: FxHashMap::default(),
+            pending: FxHashMap::default(),
+            seals: Vec::new(),
+            replay_tail: VecDeque::new(),
+            tail_records: 0,
+            witness: Vec::new(),
+            replay: SequentialOt::new(),
+            watermark: 0,
+            last_resp: 0,
+            next_ord: 0,
+            ingested: 0,
+            optional_included: 0,
+            live_count: 0,
+            peak_live: 0,
+            retired_any: false,
+            finishing: false,
+            fatal: None,
+            offending: None,
+            early: Vec::new(),
+        }
+    }
+}
+
+impl StreamChecker {
+    /// Creates a checker with the default budgets.
+    pub fn new() -> Self {
+        StreamChecker::default()
+    }
+
+    /// Creates a checker with an explicit constraint-splitting budget.
+    pub fn with_split_budget(split_budget: usize) -> Self {
+        StreamChecker { split_budget, ..StreamChecker::default() }
+    }
+
+    /// The verdict so far, if it is already final (a violation or a sticky
+    /// `Unknown`).  `None` means "serializable so far".
+    pub fn violation(&self) -> Option<&Verdict> {
+        self.fatal.as_ref()
+    }
+
+    /// The commit index (0-based position in the ingest stream) at which
+    /// the verdict became final, for convictions.
+    pub fn offending_index(&self) -> Option<usize> {
+        self.offending
+    }
+
+    /// Transactions whose verdict contribution has been finalised (retired
+    /// past the certification frontier, sealed or replayed).
+    pub fn certified(&self) -> usize {
+        (self.ingested + self.optional_included) - self.live_count
+    }
+
+    /// Records currently held: the live window plus sealed segments still
+    /// awaiting replay.
+    pub fn live_window(&self) -> usize {
+        self.live_count + self.tail_records
+    }
+
+    /// High-water mark of [`Self::live_window`].
+    pub fn peak_live_window(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Aggregate counters for benchmarks and memory assertions.
+    pub fn report(&self) -> StreamReport {
+        StreamReport {
+            ingested: self.ingested,
+            certified: self.certified(),
+            peak_live_window: self.peak_live,
+            live_window: self.live_window(),
+        }
+    }
+
+    fn convict(&mut self, index: usize, verdict: Verdict) {
+        if self.fatal.is_none() {
+            self.fatal = Some(verdict);
+            self.offending = Some(index);
+        }
+    }
+
+    fn sticky_unknown(&mut self, index: usize, why: String) {
+        if self.fatal.is_none() {
+            self.fatal = Some(Verdict::Unknown(why));
+            self.offending = Some(index);
+        }
+    }
+
+    // ---- slot / PK plumbing ------------------------------------------------
+
+    fn alloc(&mut self, rec: TxRecord, index: usize) -> u32 {
+        let ord = self.next_ord;
+        self.next_ord += 1;
+        let inv = rec.invoked_at;
+        let tx = LiveTx {
+            rec,
+            index,
+            ord,
+            out: Vec::new(),
+            preds: Vec::new(),
+            obs: Vec::new(),
+            readers: Vec::new(),
+            pending_obs: 0,
+        };
+        self.live_count += 1;
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(tx);
+                s
+            }
+            None => {
+                self.slots.push(Some(tx));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.by_resp.push(slot);
+        let (m1, m2) = self.pref_top.last().copied().unwrap_or((0, 0));
+        self.pref_top.push(if inv > m1 {
+            (inv, m1)
+        } else if inv > m2 {
+            (m1, inv)
+        } else {
+            (m1, m2)
+        });
+        slot
+    }
+
+    /// Recomputes the prefix invocation maxima after `by_resp` was
+    /// compacted by a retirement or window rebuild.
+    fn rebuild_pref_top(&mut self) {
+        let mut m1 = 0u64;
+        let mut m2 = 0u64;
+        self.pref_top.clear();
+        for i in 0..self.by_resp.len() {
+            let ui = self.tx(self.by_resp[i]).inv();
+            if ui > m1 {
+                m2 = m1;
+                m1 = ui;
+            } else if ui > m2 {
+                m2 = ui;
+            }
+            self.pref_top.push((m1, m2));
+        }
+    }
+
+    fn tx(&self, slot: u32) -> &LiveTx {
+        self.slots[slot as usize].as_ref().expect("live slot")
+    }
+
+    fn tx_mut(&mut self, slot: u32) -> &mut LiveTx {
+        self.slots[slot as usize].as_mut().expect("live slot")
+    }
+
+    /// Pearce–Kelly edge insertion.  Returns `false` when the edge closes a
+    /// cycle (the graph is left without the edge; callers fall back to a
+    /// window re-solve which rebuilds everything).
+    fn add_edge(&mut self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        let (oa, ob) = (self.tx(a).ord, self.tx(b).ord);
+        if oa < ob {
+            self.tx_mut(a).out.push(b);
+            self.tx_mut(b).preds.push(a);
+            return true;
+        }
+        // Affected region: forward from b within ord ≤ ord(a), backward
+        // from a within ord ≥ ord(b).
+        let mut fwd: Vec<u32> = Vec::new();
+        let mut seen_f: FxHashMap<u32, ()> = FxHashMap::default();
+        let mut stack = vec![b];
+        seen_f.insert(b, ());
+        while let Some(v) = stack.pop() {
+            fwd.push(v);
+            if v == a {
+                return false; // cycle: a →* ... b →* a with the new edge
+            }
+            for &w in &self.tx(v).out {
+                if self.tx(w).ord <= oa && !seen_f.contains_key(&w) {
+                    seen_f.insert(w, ());
+                    stack.push(w);
+                }
+            }
+        }
+        let mut bwd: Vec<u32> = Vec::new();
+        let mut seen_b: FxHashMap<u32, ()> = FxHashMap::default();
+        stack.push(a);
+        seen_b.insert(a, ());
+        while let Some(v) = stack.pop() {
+            bwd.push(v);
+            for &w in &self.tx(v).preds {
+                if self.tx(w).ord >= ob && !seen_b.contains_key(&w) {
+                    seen_b.insert(w, ());
+                    stack.push(w);
+                }
+            }
+        }
+        // Reassign: backward region first, then forward, onto the sorted
+        // pool of their existing ord values.
+        bwd.sort_by_key(|&v| self.tx(v).ord);
+        fwd.sort_by_key(|&v| self.tx(v).ord);
+        let mut pool: Vec<u64> =
+            bwd.iter().chain(fwd.iter()).map(|&v| self.tx(v).ord).collect();
+        pool.sort_unstable();
+        for (&v, &o) in bwd.iter().chain(fwd.iter()).zip(pool.iter()) {
+            self.tx_mut(v).ord = o;
+        }
+        self.tx_mut(a).out.push(b);
+        self.tx_mut(b).preds.push(a);
+        true
+    }
+
+    /// Adds the (transitively reduced) real-time edges into a freshly
+    /// ingested node: from every live transaction that responded before
+    /// `slot` was invoked and is not already covered through another such
+    /// transaction.
+    fn add_real_time_edges(&mut self, slot: u32) -> bool {
+        let inv = self.tx(slot).inv();
+        // `by_resp` is commit-ordered (nondecreasing RESP) and compacted
+        // on retirement, so the real-time predecessors are exactly the
+        // prefix with resp < inv — binary-searchable.  (`slot` itself sits
+        // at the end with resp ≥ inv, so it is never in the prefix.)
+        let k = self.by_resp.partition_point(|&u| self.tx(u).resp() < inv);
+        if k == 0 {
+            return true;
+        }
+        // Largest / second-largest inv among the predecessors, from the
+        // maintained prefix maxima.
+        let (max1, max2) = self.pref_top[k - 1];
+        // Covered: some other predecessor was invoked after `u` responded,
+        // so the chain u → v → slot is already present.  For non-maximal
+        // `u` the cover is max1, so the uncovered candidates (resp ≥ max1)
+        // are a suffix of the prefix; the inv-maximal element has
+        // resp ≥ inv = max1 and therefore also lives in that suffix.
+        let j = self.by_resp[..k].partition_point(|&u| self.tx(u).resp() < max1);
+        let mut ok = true;
+        for idx in j..k {
+            let u = self.by_resp[idx];
+            let t = self.tx(u);
+            let cover = if t.inv() == max1 { max2 } else { max1 };
+            if cover > t.resp() {
+                continue;
+            }
+            ok &= self.add_edge(u, slot);
+        }
+        ok
+    }
+
+    // ---- ingestion ---------------------------------------------------------
+
+    /// Ingests the next committed transaction.  Transactions must arrive in
+    /// commit (RESP) order; ties may arrive in any deterministic order.
+    pub fn ingest(&mut self, rec: TxRecord) {
+        let index = self.ingested;
+        self.ingested += 1;
+        if self.fatal.is_some() {
+            return;
+        }
+        debug_assert!(rec.responded_at.is_some(), "ingest() takes committed transactions");
+        debug_assert!(
+            rec.responded_at.unwrap_or(0) >= self.last_resp,
+            "commits must be fed in RESP order"
+        );
+        self.last_resp = rec.responded_at.unwrap_or(self.last_resp);
+        if self.early.len() < SEARCH_FALLBACK_KEEP {
+            self.early.push(rec.clone());
+        }
+        let slot = self.alloc(rec, index);
+        let mut clean = self.add_real_time_edges(slot);
+        clean &= match self.tx(slot).rec.kind() {
+            TxKind::Write => self.ingest_write(slot),
+            TxKind::Read => self.ingest_read(slot),
+        };
+        if self.fatal.is_none() && !clean {
+            self.resolve_window(slot);
+        }
+        self.peak_live = self.peak_live.max(self.live_window());
+    }
+
+    /// Returns `false` when the window needs a re-solve.
+    fn ingest_write(&mut self, slot: u32) -> bool {
+        let key = match self.tx(slot).rec.outcome.as_ref() {
+            Some(TxOutcome::Write(w)) => w.key,
+            _ => return true, // write without a known outcome: node only
+        };
+        let objects = self.tx(slot).rec.spec.objects();
+        let index = self.tx(slot).index;
+        // Duplicate version keys break the (object, key) → write map, same
+        // as the post-hoc builder.
+        for &object in &objects {
+            if self.keys.contains_key(&(object, key)) {
+                self.sticky_unknown(
+                    index,
+                    format!(
+                        "two writes install version {key} on {object}; the version \
+                         order cannot be keyed"
+                    ),
+                );
+                return true;
+            }
+        }
+        let mut clean = true;
+        for &object in &objects {
+            clean &= self.place_version(slot, object, key);
+            if self.fatal.is_some() {
+                return true;
+            }
+        }
+        clean
+    }
+
+    /// Inserts `slot` into `object`'s live version order and wires the
+    /// version-order edges.  Returns `false` when the placement is
+    /// ambiguous (untagged overlap / out-of-order tie) and the window must
+    /// be re-solved.
+    fn place_version(&mut self, slot: u32, object: ObjectId, key: Key) -> bool {
+        let state = self.objects.entry(object).or_default();
+        let live = state.live.clone();
+        let mut clean = true;
+        let pos = if live.is_empty() {
+            0
+        } else {
+            // Tagged fast path: all live versions and the new one carry
+            // distinct tags — the tie order is the candidate.
+            let new_tie = self.tx(slot).tie();
+            let mut ties: Vec<(u64, u64, u64)> =
+                live.iter().map(|&w| self.tx(w).tie()).collect();
+            let tagged = new_tie.0 != 0 && ties.iter().all(|t| t.0 != 0);
+            ties.push(new_tie);
+            ties.sort_unstable();
+            let distinct = ties.windows(2).all(|w| w[0].0 != w[1].0);
+            if tagged && distinct {
+                live.iter().position(|&w| self.tx(w).tie() > new_tie).unwrap_or(live.len())
+            } else {
+                // Untagged (or colliding tags): does the new write overlap
+                // any live version?  Commit order means only `inv(new) ≤
+                // resp(u)` can hold.
+                let inv = self.tx(slot).inv();
+                let overlaps = live.iter().any(|&u| inv <= self.tx(u).resp());
+                if overlaps {
+                    clean = false;
+                }
+                live.len()
+            }
+        };
+        // Inserting below an already-read suffix contradicts a forced
+        // observation inference (the reader finished before this write was
+        // invoked, so the observed version precedes it): re-solve.
+        if clean && pos < live.len() {
+            let inv = self.tx(slot).inv();
+            for &u in &live[pos..] {
+                let readers = self.tx(u).readers.clone();
+                for (o, r) in readers {
+                    if o == object
+                        && self.slots[r as usize].is_some()
+                        && self.tx(r).resp() < inv
+                    {
+                        clean = false;
+                    }
+                }
+            }
+        }
+        if clean {
+            if pos > 0 {
+                let prev = live[pos - 1];
+                clean &= self.add_edge(prev, slot);
+                let readers = self.tx(prev).readers.clone();
+                for (o, r) in readers {
+                    if o == object && self.slots[r as usize].is_some() {
+                        clean &= self.add_edge(r, slot);
+                    }
+                }
+            } else {
+                let boundary = self.objects.get(&object).map(|s| s.boundary_readers.clone());
+                for r in boundary.unwrap_or_default() {
+                    if self.slots[r as usize].is_some() {
+                        clean &= self.add_edge(r, slot);
+                    }
+                }
+            }
+            if pos < live.len() {
+                clean &= self.add_edge(slot, live[pos]);
+            }
+        }
+        let state = self.objects.entry(object).or_default();
+        state.live.insert(pos.min(state.live.len()), slot);
+        self.keys.insert((object, key), KeyState::Live(slot));
+        // Resolve reads that observed this version while it was in flight.
+        if let Some(waiters) = self.pending.remove(&(object, key)) {
+            let succ = {
+                let state = self.objects.get(&object).expect("state exists");
+                let p = state.live.iter().position(|&w| w == slot).expect("just inserted");
+                state.live.get(p + 1).copied()
+            };
+            for r in waiters {
+                if self.slots[r as usize].is_none() {
+                    continue;
+                }
+                clean &= self.add_edge(slot, r);
+                if let Some(next) = succ {
+                    clean &= self.add_edge(r, next);
+                }
+                {
+                    let rt = self.tx_mut(r);
+                    rt.pending_obs -= 1;
+                    for o in rt.obs.iter_mut() {
+                        if o.object == object && o.key == key && o.target == ObsTarget::Pending
+                        {
+                            o.target = ObsTarget::Live(slot);
+                        }
+                    }
+                }
+                self.tx_mut(slot).readers.push((object, r));
+                let state = self.objects.entry(object).or_default();
+                state.pending_reads = state.pending_reads.saturating_sub(1);
+            }
+        }
+        clean
+    }
+
+    /// Returns `false` when the window needs a re-solve.
+    fn ingest_read(&mut self, slot: u32) -> bool {
+        let reads = match self.tx(slot).rec.outcome.as_ref() {
+            Some(TxOutcome::Read(r)) => r.reads.clone(),
+            _ => return true,
+        };
+        let index = self.tx(slot).index;
+        let tx_id = self.tx(slot).rec.tx_id;
+        let inv = self.tx(slot).inv();
+        let mut clean = true;
+        for or in reads {
+            let (object, key) = (or.object, or.key);
+            if key.is_initial() {
+                let retired = self
+                    .objects
+                    .get(&object)
+                    .map(|s| s.retired_versions > 0)
+                    .unwrap_or(false);
+                if retired {
+                    self.convict(
+                        index,
+                        Verdict::NotSerializable(format!(
+                            "READ {tx_id} (commit #{index}) returned the initial version \
+                             for {object} after earlier versions were certified"
+                        )),
+                    );
+                    return true;
+                }
+                clean &= self.boundary_obs(slot, object, key);
+                continue;
+            }
+            match self.keys.get(&(object, key)).copied() {
+                Some(KeyState::Live(w)) => {
+                    clean &= self.add_edge(w, slot);
+                    let (succ, stale) = {
+                        let state = self.objects.get(&object).expect("live version has state");
+                        let p = state
+                            .live
+                            .iter()
+                            .position(|&x| x == w)
+                            .expect("live version indexed");
+                        // Forced inference: a later live version that
+                        // completed before this read was invoked must
+                        // precede the observed one — the candidate needs a
+                        // re-solve (reorder or conviction).
+                        let stale = state.live[p + 1..]
+                            .iter()
+                            .any(|&x| self.tx(x).resp() < inv);
+                        (state.live.get(p + 1).copied(), stale)
+                    };
+                    if let Some(next) = succ {
+                        clean &= self.add_edge(slot, next);
+                    }
+                    if stale {
+                        clean = false;
+                    }
+                    self.tx_mut(w).readers.push((object, slot));
+                    self.tx_mut(slot).obs.push(ReaderObs {
+                        object,
+                        key,
+                        target: ObsTarget::Live(w),
+                    });
+                }
+                Some(KeyState::Sealed { seal }) => {
+                    if !self.flip_seal(slot, index, object, key, seal) {
+                        return true; // convicted
+                    }
+                    clean &= self.boundary_obs(slot, object, key);
+                }
+                Some(KeyState::RetiredLatest) => {
+                    if self.live_write_precedes(object, inv) {
+                        self.convict(
+                            index,
+                            Verdict::NotSerializable(format!(
+                                "READ {tx_id} (commit #{index}) returned retired version \
+                                 {key} for {object} although a newer write completed \
+                                 before it was invoked"
+                            )),
+                        );
+                        return true;
+                    }
+                    clean &= self.boundary_obs(slot, object, key);
+                }
+                None => {
+                    self.pending.entry((object, key)).or_default().push(slot);
+                    self.tx_mut(slot).pending_obs += 1;
+                    self.tx_mut(slot).obs.push(ReaderObs {
+                        object,
+                        key,
+                        target: ObsTarget::Pending,
+                    });
+                    self.objects.entry(object).or_default().pending_reads += 1;
+                }
+            }
+        }
+        clean
+    }
+
+    /// True when some live version of `object` completed before `inv`: a
+    /// read invoked at `inv` that observed a retired version is stale.
+    fn live_write_precedes(&self, object: ObjectId, inv: u64) -> bool {
+        self.objects
+            .get(&object)
+            .map(|s| s.live.iter().any(|&w| self.tx(w).resp() < inv))
+            .unwrap_or(false)
+    }
+
+    /// Registers `slot` as preceding `object`'s first live version.
+    fn boundary_obs(&mut self, slot: u32, object: ObjectId, key: Key) -> bool {
+        let first = self.objects.get(&object).and_then(|s| s.live.first().copied());
+        let mut clean = true;
+        if let Some(first) = first {
+            clean &= self.add_edge(slot, first);
+        }
+        self.objects.entry(object).or_default().boundary_readers.push(slot);
+        self.tx_mut(slot).obs.push(ReaderObs { object, key, target: ObsTarget::Boundary });
+        clean
+    }
+
+    // ---- window re-solve ---------------------------------------------------
+
+    /// Re-solves the live window through [`GraphChecker::solve_ctx`] — the
+    /// post-hoc engine over a borrowed [`Ctx`], so ambiguous overlap groups
+    /// are branched on with the same constraint-splitting search the batch
+    /// checker uses, without ever rebuilding a whole-history DAG.  On
+    /// success the incremental structures (Pearce–Kelly order, candidate
+    /// version orders, edges) are rebuilt from the winning branch; on
+    /// failure the verdict is final, attributed to the transaction whose
+    /// ingestion broke the window.
+    fn resolve_window(&mut self, at_slot: u32) {
+        let at_index = self.tx(at_slot).index;
+        let at_tx = self.tx(at_slot).rec.tx_id;
+        let mut nodes: Vec<u32> = Vec::new();
+        let mut node_of = vec![usize::MAX; self.slots.len()];
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.is_some() {
+                node_of[i] = nodes.len();
+                nodes.push(i as u32);
+            }
+        }
+        let solved = {
+            let mut txs: Vec<&TxRecord> = Vec::with_capacity(nodes.len());
+            let mut writes_of: BTreeMap<ObjectId, Vec<usize>> = BTreeMap::new();
+            let mut obs: Vec<Obs> = Vec::new();
+            let mut obs_of: BTreeMap<ObjectId, Vec<usize>> = BTreeMap::new();
+            for (n, &slot) in nodes.iter().enumerate() {
+                let t = self.slots[slot as usize].as_ref().expect("live slot");
+                txs.push(&t.rec);
+                if matches!(t.rec.outcome, Some(TxOutcome::Write(_))) {
+                    for o in t.rec.spec.objects() {
+                        writes_of.entry(o).or_default().push(n);
+                    }
+                }
+                for ro in &t.obs {
+                    let write = match ro.target {
+                        ObsTarget::Live(w) => Some(node_of[w as usize]),
+                        ObsTarget::Boundary => None,
+                        // An unresolved observation imposes no constraint
+                        // yet; it pins retirement instead.
+                        ObsTarget::Pending => continue,
+                    };
+                    obs_of.entry(ro.object).or_default().push(obs.len());
+                    obs.push(Obs { reader: n, object: ro.object, write });
+                }
+            }
+            let ctx = Ctx { txs, writes_of, obs, obs_of };
+            let solver = GraphChecker {
+                split_budget: self.split_budget,
+                max_ambiguous_group: self.max_ambiguous_group,
+            };
+            solver.solve_ctx(&ctx)
+        };
+        match solved {
+            Ok((witness, orders)) => self.rebuild(&nodes, &witness, &orders),
+            Err(Verdict::NotSerializable(why)) => self.convict(
+                at_index,
+                Verdict::NotSerializable(format!(
+                    "at {at_tx} (commit #{at_index}): {why}"
+                )),
+            ),
+            Err(Verdict::Unknown(why)) => self.sticky_unknown(at_index, why),
+            Err(v) => self.convict(at_index, v),
+        }
+    }
+
+    /// Rebuilds the incremental structures from a window solution.
+    fn rebuild(
+        &mut self,
+        nodes: &[u32],
+        witness: &[usize],
+        orders: &BTreeMap<ObjectId, ObjectOrder>,
+    ) {
+        for (i, &n) in witness.iter().enumerate() {
+            self.tx_mut(nodes[n]).ord = i as u64;
+        }
+        self.next_ord = witness.len() as u64;
+        for &slot in nodes {
+            let t = self.tx_mut(slot);
+            t.out.clear();
+            t.preds.clear();
+        }
+        for (object, oo) in orders {
+            let state = self.objects.entry(*object).or_default();
+            state.live = oo.candidate.iter().map(|&n| nodes[n]).collect();
+        }
+        // Real-time edges, in commit order so the transitive reduction
+        // sees exactly the predecessors each node had at ingestion.
+        self.by_resp.retain(|&s| self.slots[s as usize].is_some());
+        self.rebuild_pref_top();
+        let order = self.by_resp.clone();
+        for &slot in &order {
+            let ok = self.add_real_time_edges(slot);
+            debug_assert!(ok, "window witness violates real time");
+        }
+        let objects: Vec<ObjectId> = self.objects.keys().copied().collect();
+        for object in objects {
+            let (live, boundary) = {
+                let s = &self.objects[&object];
+                (s.live.clone(), s.boundary_readers.clone())
+            };
+            for w in live.windows(2) {
+                let ok = self.add_edge(w[0], w[1]);
+                debug_assert!(ok, "window witness violates a version order");
+            }
+            if let Some(&first) = live.first() {
+                for r in boundary {
+                    if self.slots[r as usize].is_some() {
+                        let ok = self.add_edge(r, first);
+                        debug_assert!(ok, "window witness violates a boundary read");
+                    }
+                }
+            }
+            for (i, &w) in live.iter().enumerate() {
+                let readers = self.tx(w).readers.clone();
+                for (o, r) in readers {
+                    if o != object || self.slots[r as usize].is_none() {
+                        continue;
+                    }
+                    let ok = self.add_edge(w, r);
+                    debug_assert!(ok, "window witness violates an observation");
+                    if let Some(&next) = live.get(i + 1) {
+                        let ok = self.add_edge(r, next);
+                        debug_assert!(ok, "window witness violates an anti-dependency");
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- certification frontier --------------------------------------------
+
+    /// Advances the certification frontier: the caller promises that every
+    /// transaction ingested from now on was invoked at or after `watermark`
+    /// (and commits in RESP order, as always).  Prefixes of the live window
+    /// that the future can no longer reach are certified and retired.
+    pub fn advance_watermark(&mut self, watermark: u64) {
+        if watermark <= self.watermark {
+            return;
+        }
+        self.watermark = watermark;
+        if self.fatal.is_some() {
+            return;
+        }
+        // Cheap necessary condition: a retire pass only ever closes
+        // transactions that responded before the watermark, and `by_resp`
+        // is commit-ordered with its head live (retirement compacts it) —
+        // if even the oldest live commit is still inside the window, the
+        // full pass cannot free anything.
+        if let Some(&first) = self.by_resp.first() {
+            if self.tx(first).resp() >= watermark {
+                return;
+            }
+        }
+        self.retire_pass();
+        self.peak_live = self.peak_live.max(self.live_window());
+    }
+
+    /// Overlap components of `live` (time-overlapping runs of writes, the
+    /// unit of version-order ambiguity — matches the post-hoc grouping).
+    fn components(&self, live: &[u32]) -> Vec<Vec<u32>> {
+        let mut sorted: Vec<u32> = live.to_vec();
+        sorted.sort_by_key(|&w| (self.tx(w).inv(), self.tx(w).rec.tx_id.0));
+        let mut comps: Vec<Vec<u32>> = Vec::new();
+        let mut cur: Vec<u32> = Vec::new();
+        let mut max_resp = 0u64;
+        for &w in &sorted {
+            if !cur.is_empty() && self.tx(w).inv() > max_resp {
+                comps.push(std::mem::take(&mut cur));
+            }
+            max_resp = max_resp.max(self.tx(w).resp());
+            cur.push(w);
+        }
+        if !cur.is_empty() {
+            comps.push(cur);
+        }
+        comps
+    }
+
+    /// [`Self::components`], truncated after the first component that
+    /// contains a still-open member: every later component starts past that
+    /// member's response time, so none of its members can be closed (let
+    /// alone retiring) this pass, and the retire rules on them are no-ops.
+    fn components_closed_prefix(&self, live: &[u32]) -> Vec<Vec<u32>> {
+        if self.finishing {
+            return self.components(live);
+        }
+        let mut sorted: Vec<u32> = live.to_vec();
+        sorted.sort_by_key(|&w| (self.tx(w).inv(), self.tx(w).rec.tx_id.0));
+        let mut comps: Vec<Vec<u32>> = Vec::new();
+        let mut cur: Vec<u32> = Vec::new();
+        let mut max_resp = 0u64;
+        let mut open = false;
+        for &w in &sorted {
+            if !cur.is_empty() && self.tx(w).inv() > max_resp {
+                comps.push(std::mem::take(&mut cur));
+                if open {
+                    return comps;
+                }
+            }
+            max_resp = max_resp.max(self.tx(w).resp());
+            open |= self.tx(w).resp() >= self.watermark;
+            cur.push(w);
+        }
+        if !cur.is_empty() {
+            comps.push(cur);
+        }
+        comps
+    }
+
+    /// Retires every certifiable prefix of the live window: transactions
+    /// that responded before the watermark, whose predecessors, readers and
+    /// whole overlap components retire with them, and whose observations
+    /// are all resolved.  Retired transactions are appended to the witness
+    /// (through the replay queue); multi-write overlap components retire
+    /// into sealed segments that stay revisable until a later version of
+    /// the object closes.
+    fn retire_pass(&mut self) {
+        if self.fatal.is_some() {
+            return;
+        }
+        // `by_resp` holds exactly the live slots (compacted on every
+        // retirement) in nondecreasing response order, so candidates —
+        // which must have responded before the watermark — form a prefix.
+        let close_end = if self.finishing {
+            self.by_resp.len()
+        } else {
+            self.by_resp.partition_point(|&u| self.tx(u).resp() < self.watermark)
+        };
+        if close_end == 0 {
+            return;
+        }
+        // Objects with unresolved observations, hoisted out of the scan:
+        // an in-flight read pins every live write of the objects it names.
+        let read_pinned: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .filter(|(_, s)| s.pending_reads > 0)
+            .map(|(&o, _)| o)
+            .collect();
+        let n = self.slots.len();
+        let mut retiring = vec![false; n];
+        let mut any = false;
+        for idx in 0..close_end {
+            let i = self.by_resp[idx] as usize;
+            let Some(t) = self.slots[i].as_ref() else { continue };
+            // Unresolved observations pin the reader and every write of
+            // the objects involved: an in-flight write may still land
+            // anywhere in those orders.
+            let pinned = t.pending_obs > 0
+                || (t.rec.kind() == TxKind::Write
+                    && t.rec.spec.objects_iter().any(|o| read_pinned.contains(&o)));
+            if !pinned {
+                retiring[i] = true;
+                any = true;
+            }
+        }
+        if !any {
+            return;
+        }
+        // Overlap components, computed once per pass: the candidate orders
+        // do not change until the drain below, and the retiring set only
+        // shrinks — objects with no retiring member never need their rules
+        // applied.
+        let comps_by_obj: Vec<(ObjectId, Vec<Vec<u32>>)> = self
+            .objects
+            .iter()
+            .filter(|(_, s)| s.live.iter().any(|&w| retiring[w as usize]))
+            .map(|(&o, s)| (o, self.components_closed_prefix(&s.live)))
+            .collect();
+        loop {
+            let mut changed = false;
+            for idx in 0..close_end {
+                let i = self.by_resp[idx] as usize;
+                if !retiring[i] {
+                    continue;
+                }
+                let t = self.slots[i].as_ref().expect("flagged slot is live");
+                let blocked = t
+                    .preds
+                    .iter()
+                    .any(|&p| self.slots[p as usize].is_some() && !retiring[p as usize])
+                    || t.readers.iter().any(|&(_, r)| {
+                        self.slots[r as usize].is_some() && !retiring[r as usize]
+                    });
+                if blocked {
+                    retiring[i] = false;
+                    changed = true;
+                }
+            }
+            for (object, comps) in &comps_by_obj {
+                let state = &self.objects[object];
+                // Retiring versions must be a candidate-order prefix...
+                let mut cut = state.live.len();
+                for (k, &w) in state.live.iter().enumerate() {
+                    if !retiring[w as usize] {
+                        cut = k;
+                        break;
+                    }
+                }
+                for &w in &state.live[cut..] {
+                    if retiring[w as usize] {
+                        retiring[w as usize] = false;
+                        changed = true;
+                    }
+                }
+                // ...and overlap components retire whole or not at all.
+                for comp in comps {
+                    if comp.iter().any(|&w| !retiring[w as usize]) {
+                        for &w in comp {
+                            if retiring[w as usize] {
+                                retiring[w as usize] = false;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut emission: Vec<u32> = self
+            .by_resp
+            .iter()
+            .copied()
+            .filter(|&s| retiring[s as usize])
+            .collect();
+        if emission.is_empty() {
+            return;
+        }
+        emission.sort_by_key(|&s| self.tx(s).ord);
+        self.retired_any = true;
+        let mut pos_of: FxHashMap<u32, usize> = FxHashMap::default();
+        for (p, &s) in emission.iter().enumerate() {
+            pos_of.insert(s, p);
+        }
+        // Plan sealed segments: every fully-retiring multi-write overlap
+        // component spans an interval of the emission (its members plus
+        // their observers); overlapping intervals merge into one seal.
+        let mut intervals: Vec<(usize, usize, ObjectId)> = Vec::new();
+        let objects: Vec<ObjectId> = self.objects.keys().copied().collect();
+        for (object, comps) in &comps_by_obj {
+            let object = *object;
+            for comp in comps {
+                if comp.len() < 2 || comp.iter().any(|&w| !retiring[w as usize]) {
+                    continue;
+                }
+                let mut lo = usize::MAX;
+                let mut hi = 0usize;
+                for &w in comp {
+                    let p = pos_of[&w];
+                    lo = lo.min(p);
+                    hi = hi.max(p);
+                    for &(o, r) in &self.tx(w).readers {
+                        if o == object && self.slots[r as usize].is_some() {
+                            let rp = pos_of[&r];
+                            lo = lo.min(rp);
+                            hi = hi.max(rp);
+                        }
+                    }
+                }
+                intervals.push((lo, hi, object));
+            }
+        }
+        intervals.sort_unstable_by_key(|&(lo, _, _)| lo);
+        let mut merged: Vec<(usize, usize, Vec<ObjectId>)> = Vec::new();
+        for (lo, hi, object) in intervals {
+            match merged.last_mut() {
+                Some(m) if lo <= m.1 => {
+                    m.1 = m.1.max(hi);
+                    if !m.2.contains(&object) {
+                        m.2.push(object);
+                    }
+                }
+                _ => merged.push((lo, hi, vec![object])),
+            }
+        }
+        // Materialise the seals up front so per-object state can reference
+        // them; records are routed in below.
+        let mut seal_of_pos: FxHashMap<usize, usize> = FxHashMap::default();
+        let next_seal = self.seals.len();
+        for (mi, (lo, hi, objs)) in merged.iter().enumerate() {
+            for p in *lo..=*hi {
+                seal_of_pos.insert(p, next_seal + mi);
+            }
+            self.seals.push(Seal {
+                recs: Vec::new(),
+                ghosts: Vec::new(),
+                members: Vec::new(),
+                open_objects: objs.clone(),
+            });
+        }
+        // Per-object state updates: walk each object's retiring prefix in
+        // candidate order; each new unit expires the previous latest
+        // version (and the previous seal's claim on the object).
+        for &object in &objects {
+            let state = self.objects.get_mut(&object).expect("listed object");
+            let cut = state
+                .live
+                .iter()
+                .position(|&w| !retiring[w as usize])
+                .unwrap_or(state.live.len());
+            if cut == 0 {
+                state.boundary_readers.retain(|&r| !retiring[r as usize]);
+                continue;
+            }
+            let prefix: Vec<u32> = state.live.drain(..cut).collect();
+            state.boundary_readers.retain(|&r| !retiring[r as usize]);
+            for comp in self.components(&prefix) {
+                self.expire_object(object);
+                let state = self.objects.get_mut(&object).expect("listed object");
+                state.retired_versions += comp.len() as u64;
+                if comp.len() == 1 {
+                    let w = comp[0];
+                    let key = match self.tx(w).rec.outcome.as_ref() {
+                        Some(TxOutcome::Write(wo)) => Some(wo.key),
+                        _ => None,
+                    };
+                    let state = self.objects.get_mut(&object).expect("listed object");
+                    state.latest_retired = key;
+                    if let Some(key) = key {
+                        self.keys.insert((object, key), KeyState::RetiredLatest);
+                    }
+                } else {
+                    let seal = seal_of_pos[&pos_of[&comp[0]]];
+                    let state = self.objects.get_mut(&object).expect("listed object");
+                    state.latest_retired = None;
+                    state.open_seal = Some(seal);
+                    for &w in &comp {
+                        let key = match self.tx(w).rec.outcome.as_ref() {
+                            Some(TxOutcome::Write(wo)) => wo.key,
+                            _ => continue,
+                        };
+                        self.keys.insert((object, key), KeyState::Sealed { seal });
+                        self.seals[seal].members.push((object, key));
+                    }
+                }
+            }
+        }
+        // Emit: free the slots, route records into seals / the replay queue.
+        for (p, &slot) in emission.iter().enumerate() {
+            let t = self.slots[slot as usize].take().expect("retiring slot is live");
+            self.live_count -= 1;
+            self.free.push(slot);
+            self.tail_records += 1;
+            match seal_of_pos.get(&p) {
+                Some(&sid) => {
+                    let local = &mut self.seals[sid];
+                    if local.recs.is_empty() {
+                        self.replay_tail.push_back(ReplayEntry::Seal(sid));
+                    }
+                    local.recs.push(t.rec);
+                }
+                None => self.replay_tail.push_back(ReplayEntry::Tx(t.rec)),
+            }
+        }
+        self.by_resp.retain(|&s| self.slots[s as usize].is_some());
+        self.rebuild_pref_top();
+        self.drain_replay();
+    }
+
+    /// A later version of `object` has closed: the object's previous
+    /// latest version is no longer observable (future reads of it are
+    /// stale) and the previous seal — if any — loses its last flip
+    /// freedom on this object.
+    fn expire_object(&mut self, object: ObjectId) {
+        let state = self.objects.entry(object).or_default();
+        if let Some(prev) = state.latest_retired.take() {
+            self.keys.remove(&(object, prev));
+        }
+        if let Some(seal) = state.open_seal.take() {
+            let s = &mut self.seals[seal];
+            s.open_objects.retain(|&o| o != object);
+            for &(o, key) in &s.members {
+                if o == object {
+                    self.keys.remove(&(object, key));
+                }
+            }
+        }
+    }
+
+    /// Replays the certified queue head into the witness: plain
+    /// transactions immediately, sealed segments once every flip freedom
+    /// has expired.
+    fn drain_replay(&mut self) {
+        while let Some(front) = self.replay_tail.front() {
+            match front {
+                ReplayEntry::Tx(_) => {
+                    let Some(ReplayEntry::Tx(rec)) = self.replay_tail.pop_front() else {
+                        unreachable!()
+                    };
+                    self.tail_records -= 1;
+                    self.replay_one(&rec);
+                    if self.fatal.is_some() {
+                        return;
+                    }
+                }
+                ReplayEntry::Seal(sid) => {
+                    let sid = *sid;
+                    if !self.seals[sid].open_objects.is_empty() {
+                        return;
+                    }
+                    self.replay_tail.pop_front();
+                    let recs = std::mem::take(&mut self.seals[sid].recs);
+                    self.seals[sid].ghosts.clear();
+                    for rec in recs {
+                        self.tail_records -= 1;
+                        self.replay_one(&rec);
+                        if self.fatal.is_some() {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appends one certified transaction to the witness, validating it
+    /// against the sequential object-type semantics (same final validation
+    /// as the post-hoc engine).
+    fn replay_one(&mut self, rec: &TxRecord) {
+        if let Err(object) = self.replay.apply(rec) {
+            debug_assert!(false, "streaming witness replay failed on {object} at {}", rec.tx_id);
+            self.convict(
+                self.ingested.saturating_sub(1),
+                Verdict::NotSerializable(format!(
+                    "internal witness replay failed on object {object} at {}",
+                    rec.tx_id
+                )),
+            );
+            return;
+        }
+        self.witness.push(rec.tx_id);
+    }
+
+    // ---- sealed-segment flips ----------------------------------------------
+
+    /// A live read observed a sealed version.  The segment's internal
+    /// order is still revisable: record the observation as a ghost read and
+    /// re-linearise the segment under all accumulated ghosts with the same
+    /// solver the post-hoc engine uses.  Returns `false` when the read
+    /// convicts the history (the verdict is already recorded).
+    fn flip_seal(
+        &mut self,
+        slot: u32,
+        index: usize,
+        object: ObjectId,
+        key: Key,
+        seal: usize,
+    ) -> bool {
+        let tx_id = self.tx(slot).rec.tx_id;
+        let inv = self.tx(slot).inv();
+        // A newer live version completed before this read was invoked: the
+        // sealed observation is stale no matter how the segment flips.
+        if self.live_write_precedes(object, inv) {
+            self.convict(
+                index,
+                Verdict::NotSerializable(format!(
+                    "READ {tx_id} (commit #{index}) returned sealed version {key} for \
+                     {object} although a newer write completed before it was invoked"
+                )),
+            );
+            return false;
+        }
+        // Ghost read: this reader's observation of `object`, projected out
+        // of its full record so the segment solver sees exactly the
+        // constraints the post-hoc graph would.
+        let value = match self.tx(slot).rec.outcome.as_ref() {
+            Some(TxOutcome::Read(r)) => {
+                r.reads.iter().find(|or| or.object == object).map(|or| or.value)
+            }
+            _ => None,
+        };
+        let Some(value) = value else { return true };
+        let mut ghost = TxRecord::invoked(
+            tx_id,
+            self.tx(slot).rec.client,
+            snow_core::TxSpec::read(vec![object]),
+            inv,
+        );
+        ghost.responded_at = self.tx(slot).rec.responded_at;
+        ghost.outcome = Some(TxOutcome::Read(snow_core::ReadOutcome {
+            reads: vec![snow_core::ObjectRead { object, key, value }],
+            tag: None,
+        }));
+        self.seals[seal].ghosts.push(ghost);
+        // Fast path: the observed version is already the last of its
+        // object in the segment and every sibling version responded before
+        // this read was invoked — the current order satisfies the new
+        // constraint as-is.
+        let consistent = {
+            let s = &self.seals[seal];
+            let mut last_of_object = None;
+            let mut all_before = true;
+            for rec in &s.recs {
+                if let Some(TxOutcome::Write(wo)) = rec.outcome.as_ref() {
+                    if rec.spec.objects().contains(&object) {
+                        last_of_object = Some(wo.key);
+                        if wo.key != key && rec.responded_at.unwrap_or(u64::MAX) > inv {
+                            all_before = false;
+                        }
+                    }
+                }
+            }
+            last_of_object == Some(key) && all_before
+        };
+        if consistent {
+            return true;
+        }
+        self.relinearize_seal(seal, index, tx_id)
+    }
+
+    /// Re-solves a sealed segment under its accumulated ghost reads and
+    /// adopts the new internal order.  Returns `false` on conviction.
+    fn relinearize_seal(&mut self, seal: usize, index: usize, at_tx: snow_core::TxId) -> bool {
+        let solved = {
+            let s = &self.seals[seal];
+            let mut txs: Vec<&TxRecord> = Vec::new();
+            let mut writes_of: BTreeMap<ObjectId, Vec<usize>> = BTreeMap::new();
+            let mut installs: FxHashMap<(ObjectId, Key), usize> = FxHashMap::default();
+            for (n, rec) in s.recs.iter().enumerate() {
+                txs.push(rec);
+                if let Some(TxOutcome::Write(wo)) = rec.outcome.as_ref() {
+                    for o in rec.spec.objects() {
+                        writes_of.entry(o).or_default().push(n);
+                        installs.insert((o, wo.key), n);
+                    }
+                }
+            }
+            for g in &s.ghosts {
+                txs.push(g);
+            }
+            let mut obs: Vec<Obs> = Vec::new();
+            let mut obs_of: BTreeMap<ObjectId, Vec<usize>> = BTreeMap::new();
+            for (n, rec) in s.recs.iter().chain(s.ghosts.iter()).enumerate() {
+                if let Some(TxOutcome::Read(ro)) = rec.outcome.as_ref() {
+                    for or in &ro.reads {
+                        // Versions installed outside the segment precede
+                        // it wholly: κ₀-like boundary observations.
+                        let write = installs.get(&(or.object, or.key)).copied();
+                        obs_of.entry(or.object).or_default().push(obs.len());
+                        obs.push(Obs { reader: n, object: or.object, write });
+                    }
+                }
+            }
+            let ctx = Ctx { txs, writes_of, obs, obs_of };
+            let solver = GraphChecker {
+                split_budget: self.split_budget,
+                max_ambiguous_group: self.max_ambiguous_group,
+            };
+            solver.solve_ctx(&ctx)
+        };
+        match solved {
+            Ok((witness, _)) => {
+                let s = &mut self.seals[seal];
+                let n_recs = s.recs.len();
+                let old = std::mem::take(&mut s.recs);
+                let mut old: Vec<Option<TxRecord>> = old.into_iter().map(Some).collect();
+                for &node in &witness {
+                    if node < n_recs {
+                        s.recs.push(old[node].take().expect("witness node unique"));
+                    }
+                }
+                debug_assert_eq!(s.recs.len(), n_recs);
+                true
+            }
+            Err(Verdict::NotSerializable(why)) => {
+                self.convict(
+                    index,
+                    Verdict::NotSerializable(format!(
+                        "at {at_tx} (commit #{index}): certified segment admits no \
+                         order consistent with the stale read: {why}"
+                    )),
+                );
+                false
+            }
+            Err(v) => {
+                self.sticky_unknown(index, format!("sealed segment re-solve: {v:?}"));
+                false
+            }
+        }
+    }
+
+    // ---- finish ------------------------------------------------------------
+
+    /// Includes an incomplete (never-responded) WRITE whose effects were
+    /// observed by a committed read.  Call for each incomplete write with
+    /// an outcome before [`Self::finish`]; unobserved ones are ignored,
+    /// matching the post-hoc builder.
+    pub fn ingest_incomplete(&mut self, rec: TxRecord) {
+        if self.fatal.is_some() || rec.kind() != TxKind::Write {
+            return;
+        }
+        let key = match rec.outcome.as_ref() {
+            Some(TxOutcome::Write(w)) => w.key,
+            _ => return,
+        };
+        if !rec.spec.objects().iter().any(|&o| self.pending.contains_key(&(o, key))) {
+            return;
+        }
+        if self.early.len() < SEARCH_FALLBACK_KEEP {
+            self.early.push(rec.clone());
+        }
+        self.optional_included += 1;
+        let slot = self.alloc(rec, self.ingested);
+        let mut clean = self.add_real_time_edges(slot);
+        clean &= self.ingest_write(slot);
+        if self.fatal.is_none() && !clean {
+            self.resolve_window(slot);
+        }
+        self.peak_live = self.peak_live.max(self.live_window());
+    }
+
+    /// Finalises the stream: convicts unresolved observations, retires the
+    /// remaining window and returns the overall verdict with a full
+    /// replay-validated witness on success.  Feed incomplete observed
+    /// writes via [`Self::ingest_incomplete`] first.
+    pub fn finish(&mut self) -> Verdict {
+        if self.fatal.is_none() {
+            // A read returned a version no write installs: same conviction
+            // as the post-hoc builder, attributed to the earliest reader.
+            let mut worst: Option<(usize, snow_core::TxId, ObjectId, Key)> = None;
+            for (&(object, key), readers) in &self.pending {
+                for &r in readers {
+                    let Some(t) = self.slots[r as usize].as_ref() else { continue };
+                    if worst.map(|(i, ..)| t.index < i).unwrap_or(true) {
+                        worst = Some((t.index, t.rec.tx_id, object, key));
+                    }
+                }
+            }
+            if let Some((index, tx, object, key)) = worst {
+                self.convict(
+                    index,
+                    Verdict::NotSerializable(format!(
+                        "READ {tx} returned version {key} for {object} but no write \
+                         installs it"
+                    )),
+                );
+            }
+        }
+        match &self.fatal {
+            Some(v) if v.is_violation() => return v.clone(),
+            Some(v) => {
+                // Mirror `check_auto`: an undecided small history goes to
+                // the exhaustive search, provided the stream still holds
+                // every record.
+                let total = self.ingested + self.optional_included;
+                if !self.retired_any && self.early.len() == total {
+                    let search = SearchChecker::default();
+                    if total <= search.max_transactions {
+                        let mut h = History::new();
+                        for rec in &self.early {
+                            h.push(rec.clone());
+                        }
+                        return search.check(&h);
+                    }
+                }
+                return v.clone();
+            }
+            None => {}
+        }
+        self.finishing = true;
+        self.retire_pass();
+        for s in &mut self.seals {
+            s.open_objects.clear();
+        }
+        self.drain_replay();
+        if let Some(v) = &self.fatal {
+            return v.clone();
+        }
+        debug_assert_eq!(self.live_count, 0, "finish must certify the whole window");
+        Verdict::Serializable(self.witness.clone())
+    }
+
+    // ---- whole-history conveniences ----------------------------------------
+
+    /// Feeds a complete history in commit order, advancing the watermark
+    /// as tightly as hindsight allows (before each step, to the earliest
+    /// invocation among the not-yet-ingested commits).  Incomplete
+    /// observed writes are fed at the end.
+    pub fn feed_history(&mut self, history: &History) {
+        let mut committed: Vec<&TxRecord> = history.completed().collect();
+        committed.sort_by_key(|r| (r.responded_at.unwrap_or(u64::MAX), r.tx_id.0));
+        let mut suffix_min = vec![u64::MAX; committed.len() + 1];
+        for i in (0..committed.len()).rev() {
+            suffix_min[i] = suffix_min[i + 1].min(committed[i].invoked_at);
+        }
+        for (i, rec) in committed.iter().enumerate() {
+            self.ingest((*rec).clone());
+            self.advance_watermark(suffix_min[i + 1]);
+        }
+        for rec in &history.records {
+            if !rec.is_complete() {
+                self.ingest_incomplete(rec.clone());
+            }
+        }
+    }
+
+    /// One-shot: checks a complete history through the streaming engine.
+    /// Equivalent in verdict to feeding the commit stream live.
+    pub fn check(history: &History) -> Verdict {
+        let mut checker = StreamChecker::new();
+        checker.feed_history(history);
+        checker.finish()
+    }
+}

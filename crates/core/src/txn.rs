@@ -127,6 +127,16 @@ impl TxSpec {
         }
     }
 
+    /// The objects this transaction touches, without allocating — for
+    /// hot paths that only scan.
+    pub fn objects_iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        let (read, write) = match self {
+            TxSpec::Read(r) => (Some(r.objects.iter().copied()), None),
+            TxSpec::Write(w) => (None, Some(w.writes.iter().map(|(o, _)| *o))),
+        };
+        read.into_iter().flatten().chain(write.into_iter().flatten())
+    }
+
     /// Convenience constructor for a READ transaction.
     pub fn read(objects: Vec<ObjectId>) -> Self {
         TxSpec::Read(ReadSpec::new(objects))

@@ -13,6 +13,8 @@ use snow_sim::{
     FifoScheduler, LatencyScheduler, ParallelSimulation, RandomScheduler, Scheduler, Simulation,
 };
 
+pub use snow_sim::CommitDrain;
+
 /// Which protocol a cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
@@ -147,6 +149,12 @@ pub trait Cluster {
     fn history(&self) -> History;
     /// Current simulation time.
     fn now(&self) -> u64;
+    /// Drains the transactions committed since the previous drain, in
+    /// global RESP order, retiring the consumed commit-log prefix — the
+    /// incremental feed for streaming certification (see
+    /// [`snow_sim::CommitDrain`]).  The batch's `inv_floor` is the
+    /// watermark a streaming checker may advance to after ingesting it.
+    fn drain_commits(&mut self) -> CommitDrain;
 }
 
 impl<P, S> Cluster for Simulation<P, S>
@@ -174,6 +182,9 @@ where
     }
     fn now(&self) -> u64 {
         Simulation::now(self)
+    }
+    fn drain_commits(&mut self) -> CommitDrain {
+        Simulation::drain_commits(self)
     }
 }
 
@@ -203,6 +214,9 @@ where
     }
     fn now(&self) -> u64 {
         ParallelSimulation::now(self)
+    }
+    fn drain_commits(&mut self) -> CommitDrain {
+        ParallelSimulation::drain_commits(self)
     }
 }
 

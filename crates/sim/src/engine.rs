@@ -45,7 +45,7 @@ use crate::sim::Simulation;
 use crate::trace::{ActionKind, CausalEnvelope, Trace};
 use snow_core::{ClientId, Effects, History, Process, ProcessId, TxId, TxKind, TxRecord, TxSpec};
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// What a single simulation step did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,6 +120,13 @@ pub(crate) struct DispatchCore<P: Process, S> {
     pub(crate) next_msg: u64,
     pub(crate) steps: u64,
     pub(crate) max_steps: u64,
+    /// Commit-log position of the last [`DispatchCore::new_commits`] drain.
+    pub(crate) commit_cursor: u64,
+    /// `(invoked_at, tx)` of every invoked-but-not-responded transaction —
+    /// the first entry is the earliest in-flight invocation, which bounds
+    /// [`DispatchCore::inv_floor`] in O(log n) per update instead of an
+    /// O(records) scan per drain.
+    pub(crate) in_flight: BTreeSet<(u64, TxId)>,
     /// Sends addressed to processes of another core, buffered for the
     /// epoch exchange.  Always empty at stride 1 (everything is local).
     pub(crate) outbox: Vec<Transit<P::Msg>>,
@@ -144,6 +151,8 @@ where
             next_msg: index as u64,
             steps: 0,
             max_steps: 1_000_000,
+            commit_cursor: 0,
+            in_flight: BTreeSet::new(),
             outbox: Vec::new(),
         }
     }
@@ -331,6 +340,7 @@ where
         );
         self.records
             .insert(tx, TxRecord::invoked(tx, client, spec.clone(), self.now));
+        self.in_flight.insert((self.now, tx));
         let mut effects = Effects::new(self.now);
         let process = self
             .processes
@@ -415,28 +425,73 @@ where
         for (tx, outcome) in responses {
             self.trace.record(self.now, at, ActionKind::Respond { tx });
             if let Some(rec) = self.records.get_mut(&tx) {
+                let invoked_at = rec.invoked_at;
                 rec.responded_at = Some(self.now);
                 rec.outcome = Some(outcome);
+                self.in_flight.remove(&(invoked_at, tx));
             }
         }
     }
 
-    /// Appends this core's transaction records to `history`, enriched with
-    /// the core's trace aggregates (rounds, read instrumentation) and a
-    /// caller-supplied C2C count (the sharded engine sums across cores).
-    /// Callers sort the assembled history by `(invoked_at, tx_id)` once all
-    /// cores have contributed.
-    pub(crate) fn collect_records(&self, history: &mut History, c2c_of: impl Fn(TxId) -> u32) {
-        for (tx, rec) in &self.records {
-            let mut rec = rec.clone();
-            let client = ProcessId::Client(rec.client);
-            rec.rounds = self.trace.rounds_of(*tx, client);
-            rec.c2c_messages = c2c_of(*tx);
-            if rec.kind() == TxKind::Read {
-                rec.reads = self.trace.read_results(*tx).to_vec();
-            }
-            history.push(rec);
+    /// Clones one record enriched with the core's trace aggregates (rounds,
+    /// read instrumentation) and a caller-supplied C2C count (the sharded
+    /// engine sums across cores).
+    fn enriched_record(&self, rec: &TxRecord, c2c_of: &impl Fn(TxId) -> u32) -> TxRecord {
+        let tx = rec.tx_id;
+        let mut rec = rec.clone();
+        let client = ProcessId::Client(rec.client);
+        rec.rounds = self.trace.rounds_of(tx, client);
+        rec.c2c_messages = c2c_of(tx);
+        if rec.kind() == TxKind::Read {
+            rec.reads = self.trace.read_results(tx).to_vec();
         }
+        rec
+    }
+
+    /// Appends this core's transaction records to `history`, enriched with
+    /// the core's trace aggregates.  Callers sort the assembled history by
+    /// `(invoked_at, tx_id)` once all cores have contributed.
+    pub(crate) fn collect_records(&self, history: &mut History, c2c_of: impl Fn(TxId) -> u32) {
+        for rec in self.records.values() {
+            history.push(self.enriched_record(rec, &c2c_of));
+        }
+    }
+
+    /// The enriched records of every commit the trace logged since the
+    /// last [`DispatchCore::retire_drained_commits`], in local RESP order —
+    /// the streaming checker's incremental alternative to re-assembling
+    /// the whole history per poll.  Immutable so a caller can pass a
+    /// `c2c_of` closure that reads sibling cores' traces; pair with
+    /// `retire_drained_commits` once the batch is consumed.
+    pub(crate) fn new_commits(&self, c2c_of: impl Fn(TxId) -> u32) -> Vec<TxRecord> {
+        self.trace
+            .commits_since(self.commit_cursor)
+            .filter_map(|tx| self.records.get(&tx))
+            .map(|rec| self.enriched_record(rec, &c2c_of))
+            .collect()
+    }
+
+    /// Marks everything returned by the last [`DispatchCore::new_commits`]
+    /// as consumed and retires the trace's commit-log prefix, keeping the
+    /// log O(drain window) instead of O(transactions).
+    pub(crate) fn retire_drained_commits(&mut self) {
+        self.commit_cursor = self.trace.commit_count();
+        self.trace.retire_commits(self.commit_cursor);
+    }
+
+    /// A lower bound on the `invoked_at` of every commit this core will
+    /// log *after* the current drain point: in-flight transactions keep
+    /// their invocation time, and any not-yet-dispatched invocation will
+    /// be stamped `max(now, at) + 1 > now` by the clock clamp.  This is
+    /// the watermark a streaming checker may advance its certification
+    /// frontier to.
+    pub(crate) fn inv_floor(&self) -> u64 {
+        let in_flight = self
+            .in_flight
+            .first()
+            .map(|&(at, _)| at)
+            .unwrap_or(u64::MAX);
+        in_flight.min(self.now + 1)
     }
 }
 

@@ -58,5 +58,5 @@ pub use parallel::ParallelSimulation;
 pub use pool::MessagePool;
 pub use snow_core::{Effects, Process};
 pub use scheduler::{FifoScheduler, LatencyScheduler, RandomScheduler, Scheduler};
-pub use sim::{InvocationPlan, Simulation, StepOutcome};
+pub use sim::{CommitDrain, InvocationPlan, Simulation, StepOutcome};
 pub use trace::{Action, ActionKind, CausalEnvelope, Trace};

@@ -61,7 +61,9 @@
 
 use crate::engine::{DispatchCore, QueuedInvocation, Transit};
 use crate::scheduler::Scheduler;
+use crate::sim::CommitDrain;
 use crate::trace::Trace;
+use snow_core::TxRecord;
 use snow_core::{ClientId, History, Process, ProcessId, TxId, TxSpec};
 use std::sync::{Barrier, Mutex};
 
@@ -131,6 +133,11 @@ pub struct ParallelSimulation<P: Process, S> {
     shards: Vec<DispatchCore<P, S>>,
     next_tx: u64,
     epoch_width: u64,
+    /// Commits drained from their shard but not yet released globally:
+    /// shard clocks advance independently, so a record waits here until
+    /// every shard's clock has passed its RESP time (see
+    /// [`ParallelSimulation::drain_commits`]).
+    holdback: Vec<TxRecord>,
 }
 
 impl<P, S> ParallelSimulation<P, S>
@@ -153,6 +160,7 @@ where
                 .collect(),
             next_tx: 0,
             epoch_width: DEFAULT_EPOCH_WIDTH,
+            holdback: Vec::new(),
         }
     }
 
@@ -248,6 +256,51 @@ where
     /// A shard's trace (for assertions in tests/harnesses).
     pub fn trace(&self, shard: usize) -> &Trace {
         &self.shards[shard].trace
+    }
+
+    /// Drains the transactions committed since the previous drain across
+    /// every shard, in **global** RESP order, retiring each shard's
+    /// consumed commit-log prefix — the sharded analogue of
+    /// [`crate::Simulation::drain_commits`].
+    ///
+    /// Shard clocks advance independently, so a freshly drained record is
+    /// only *released* once every shard's clock has passed its RESP time:
+    /// any future commit on shard `i` is stamped strictly after
+    /// `shards[i].now` (the dispatch clock clamp), so every record with
+    /// `responded_at ≤ min(shard nows)` is globally final in RESP order.
+    /// Later records wait in a holdback buffer for a later drain; a
+    /// quiescent system releases everything.  The drain's `inv_floor`
+    /// accounts for held-back records as well as in-flight and
+    /// not-yet-dispatched invocations on every shard.
+    pub fn drain_commits(&mut self) -> CommitDrain {
+        for i in 0..self.shards.len() {
+            let records = {
+                let shard = &self.shards[i];
+                shard.new_commits(|tx| {
+                    self.shards.iter().map(|s| s.trace.c2c_count(tx)).sum()
+                })
+            };
+            self.shards[i].retire_drained_commits();
+            self.holdback.extend(records);
+        }
+        self.holdback
+            .sort_by_key(|r| (r.responded_at.unwrap_or(u64::MAX), r.tx_id));
+        let released = if self.is_quiescent() {
+            self.holdback.len()
+        } else {
+            let horizon = self.shards.iter().map(|s| s.now).min().unwrap_or(0);
+            self.holdback
+                .partition_point(|r| r.responded_at.unwrap_or(u64::MAX) <= horizon)
+        };
+        let records: Vec<TxRecord> = self.holdback.drain(..released).collect();
+        let inv_floor = self
+            .shards
+            .iter()
+            .map(|s| s.inv_floor())
+            .chain(self.holdback.iter().map(|r| r.invoked_at))
+            .min()
+            .unwrap_or(0);
+        CommitDrain { records, inv_floor }
     }
 
     fn total_steps(&self) -> u64 {
@@ -672,6 +725,49 @@ mod tests {
         assert!(sim.is_complete(first));
         assert!(!sim.is_complete(later));
         assert!(sim.run_until_complete(later));
+    }
+
+    /// Interleaving drains with multi-shard runs yields exactly the
+    /// completed records of the final history, in global RESP order, with
+    /// `inv_floor` watermarks that no later-released record undercuts.
+    #[test]
+    fn drain_commits_releases_in_global_resp_order_across_shards() {
+        let mut sim = deploy(4, 4, 4, |i| LatencyScheduler::new(shard_seed(21, i), 1, 16));
+        let txs = plan(&mut sim, 4);
+        let mut drained = Vec::new();
+        let mut floor = 0u64;
+        // Drain after every completion wave, exercising the holdback path
+        // while shard clocks are genuinely skewed.
+        loop {
+            let remaining: Vec<TxId> = txs
+                .iter()
+                .copied()
+                .filter(|&tx| !sim.is_complete(tx))
+                .collect();
+            if remaining.is_empty() {
+                break;
+            }
+            sim.run_until_any_complete(&remaining);
+            let drain = sim.drain_commits();
+            for rec in &drain.records {
+                assert!(
+                    rec.invoked_at >= floor,
+                    "record invoked at {} below the promised floor {floor}",
+                    rec.invoked_at
+                );
+            }
+            assert!(drain.inv_floor >= floor, "inv_floor regressed");
+            floor = drain.inv_floor;
+            drained.extend(drain.records);
+        }
+        sim.run_until_quiescent();
+        drained.extend(sim.drain_commits().records);
+        assert!(drained
+            .windows(2)
+            .all(|w| (w[0].responded_at, w[0].tx_id) <= (w[1].responded_at, w[1].tx_id)));
+        let mut expected: Vec<_> = sim.history().records;
+        expected.sort_by_key(|r| (r.responded_at, r.tx_id));
+        assert_eq!(format!("{drained:?}"), format!("{expected:?}"));
     }
 
     #[test]

@@ -219,6 +219,12 @@ pub struct Trace {
     by_tx: FxHashMap<TxId, TxIndex>,
     /// Per-process action seqs (the projection `trace(α)|p`).
     by_proc: FxHashMap<ProcessId, VecDeque<u64>>,
+    /// Commit log: transactions in RESP order, minus the prefix already
+    /// retired by [`Trace::retire_commits`].  `commits[0]` is commit
+    /// number `commits_retired`.
+    commits: VecDeque<TxId>,
+    /// Number of commit-log entries retired so far.
+    commits_retired: u64,
     /// Highest action time recorded so far — backs the debug-mode
     /// monotonicity assertion in [`Trace::record`].
     last_time: u64,
@@ -327,6 +333,7 @@ impl Trace {
                 self.by_tx.entry(*tx).or_default().invoker = Some(action.at);
             }
             ActionKind::Respond { tx } => {
+                self.commits.push_back(*tx);
                 // Bounded mode: the transaction is over, so its causal
                 // metadata can no longer influence any aggregate its
                 // invoker cares about — drop it, keeping the side table
@@ -684,6 +691,41 @@ impl Trace {
             .get(&tx)
             .map(|t| t.reads.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// Total number of transaction commits (RESP actions) ever recorded,
+    /// including retired commit-log entries.
+    pub fn commit_count(&self) -> u64 {
+        self.commits_retired + self.commits.len() as u64
+    }
+
+    /// Number of commit-log entries retired by [`Trace::retire_commits`]
+    /// — the commit number of the oldest live entry.
+    pub fn retired_commits(&self) -> u64 {
+        self.commits_retired
+    }
+
+    /// Iterates the live commit-log entries from commit number `cursor`
+    /// on, in RESP order, without cloning anything — the incremental
+    /// alternative to re-assembling a full history per checker poll.
+    /// Already-retired entries are omitted (a `cursor` below
+    /// [`Trace::retired_commits`] starts at the oldest live entry).
+    pub fn commits_since(&self, cursor: u64) -> impl Iterator<Item = TxId> + '_ {
+        let skip = cursor.saturating_sub(self.commits_retired) as usize;
+        self.commits.iter().skip(skip).copied()
+    }
+
+    /// Retires every commit-log entry before commit number `up_to`,
+    /// dropping their storage.  Callers that have drained a prefix via
+    /// [`Trace::commits_since`] retire it here so the live log stays
+    /// O(in-flight drain window) instead of O(transactions).
+    pub fn retire_commits(&mut self, up_to: u64) {
+        while self.commits_retired < up_to {
+            if self.commits.pop_front().is_none() {
+                break;
+            }
+            self.commits_retired += 1;
+        }
     }
 }
 
@@ -1101,5 +1143,31 @@ mod tests {
         assert_eq!(t.causal_meta_len(), 0);
         assert_eq!(t.parent_of(MsgId(1)), None);
         assert_eq!(t.rounds_of(tx, client(0)), 1);
+    }
+
+    #[test]
+    fn commit_log_iterates_and_retires_in_resp_order() {
+        let mut t = Trace::with_action_capacity(8);
+        replay_pattern(&mut t, 20);
+        assert_eq!(t.commit_count(), 20);
+        assert_eq!(t.retired_commits(), 0);
+        // The log is in RESP order even though the action window evicted
+        // almost everything.
+        let all: Vec<TxId> = t.commits_since(0).collect();
+        assert_eq!(all, (0..20).map(TxId).collect::<Vec<_>>());
+        // A cursor resumes mid-log without re-yielding drained entries.
+        let tail: Vec<TxId> = t.commits_since(17).collect();
+        assert_eq!(tail, vec![TxId(17), TxId(18), TxId(19)]);
+        // Retiring a prefix drops its storage but not the numbering.
+        t.retire_commits(17);
+        assert_eq!(t.retired_commits(), 17);
+        assert_eq!(t.commit_count(), 20);
+        assert_eq!(t.commits_since(17).collect::<Vec<_>>(), tail);
+        // A stale cursor starts at the oldest live entry; retiring past
+        // the end is clamped.
+        assert_eq!(t.commits_since(0).count(), 3);
+        t.retire_commits(100);
+        assert_eq!(t.retired_commits(), 20);
+        assert_eq!(t.commits_since(0).count(), 0);
     }
 }

@@ -16,9 +16,10 @@
 
 use crate::generator::WorkloadGenerator;
 use serde::{Deserialize, Serialize};
-use snow_checker::{check_auto, Verdict};
-use snow_core::{History, TxId};
+use snow_checker::{check_auto, StreamChecker, Verdict};
+use snow_core::{ClientId, History, TxId, TxSpec};
 use snow_protocols::Cluster;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Summary of a driven workload run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -31,6 +32,46 @@ pub struct DriverReport {
     pub rounds: usize,
     /// Total simulated duration (ticks).
     pub duration: u64,
+}
+
+/// How a checked driver run certifies strict serializability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// Assemble the full history at the end and hand it to
+    /// [`snow_checker::check_auto`] — needs the whole history in memory.
+    #[default]
+    PostHoc,
+    /// Feed a [`StreamChecker`] from the cluster's commit drain as
+    /// transactions complete: memory stays O(live window + in-flight) and
+    /// violations are attributed to the offending commit, not discovered
+    /// at the end of the run.
+    Streaming,
+}
+
+/// Ingests one commit drain into a streaming checker: the drained records
+/// in RESP order, then the drain's invocation floor as the new frontier
+/// watermark.  Shared by the closed-loop and open-loop streaming modes.
+pub(crate) fn drain_into(checker: &mut StreamChecker, cluster: &mut dyn Cluster) {
+    let drain = cluster.drain_commits();
+    for rec in drain.records {
+        checker.ingest(rec);
+    }
+    checker.advance_watermark(drain.inv_floor);
+}
+
+/// Finishes a streaming run: any incomplete transaction in the final
+/// history is reported to the checker (incomplete writes may still have
+/// installed versions), then the stream's verdict is taken.
+pub(crate) fn finish_stream(
+    mut checker: StreamChecker,
+    cluster: &mut dyn Cluster,
+    history: &History,
+) -> Verdict {
+    drain_into(&mut checker, cluster);
+    for rec in history.records.iter().filter(|r| !r.is_complete()) {
+        checker.ingest_incomplete(rec.clone());
+    }
+    checker.finish()
 }
 
 /// Drives workloads against a cluster.
@@ -59,6 +100,19 @@ impl WorkloadDriver {
         generator: &mut WorkloadGenerator,
         total: usize,
     ) -> (History, DriverReport) {
+        self.run_tapped(cluster, generator, total, &mut |_| {})
+    }
+
+    /// [`WorkloadDriver::run`] with an observation tap invoked after each
+    /// round settles — the hook the streaming check mode uses to drain
+    /// commits as they happen.  The no-op tap reproduces `run` exactly.
+    fn run_tapped(
+        &self,
+        cluster: &mut dyn Cluster,
+        generator: &mut WorkloadGenerator,
+        total: usize,
+        tap: &mut dyn FnMut(&mut dyn Cluster),
+    ) -> (History, DriverReport) {
         let mut issued = 0usize;
         let mut rounds = 0usize;
         let start = cluster.now();
@@ -84,6 +138,7 @@ impl WorkloadDriver {
             issued += batch.len();
             all_tx.extend(cluster.invoke_batch(now, batch));
             cluster.run_until_quiescent();
+            tap(cluster);
         }
         let history = cluster.history();
         let completed = all_tx.iter().filter(|tx| cluster.is_complete(**tx)).count();
@@ -91,6 +146,83 @@ impl WorkloadDriver {
             issued,
             completed,
             rounds,
+            duration: cluster.now().saturating_sub(start),
+        };
+        (history, report)
+    }
+
+    /// Runs `total` transactions with **per-client pacing**: up to
+    /// `per_round` clients each keep exactly one transaction outstanding,
+    /// and a client's next transaction is injected the moment its previous
+    /// one completes — instead of the whole round waiting for its slowest
+    /// member.  The plan is drawn from the generator up front into
+    /// per-client FIFO queues (the open-loop driver's machinery), so each
+    /// client runs its own transactions in draw order and the one-
+    /// outstanding-per-client well-formedness holds by construction.
+    ///
+    /// Fully deterministic: injection times come from the cluster clock and
+    /// the refill rotation is seeded in client order, so a run is a pure
+    /// function of `(cluster, generator seed, total)`.
+    pub fn run_paced(
+        &self,
+        cluster: &mut dyn Cluster,
+        generator: &mut WorkloadGenerator,
+        total: usize,
+    ) -> (History, DriverReport) {
+        let start = cluster.now();
+        let window = self.per_round.max(1);
+        let mut queues: BTreeMap<ClientId, VecDeque<TxSpec>> = BTreeMap::new();
+        for _ in 0..total {
+            let tx = generator.next_tx();
+            queues.entry(tx.client).or_default().push_back(tx.spec);
+        }
+        let mut rotation: VecDeque<ClientId> = queues.keys().copied().collect();
+        let mut active: Vec<TxId> = Vec::new();
+        let mut owner: Vec<(TxId, ClientId)> = Vec::new();
+        let mut all_tx: Vec<TxId> = Vec::with_capacity(total);
+        let mut issued = 0usize;
+        let mut waves = 0usize;
+        loop {
+            // Keep up to `window` clients busy, one transaction each.
+            while active.len() < window {
+                let Some(client) = rotation.pop_front() else { break };
+                let Some(spec) = queues.get_mut(&client).and_then(|q| q.pop_front()) else {
+                    continue;
+                };
+                let tx = cluster.invoke_at(cluster.now(), client, spec);
+                issued += 1;
+                active.push(tx);
+                owner.push((tx, client));
+                all_tx.push(tx);
+            }
+            if cluster.run_until_any_complete(&active).is_none() {
+                break; // nothing outstanding, or the cluster stalled
+            }
+            waves += 1;
+            // Free every client whose transaction completed; clients with
+            // remaining work rejoin the rotation immediately.
+            let mut i = 0;
+            while i < active.len() {
+                let tx = active[i];
+                if cluster.is_complete(tx) {
+                    active.swap_remove(i);
+                    if let Some(pos) = owner.iter().position(|&(t, _)| t == tx) {
+                        let (_, client) = owner.swap_remove(pos);
+                        if queues.get(&client).is_some_and(|q| !q.is_empty()) {
+                            rotation.push_back(client);
+                        }
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let history = cluster.history();
+        let completed = all_tx.iter().filter(|tx| cluster.is_complete(**tx)).count();
+        let report = DriverReport {
+            issued,
+            completed,
+            rounds: waves,
             duration: cluster.now().saturating_sub(start),
         };
         (history, report)
@@ -129,9 +261,40 @@ impl WorkloadDriver {
         generator: &mut WorkloadGenerator,
         total: usize,
     ) -> (History, DriverReport, Verdict) {
-        let (history, report) = self.run(cluster, generator, total);
-        let verdict = check_auto(&history);
-        (history, report, verdict)
+        self.run_checked_mode(cluster, generator, total, CheckMode::PostHoc)
+    }
+
+    /// [`WorkloadDriver::run_checked`] with an explicit [`CheckMode`].
+    /// [`CheckMode::PostHoc`] is the historical behaviour;
+    /// [`CheckMode::Streaming`] certifies incrementally instead: after
+    /// every round the cluster's commit drain is fed to a
+    /// [`StreamChecker`], whose sliding frontier retires certified
+    /// prefixes as the run progresses — bounded checker memory, and
+    /// violations attributed to the offending commit.  Both modes produce
+    /// the same verdict category on the same run.
+    pub fn run_checked_mode(
+        &self,
+        cluster: &mut dyn Cluster,
+        generator: &mut WorkloadGenerator,
+        total: usize,
+        mode: CheckMode,
+    ) -> (History, DriverReport, Verdict) {
+        match mode {
+            CheckMode::PostHoc => {
+                let (history, report) = self.run(cluster, generator, total);
+                let verdict = check_auto(&history);
+                (history, report, verdict)
+            }
+            CheckMode::Streaming => {
+                let mut checker = StreamChecker::new();
+                let (history, report) =
+                    self.run_tapped(cluster, generator, total, &mut |cluster| {
+                        drain_into(&mut checker, cluster);
+                    });
+                let verdict = finish_stream(checker, cluster, &history);
+                (history, report, verdict)
+            }
+        }
     }
 
     /// Runs a read-latency probe: `writes_per_round` WRITEs and one READ are
@@ -353,6 +516,119 @@ mod tests {
                 format!("{windowed:?}"),
                 "{protocol:?}: bounded multi-shard trace changed the history"
             );
+        }
+    }
+
+    #[test]
+    fn paced_driver_completes_everything_with_one_outstanding_per_client() {
+        let config = SystemConfig::mwmr(4, 2, 2);
+        for protocol in [ProtocolKind::AlgB, ProtocolKind::AlgC, ProtocolKind::Eiger] {
+            let mut cluster = build_cluster(
+                protocol,
+                &config,
+                SchedulerKind::Latency { seed: 1, min: 1, max: 20 },
+            )
+            .unwrap();
+            let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+            let (history, report) =
+                WorkloadDriver::new(4).run_paced(cluster.as_mut(), &mut generator, 60);
+            assert_eq!(report.issued, 60, "{protocol:?}");
+            assert_eq!(report.completed, 60, "{protocol:?}");
+            assert_eq!(history.incomplete_count(), 0, "{protocol:?}");
+            // Per-client well-formedness: no client ever has two
+            // transactions outstanding at once.
+            for client in history.records.iter().map(|r| r.client) {
+                let mut intervals: Vec<(u64, u64)> = history
+                    .records
+                    .iter()
+                    .filter(|r| r.client == client)
+                    .map(|r| (r.invoked_at, r.responded_at.unwrap()))
+                    .collect();
+                intervals.sort();
+                assert!(
+                    intervals.windows(2).all(|w| w[0].1 <= w[1].0),
+                    "{protocol:?}: client {client:?} overlapped its own transactions"
+                );
+            }
+            // The run is certified like any other driven history.
+            assert!(check_auto(&history).is_serializable(), "{protocol:?}");
+        }
+    }
+
+    /// Determinism regression for the paced driver: identical seeds must
+    /// produce byte-identical histories, on the serial and on the sharded
+    /// substrate.
+    #[test]
+    fn paced_driver_is_deterministic() {
+        let config = SystemConfig::mwmr(4, 2, 2);
+        let sched = SchedulerKind::Latency { seed: 17, min: 1, max: 18 };
+        let run_serial = || {
+            let mut cluster = build_cluster(ProtocolKind::AlgB, &config, sched).unwrap();
+            let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+            let (history, report) =
+                WorkloadDriver::new(4).run_paced(cluster.as_mut(), &mut generator, 50);
+            (format!("{history:?}"), report.rounds)
+        };
+        let (first, waves) = run_serial();
+        assert_eq!(first, run_serial().0, "serial paced run not reproducible");
+        // Pacing genuinely decouples clients from the round barrier: more
+        // completion waves than the 13 global rounds `run` would take.
+        assert!(waves > 13, "only {waves} waves — still running in lockstep rounds?");
+
+        let run_sharded = || {
+            let mut cluster =
+                build_cluster_parallel(ProtocolKind::AlgB, &config, sched, 4).unwrap();
+            let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+            let (history, _) =
+                WorkloadDriver::new(4).run_paced(cluster.as_mut(), &mut generator, 50);
+            format!("{history:?}")
+        };
+        assert_eq!(run_sharded(), run_sharded(), "sharded paced run not reproducible");
+    }
+
+    /// The streaming check mode certifies the same runs the post-hoc mode
+    /// does, on the serial and the sharded substrate — same verdict
+    /// category from the incremental frontier as from `check_auto` over
+    /// the assembled history.
+    #[test]
+    fn streaming_check_mode_agrees_with_post_hoc() {
+        use snow_protocols::{build_cluster_on, ExecutorKind};
+        let config = SystemConfig::mwmr(4, 2, 2);
+        let sched = SchedulerKind::Latency { seed: 5, min: 1, max: 15 };
+        for executor in [ExecutorKind::SerialSim, ExecutorKind::ParallelSim { shards: 4 }] {
+            for protocol in [ProtocolKind::AlgB, ProtocolKind::AlgC, ProtocolKind::Blocking] {
+                let run = |mode: CheckMode| {
+                    let mut cluster = build_cluster_on(
+                        protocol,
+                        &config,
+                        sched,
+                        executor,
+                        snow_protocols::DEFAULT_MAX_STEPS,
+                        None,
+                    )
+                    .unwrap();
+                    let mut generator =
+                        WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+                    WorkloadDriver::new(4).run_checked_mode(
+                        cluster.as_mut(),
+                        &mut generator,
+                        40,
+                        mode,
+                    )
+                };
+                let (history, _, posthoc) = run(CheckMode::PostHoc);
+                let (stream_history, report, stream) = run(CheckMode::Streaming);
+                assert_eq!(
+                    format!("{history:?}"),
+                    format!("{stream_history:?}"),
+                    "{protocol:?}/{executor:?}: the check mode changed the run"
+                );
+                assert_eq!(report.completed, 40);
+                assert!(
+                    posthoc.is_serializable() && stream.is_serializable(),
+                    "{protocol:?}/{executor:?}: post-hoc {posthoc:?} vs stream {stream:?}"
+                );
+            }
         }
     }
 

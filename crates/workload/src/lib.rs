@@ -19,10 +19,10 @@ pub mod generator;
 pub mod open_loop;
 pub mod zipf;
 
-pub use driver::{DriverReport, WorkloadDriver};
+pub use driver::{CheckMode, DriverReport, WorkloadDriver};
 pub use open_loop::{
     arrival_schedule, drive_open_loop, rate_sweep, run_open_loop, run_open_loop_checked,
-    zipf_sweep, Arrival, OpenLoopReport, OpenLoopSpec, RateSweep,
+    run_open_loop_checked_mode, zipf_sweep, Arrival, OpenLoopReport, OpenLoopSpec, RateSweep,
 };
 pub use generator::{GeneratedTx, WorkloadGenerator, WorkloadSpec};
 pub use zipf::Zipf;

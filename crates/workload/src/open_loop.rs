@@ -39,6 +39,7 @@
 //! seed and the shard count — so open-loop histories are bit-identical
 //! across runs (pinned by `tests/open_loop.rs`).
 
+use crate::driver::{drain_into, finish_stream, CheckMode};
 use crate::generator::{WorkloadGenerator, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -150,6 +151,18 @@ pub fn drive_open_loop(
     config: &SystemConfig,
     spec: &OpenLoopSpec,
 ) -> (History, OpenLoopReport) {
+    drive_open_loop_tapped(cluster, config, spec, &mut |_| {})
+}
+
+/// [`drive_open_loop`] with a hook called after every completion wave —
+/// the streaming check mode drains freshly committed transactions into a
+/// [`snow_checker::StreamChecker`] here, while the run is still going.
+fn drive_open_loop_tapped(
+    cluster: &mut dyn Cluster,
+    config: &SystemConfig,
+    spec: &OpenLoopSpec,
+    tap: &mut dyn FnMut(&mut dyn Cluster),
+) -> (History, OpenLoopReport) {
     let schedule = arrival_schedule(config, spec);
     let issued = schedule.len();
     let span = schedule.last().map_or(1, |a| a.at).max(1);
@@ -192,6 +205,7 @@ pub fn drive_open_loop(
         if cluster.run_until_any_complete(&active).is_none() {
             break; // quiescent with watched work incomplete: nothing can finish
         }
+        tap(cluster);
         let mut next_active = Vec::with_capacity(active.len());
         for tx in active {
             if cluster.is_complete(tx) {
@@ -260,9 +274,46 @@ pub fn run_open_loop_checked(
     scheduler: SchedulerKind,
     executor: ExecutorKind,
 ) -> Result<(History, OpenLoopReport, Verdict)> {
-    let (history, report) = run_open_loop(protocol, config, spec, scheduler, executor)?;
-    let verdict = check_auto(&history);
-    Ok((history, report, verdict))
+    run_open_loop_checked_mode(protocol, config, spec, scheduler, executor, CheckMode::PostHoc)
+}
+
+/// [`run_open_loop_checked`] with an explicit [`CheckMode`].
+///
+/// In [`CheckMode::Streaming`] a [`snow_checker::StreamChecker`] rides
+/// along with the run: after every completion wave the cluster's commit
+/// log is drained into the checker ([`Cluster::drain_commits`]) and the
+/// certification frontier advances past everything the simulator can no
+/// longer invoke before — so the verdict is produced incrementally, in
+/// RESP order, with memory bounded by the live window instead of the full
+/// history.  Works unchanged on both substrates (serial and sharded); on
+/// the sharded one the drain itself holds back commits until they are
+/// globally final.  The verdicts of the two modes always agree.
+pub fn run_open_loop_checked_mode(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    spec: &OpenLoopSpec,
+    scheduler: SchedulerKind,
+    executor: ExecutorKind,
+    mode: CheckMode,
+) -> Result<(History, OpenLoopReport, Verdict)> {
+    match mode {
+        CheckMode::PostHoc => {
+            let (history, report) = run_open_loop(protocol, config, spec, scheduler, executor)?;
+            let verdict = check_auto(&history);
+            Ok((history, report, verdict))
+        }
+        CheckMode::Streaming => {
+            let mut cluster =
+                build_cluster_on(protocol, config, scheduler, executor, u64::MAX, Some(4096))?;
+            let mut checker = snow_checker::StreamChecker::new();
+            let (history, report) =
+                drive_open_loop_tapped(cluster.as_mut(), config, spec, &mut |cluster| {
+                    drain_into(&mut checker, cluster);
+                });
+            let verdict = finish_stream(checker, cluster.as_mut(), &history);
+            Ok((history, report, verdict))
+        }
+    }
 }
 
 /// One latency-vs-throughput curve: the per-rate reports of one protocol,
@@ -444,6 +495,45 @@ mod tests {
         for (exp, report) in &points {
             assert_eq!(report.issued, 80, "exponent {exp}");
             assert!(report.completed > 0, "exponent {exp}");
+        }
+    }
+
+    #[test]
+    fn streaming_open_loop_agrees_with_post_hoc_on_both_substrates() {
+        let config = SystemConfig::mwmr(4, 4, 4);
+        let base = OpenLoopSpec { arrivals: 150, ..OpenLoopSpec::tao_like(0) };
+        for executor in [ExecutorKind::SerialSim, ExecutorKind::ParallelSim { shards: 4 }] {
+            for rate in [30, 300] {
+                let spec = OpenLoopSpec { rate, ..base.clone() };
+                let (history, _, posthoc) = run_open_loop_checked_mode(
+                    ProtocolKind::AlgB,
+                    &config,
+                    &spec,
+                    latency_sched(),
+                    executor,
+                    CheckMode::PostHoc,
+                )
+                .unwrap();
+                let (stream_history, report, stream) = run_open_loop_checked_mode(
+                    ProtocolKind::AlgB,
+                    &config,
+                    &spec,
+                    latency_sched(),
+                    executor,
+                    CheckMode::Streaming,
+                )
+                .unwrap();
+                assert_eq!(
+                    format!("{history:?}"),
+                    format!("{stream_history:?}"),
+                    "{executor:?}/rate {rate}: the check mode changed the run"
+                );
+                assert_eq!(report.issued, 150);
+                assert!(
+                    posthoc.is_serializable() && stream.is_serializable(),
+                    "{executor:?}/rate {rate}: post-hoc {posthoc:?} vs stream {stream:?}"
+                );
+            }
         }
     }
 

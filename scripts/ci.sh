@@ -22,6 +22,10 @@
 #   5. checker differential suite: the graph strict-serializability engine
 #      must agree with the complete search on every generated history and
 #      convict the Fig. 5 / impossibility histories;
+#   5b. stream differential suite: the incremental streaming checker must
+#      agree with `check_auto` on the same generated histories, convict
+#      the adversarial ones at the right commit index, and keep its live
+#      window bounded on long runs (tests/stream_differential.rs);
 #   6. bench_json smoke run: all three executors (serial flood, sharded
 #      parallel flood, tokio runtime read path) and the
 #      checker-throughput section must stay alive end to end.  The smoke
@@ -32,6 +36,11 @@
 #      rate at 1k transactions must be within 5x of the tracked artifact
 #      (a smoke row on busy CI hardware is noisy; 5x only catches
 #      complexity-class regressions);
+#   7b. checker_stream regression guard: same 5x rule for the streaming
+#      checker's rate at 1k transactions, plus a hard bound on its peak
+#      live window — the streaming engine's whole point is O(in-flight +
+#      frontier) memory, so a window above 256 on the smoke workload
+#      means frontier retirement broke;
 #   8. open-loop latency regression guard: the smoke run's open_loop
 #      section must exist (curves + knees) and its pre-knee p99 must be
 #      within 5x of the tracked artifact.  Open-loop latencies are
@@ -92,6 +101,10 @@ echo "== checker differential suite =="
 cargo test -q --release --test checker_differential
 echo "differential ok"
 
+echo "== stream differential suite =="
+cargo test -q --release --test stream_differential
+echo "stream differential ok"
+
 echo "== bench_json smoke =="
 smoke_json="$(mktemp)"
 cargo run -q -p snow-bench --release --bin bench_json -- --no-write --smoke > "$smoke_json"
@@ -106,7 +119,12 @@ if ! grep -q '"open_loop"' "$smoke_json" \
     echo "smoke run produced no open_loop section (curves + zipf)" >&2
     exit 1
 fi
-echo "bench smoke ok (serial + parallel flood + runtime + open loop + checker)"
+if ! grep -q '"checker_stream"' "$smoke_json" \
+    || ! grep -q '"stream_tx_per_sec"' "$smoke_json"; then
+    echo "smoke run produced no checker_stream section" >&2
+    exit 1
+fi
+echo "bench smoke ok (serial + parallel flood + runtime + open loop + checker + stream)"
 
 echo "== checker_throughput regression guard =="
 rate_at() { # <file> <transactions>: the graph checker's tx_per_sec row
@@ -128,6 +146,33 @@ if ! awk -v cur="$current" -v ref="$tracked" 'BEGIN { exit !(cur * 5 >= ref) }';
     exit 1
 fi
 echo "checker throughput ok (tracked ${tracked} tx/s, smoke ${current} tx/s)"
+
+echo "== checker_stream regression + bounded-memory guard =="
+stream_rate_at() { # <file> <transactions>: the streaming checker's rate row
+    grep -o "\"transactions\": $2, \"stream_wall_ns\": [0-9]*, \"stream_tx_per_sec\": [0-9.]*" "$1" \
+        | sed 's/.*stream_tx_per_sec": //'
+}
+stream_tracked="$(stream_rate_at BENCH_simcore.json 1000 || true)"
+stream_current="$(stream_rate_at "$smoke_json" 1000 || true)"
+if [ -z "$stream_tracked" ]; then
+    echo "no tracked checker_stream row; regenerate BENCH_simcore.json" >&2
+    exit 1
+fi
+if [ -z "$stream_current" ]; then
+    echo "smoke run produced no checker_stream row" >&2
+    exit 1
+fi
+if ! awk -v cur="$stream_current" -v ref="$stream_tracked" 'BEGIN { exit !(cur * 5 >= ref) }'; then
+    echo "checker_stream regressed > 5x: tracked ${stream_tracked} tx/s, smoke ${stream_current} tx/s" >&2
+    exit 1
+fi
+stream_peak="$(grep -o '"peak_live_window": [0-9]*' "$smoke_json" | sed 's/.*: //' | sort -n | tail -1)"
+if [ -z "$stream_peak" ] || [ "$stream_peak" -gt 256 ]; then
+    echo "streaming checker live window unbounded: peak ${stream_peak:-none} (limit 256)" >&2
+    echo "Frontier retirement must keep memory at O(in-flight + frontier width)." >&2
+    exit 1
+fi
+echo "checker stream ok (tracked ${stream_tracked} tx/s, smoke ${stream_current} tx/s, peak window ${stream_peak})"
 
 echo "== open_loop latency regression guard =="
 ol_p99_at() { # <file> <rate>: the first curve's (AlgB) p99_ticks at <rate>

@@ -1,0 +1,293 @@
+//! Differential validation of the streaming strict-serializability engine
+//! against the post-hoc `check_auto` dispatch: random histories (mixed
+//! tagged/untagged writes, overlapping invocations, incomplete writes),
+//! every golden protocol × scheduler combo, and the paper's counterexample
+//! histories — where the stream must convict *at the offending transaction
+//! index*, not at shutdown.
+
+use proptest::proptest;
+use proptest::ProptestConfig;
+use snow::checker::{check_auto, SequentialOt, StreamChecker, Verdict};
+use snow::core::{
+    ClientId, History, Key, ObjectId, ObjectRead, ReadOutcome, Tag, TxId, TxOutcome, TxRecord,
+    TxSpec, Value, WriteOutcome,
+};
+use snow_bench::golden::{combo_config, combos, COMBO_TXNS};
+use snow_protocols::{build_cluster_on, ExecutorKind};
+use snow_workload::{WorkloadDriver, WorkloadGenerator, WorkloadSpec};
+
+/// SplitMix64: deterministic per-seed stream for history generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// Same generator shape as `checker_differential.rs`: at most 10
+/// transactions with moderate overlap, reads observing κ₀ or any generated
+/// key (including keys of writes that never respond), half the writes
+/// tagged with possibly-colliding, possibly-contradicting tags.
+fn random_history(seed: u64) -> History {
+    let mut rng = Rng(seed);
+    let n = 2 + rng.below(9);
+    let n_objects = 1 + rng.below(3) as u32;
+    let n_writers = 1 + rng.below(3) as u32;
+    let mut write_seq = vec![0u64; n_writers as usize];
+    let mut written: Vec<Vec<Key>> = vec![Vec::new(); n_objects as usize];
+    let mut h = History::new();
+    for id in 1..=n {
+        let inv = rng.below(120);
+        let resp = inv + 1 + rng.below(20);
+        let object_count = 1 + rng.below(2u64.min(n_objects as u64)) as usize;
+        let mut objects: Vec<ObjectId> = Vec::new();
+        while objects.len() < object_count {
+            let o = ObjectId(rng.below(n_objects as u64) as u32);
+            if !objects.contains(&o) {
+                objects.push(o);
+            }
+        }
+        objects.sort();
+        let is_write = rng.below(2) == 0;
+        if is_write {
+            let writer = rng.below(n_writers as u64) as usize;
+            write_seq[writer] += 1;
+            let key = Key::new(write_seq[writer], ClientId(100 + writer as u32));
+            let spec = TxSpec::write(
+                objects.iter().map(|&o| (o, Value(rng.below(1_000)))).collect(),
+            );
+            let tag = (rng.below(2) == 0).then(|| Tag(1 + rng.below(6)));
+            let mut rec = TxRecord::invoked(TxId(id), ClientId(100 + writer as u32), spec, inv);
+            rec.outcome = Some(TxOutcome::Write(WriteOutcome { key, tag }));
+            if rng.below(20) != 0 {
+                rec.responded_at = Some(resp);
+            }
+            for &o in &objects {
+                written[o.0 as usize].push(key);
+            }
+            h.push(rec);
+        } else {
+            let spec = TxSpec::read(objects.clone());
+            let mut rec = TxRecord::invoked(TxId(id), ClientId(rng.below(2) as u32), spec, inv);
+            rec.responded_at = Some(resp);
+            let reads = objects
+                .iter()
+                .map(|&o| {
+                    let pool = &written[o.0 as usize];
+                    let key = if pool.is_empty() || rng.below(4) == 0 {
+                        Key::initial()
+                    } else {
+                        pool[rng.below(pool.len() as u64) as usize]
+                    };
+                    ObjectRead { object: o, key, value: Value(0) }
+                })
+                .collect();
+            rec.outcome = Some(TxOutcome::Read(ReadOutcome { reads, tag: None }));
+            h.push(rec);
+        }
+    }
+    h
+}
+
+fn assert_witness_replays(history: &History, order: &[TxId]) {
+    let mut ot = SequentialOt::new();
+    for tx in order {
+        ot.apply(history.get(*tx).expect("witness transaction exists"))
+            .unwrap_or_else(|o| panic!("stream witness fails replay at {tx} on {o}"));
+    }
+    for rec in history.completed() {
+        assert!(
+            order.contains(&rec.tx_id),
+            "completed {} missing from stream witness",
+            rec.tx_id
+        );
+    }
+}
+
+/// The commit position (RESP order, ties by id — the stream's feed order)
+/// of `tx` in `history`.
+fn commit_index(history: &History, tx: TxId) -> usize {
+    let mut committed: Vec<&TxRecord> = history.completed().collect();
+    committed.sort_by_key(|r| (r.responded_at.unwrap_or(u64::MAX), r.tx_id.0));
+    committed.iter().position(|r| r.tx_id == tx).expect("committed transaction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(384))]
+    #[test]
+    fn stream_and_check_auto_agree_on_small_histories(seed in 0u64..1_000_000_000) {
+        let history = random_history(seed);
+        let posthoc = check_auto(&history);
+        let stream = StreamChecker::check(&history);
+        match (&posthoc, &stream) {
+            (Verdict::Serializable(_), Verdict::Serializable(order)) => {
+                assert_witness_replays(&history, order);
+            }
+            (Verdict::NotSerializable(_), Verdict::NotSerializable(_)) => {}
+            (Verdict::Unknown(_), Verdict::Unknown(_)) => {}
+            (p, s) => panic!(
+                "engines disagree on seed {seed}:\n post-hoc: {p:?}\n stream:   {s:?}\n history: {history:#?}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn stream_agrees_with_check_auto_on_every_golden_combo() {
+    for combo in combos() {
+        let config = combo_config(combo.protocol);
+        let mut cluster = build_cluster_on(
+            combo.protocol,
+            &config,
+            combo.scheduler,
+            ExecutorKind::SerialSim,
+            snow_protocols::DEFAULT_MAX_STEPS,
+            None,
+        )
+        .expect("valid combo config");
+        let spec = WorkloadSpec {
+            read_fraction: 0.5,
+            objects_per_read: 2,
+            objects_per_write: 2,
+            zipf_exponent: 0.9,
+            seed: 13,
+        };
+        let mut generator = WorkloadGenerator::new(&config, spec);
+        let (history, _) =
+            WorkloadDriver::new(4).run(cluster.as_mut(), &mut generator, COMBO_TXNS);
+        let posthoc = check_auto(&history);
+        let mut checker = StreamChecker::new();
+        checker.feed_history(&history);
+        let stream = checker.finish();
+        match (&posthoc, &stream) {
+            (Verdict::Serializable(_), Verdict::Serializable(order)) => {
+                assert_witness_replays(&history, order);
+                // An accepted stream certifies fully: the frontier must
+                // have retired everything by the time finish() returns.
+                assert_eq!(checker.live_window(), 0, "{}: window not drained", combo.label);
+            }
+            (Verdict::NotSerializable(_), Verdict::NotSerializable(_)) => {
+                // Convictions carry the offending commit position.
+                assert!(checker.offending_index().is_some(), "{}", combo.label);
+            }
+            (Verdict::Unknown(_), Verdict::Unknown(_)) => {}
+            (p, s) => panic!(
+                "{}: post-hoc {p:?} vs stream {s:?}",
+                combo.label
+            ),
+        }
+    }
+}
+
+#[test]
+fn stream_convicts_fig5_at_the_offending_transaction() {
+    let (history, _) = snow::impossibility::fig5_history();
+    assert!(check_auto(&history).is_violation());
+    let mut checker = StreamChecker::new();
+    checker.feed_history(&history);
+    let verdict = checker.finish();
+    assert!(verdict.is_violation(), "{verdict:?}");
+    // The violation is established by the stale multi-object READ — the
+    // last commit of the fragment — and must be attributed to its commit
+    // index, not discovered at finish.
+    let read = history
+        .reads()
+        .map(|r| r.tx_id)
+        .next()
+        .expect("fig5 has one read");
+    assert_eq!(checker.offending_index(), Some(commit_index(&history, read)));
+}
+
+#[test]
+fn stream_convicts_the_impossibility_fragments_at_their_offending_commits() {
+    // φ: the READ completes before the WRITE is invoked yet returns the
+    // written values — the conviction lands when the WRITE commits and the
+    // observation closes the real-time cycle.
+    let phi = snow::impossibility::phi_history();
+    let mut checker = StreamChecker::new();
+    checker.feed_history(&phi);
+    assert!(checker.finish().is_violation());
+    let write = phi.writes().map(|r| r.tx_id).next().expect("phi has a write");
+    assert_eq!(checker.offending_index(), Some(commit_index(&phi, write)));
+
+    // α₁₀: R₂ (new values) wholly precedes R₁ (initial values) after W
+    // completed — convicted when R₁ commits.
+    let alpha10 = snow::impossibility::alpha10_history((0, 0), (1, 1));
+    let mut checker = StreamChecker::new();
+    checker.feed_history(&alpha10);
+    assert!(checker.finish().is_violation());
+    let last_commit = {
+        let mut committed: Vec<&TxRecord> = alpha10.completed().collect();
+        committed.sort_by_key(|r| (r.responded_at.unwrap_or(u64::MAX), r.tx_id.0));
+        committed.len() - 1
+    };
+    assert_eq!(checker.offending_index(), Some(last_commit));
+
+    // The benign outcome assignment stays serializable.
+    let benign = snow::impossibility::alpha10_history((1, 1), (1, 1));
+    assert!(StreamChecker::check(&benign).is_serializable());
+}
+
+#[test]
+fn frontier_keeps_memory_bounded_on_a_long_run() {
+    // A long, fully-sequential commit stream: the frontier must retire
+    // continuously, keeping the live window O(in-flight) — here O(1) —
+    // regardless of history length.
+    let n = 20_000u64;
+    let mut checker = StreamChecker::new();
+    for i in 0..n {
+        let object = ObjectId((i % 8) as u32);
+        let inv = i * 10;
+        let resp = inv + 5;
+        let id = TxId(i + 1);
+        let client = ClientId((i % 4) as u32);
+        let mut rec = if i % 3 == 0 {
+            let mut r = TxRecord::invoked(id, client, TxSpec::read(vec![object]), inv);
+            let key = last_key(i, 8).unwrap_or_else(Key::initial);
+            r.outcome = Some(TxOutcome::Read(ReadOutcome {
+                reads: vec![ObjectRead { object, key, value: Value(0) }],
+                tag: None,
+            }));
+            r
+        } else {
+            let key = Key::new(i + 1, client);
+            let mut w =
+                TxRecord::invoked(id, client, TxSpec::write(vec![(object, Value(i))]), inv);
+            w.outcome = Some(TxOutcome::Write(WriteOutcome { key, tag: None }));
+            w
+        };
+        rec.responded_at = Some(resp);
+        checker.ingest(rec);
+        checker.advance_watermark(inv + 10); // next invocation instant
+    }
+    let verdict = checker.finish();
+    assert!(verdict.is_serializable(), "{verdict:?}");
+    assert_eq!(checker.report().ingested, n as usize);
+    // The entire point of the frontier: peak memory is a small constant,
+    // not O(n).
+    assert!(
+        checker.peak_live_window() <= 64,
+        "peak live window {} should be O(in-flight), not O({n})",
+        checker.peak_live_window()
+    );
+}
+
+/// The key installed by the most recent write on `object(i % width)`
+/// before commit `i`, mirroring the generator in
+/// `frontier_keeps_memory_bounded_on_a_long_run`.
+fn last_key(i: u64, width: u64) -> Option<Key> {
+    let object = i % width;
+    (0..i)
+        .rev()
+        .find(|&j| j % width == object && j % 3 != 0)
+        .map(|j| Key::new(j + 1, ClientId((j % 4) as u32)))
+}
