@@ -1,0 +1,141 @@
+//! Raw-text surgery on `BENCH_simcore.json`: extract one top-level
+//! section's value so `bench_json --section <name>` can regenerate a
+//! single section and splice every other one **verbatim** from the
+//! tracked artifact — byte-identical, no parse/re-serialize round trip
+//! that could perturb number formatting.
+//!
+//! The scanner understands just enough JSON to be safe: string literals
+//! (with escapes) and `{}`/`[]` nesting depth.  It looks for `"key":` at
+//! depth 1 and returns the span of the value that follows, up to (not
+//! including) the `,` or `}` that terminates it at depth 1.
+
+/// Returns the raw text of top-level section `key`'s value in the JSON
+/// object `text`, or `None` when the key is absent.  The returned slice
+/// is trimmed of surrounding whitespace but otherwise byte-exact.
+pub fn extract_section<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let bytes = text.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                let start = i;
+                i = skip_string(bytes, i);
+                // A candidate key: at depth 1, followed by ':'.
+                if depth == 1 {
+                    let name = &text[start + 1..i - 1];
+                    let mut j = i;
+                    while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j] == b':' && name == key {
+                        let value_start = j + 1;
+                        let value_end = value_span_end(bytes, value_start);
+                        return Some(text[value_start..value_end].trim());
+                    }
+                    i = j;
+                }
+            }
+            b'{' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth -= 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Past-the-end index of the value starting at `start` (which may be
+/// preceded by whitespace): scans to the `,` or closing `}` that
+/// terminates it at the value's own nesting level.
+fn value_span_end(bytes: &[u8], start: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => i = skip_string(bytes, i),
+            b'{' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                if depth == 0 {
+                    return i; // the object's closing brace
+                }
+                depth -= 1;
+                i += 1;
+            }
+            b',' if depth == 0 => return i,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Index just past the closing quote of the string starting at `bytes[at]`.
+fn skip_string(bytes: &[u8], at: usize) -> usize {
+    debug_assert_eq!(bytes[at], b'"');
+    let mut i = at + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "bench": "sim_core",
+  "smoke": false,
+  "host_threads": 8,
+  "results": [
+    {"in_flight": 1000, "steps": 2000, "note": "a \"quoted\" label, with commas"},
+    {"in_flight": 10000, "steps": 20000}
+  ],
+  "open_loop": {"curves": [{"points": [1, 2, 3]}], "zipf": []},
+  "tail": 7
+}"#;
+
+    #[test]
+    fn extracts_scalars_arrays_and_objects() {
+        assert_eq!(extract_section(DOC, "bench"), Some("\"sim_core\""));
+        assert_eq!(extract_section(DOC, "smoke"), Some("false"));
+        assert_eq!(extract_section(DOC, "host_threads"), Some("8"));
+        assert_eq!(extract_section(DOC, "tail"), Some("7"));
+        let results = extract_section(DOC, "results").unwrap();
+        assert!(results.starts_with('['));
+        assert!(results.ends_with(']'));
+        assert!(results.contains("a \\\"quoted\\\" label"));
+        let ol = extract_section(DOC, "open_loop").unwrap();
+        assert_eq!(ol, "{\"curves\": [{\"points\": [1, 2, 3]}], \"zipf\": []}");
+    }
+
+    #[test]
+    fn absent_and_nested_keys_are_not_found() {
+        assert_eq!(extract_section(DOC, "nope"), None);
+        // "curves" and "steps" only occur below depth 1.
+        assert_eq!(extract_section(DOC, "curves"), None);
+        assert_eq!(extract_section(DOC, "steps"), None);
+    }
+
+    #[test]
+    fn splicing_reassembles_the_document() {
+        // The --section flow: regenerated sections fresh, the rest
+        // verbatim.  Reassembling *all* extracted sections must lose
+        // nothing semantically.
+        for key in ["bench", "smoke", "host_threads", "results", "open_loop", "tail"] {
+            assert!(extract_section(DOC, key).is_some(), "{key}");
+        }
+    }
+}

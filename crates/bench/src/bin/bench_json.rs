@@ -29,19 +29,31 @@
 //!   throughput, peak live-window size (its memory bound) and the
 //!   post-hoc wall time on the identical history.
 //!
+//! * `obs` — the deterministic observability section: `sim.*` metrics
+//!   folded from the virtual-time event stream of an observed 4-shard
+//!   open-loop run (queue depths, epoch-barrier stall counts) plus the
+//!   streaming checker's own frontier counters (edges added, window
+//!   re-solves, retirement lag) over the shared checker-bench history.
+//!
 //! Run with `cargo run -p snow-bench --release --bin bench_json`.
 //! Pass `--no-write` to print without touching the file, `--smoke` for a
 //! fast CI-sized run (small floods, few reads; numbers are then only a
-//! liveness check, not a trajectory point).
+//! liveness check, not a trajectory point), or `--section <names>`
+//! (comma-separated, repeatable) to regenerate only the named sections —
+//! every other section is spliced **verbatim** out of the tracked
+//! `BENCH_simcore.json`, so one noisy section can be refreshed without
+//! re-running (or perturbing) the rest.
 
+use snow_bench::artifact::extract_section;
 use snow_bench::simcore::{run_flood, run_flood_paired, run_flood_parallel, FloodStats};
 use snow_checker::{check_auto, GraphChecker, LatencyStats, StreamChecker, Verdict};
 use snow_core::{History, SystemConfig};
+use snow_obs::fold_events;
 use snow_protocols::{build_cluster_bounded, ExecutorKind, ProtocolKind, SchedulerKind};
 use snow_runtime::cluster::measure_read_latencies;
 use snow_workload::{
-    rate_sweep, zipf_sweep, OpenLoopReport, OpenLoopSpec, WorkloadDriver, WorkloadGenerator,
-    WorkloadSpec,
+    rate_sweep, run_open_loop_observed, zipf_sweep, OpenLoopReport, OpenLoopSpec, WorkloadDriver,
+    WorkloadGenerator, WorkloadSpec,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -288,17 +300,38 @@ fn parallel_flood_row(in_flight: usize, pairs: usize, shards: usize, reps: usize
     )
 }
 
-fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    // Smoke numbers are a liveness check, never a trajectory point: --smoke
-    // always implies --no-write so a quick run cannot clobber the tracked
-    // artifact.
-    let write = !smoke && !std::env::args().any(|a| a == "--no-write");
-    let (sizes, reps): (&[usize], usize) = if smoke {
-        (&[1_000], 1)
-    } else {
-        (&[1_000, 10_000, 100_000], 3)
-    };
+/// First line of a command's stdout, or `"unknown"` when the command
+/// cannot run (provenance must never fail the bench).
+fn command_line(cmd: &str, args: &[&str]) -> String {
+    std::process::Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| {
+            String::from_utf8(o.stdout)
+                .ok()
+                .and_then(|s| s.lines().next().map(|l| l.trim().to_string()))
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The provenance header: which toolchain, commit and host produced the
+/// artifact.  No timestamp — regeneration on the same tree must diff
+/// only where the numbers moved.
+fn provenance_value(host_threads: usize) -> String {
+    let rustc = command_line("rustc", &["--version"]);
+    let commit = command_line("git", &["rev-parse", "--short", "HEAD"]);
+    format!(
+        "{{\"rustc\": \"{}\", \"git_commit\": \"{}\", \"host_threads\": {host_threads}}}",
+        rustc.replace('"', "'"),
+        commit.replace('"', "'")
+    )
+}
+
+/// The `results` (serial flood) section value.
+fn results_value(sizes: &[usize], reps: usize) -> String {
     let mut results = String::new();
     for (i, &in_flight) in sizes.iter().enumerate() {
         let stats = best_of(in_flight, reps);
@@ -322,28 +355,32 @@ fn main() {
         )
         .expect("string write");
     }
+    format!("[\n{results}\n  ]")
+}
 
-    // Parallel-flood section: the sharded engine against the serial
-    // baseline on identical paired workloads.
-    let host_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    // (in_flight, pairs, shards): pairs = client/server pairs in the
-    // workload, shards = worker threads they are partitioned onto.
+/// The `parallel_flood` section value: the sharded engine against the
+/// serial baseline on identical paired workloads.  `(in_flight, pairs,
+/// shards)`: pairs = client/server pairs in the workload, shards = worker
+/// threads they are partitioned onto.
+fn parallel_flood_value(smoke: bool, reps: usize) -> String {
     let parallel_cases: &[(usize, usize, usize)] = if smoke {
         &[(1_000, 4, 4)]
     } else {
         &[(10_000, 4, 4), (100_000, 4, 4), (100_000, 8, 8)]
     };
-    let parallel_results = parallel_cases
+    let rows = parallel_cases
         .iter()
         .map(|&(in_flight, pairs, shards)| parallel_flood_row(in_flight, pairs, shards, reps))
         .collect::<Vec<_>>()
         .join(",\n");
+    format!("[\n{rows}\n  ]")
+}
 
-    // Runtime section: wall-clock READ latency per protocol on the tokio
-    // cluster (seeded with a few writes first), so regressions in the async
-    // executor path are visible in the same artifact as the simulator's.
+/// The `runtime_read_latency` section value: wall-clock READ latency per
+/// protocol on the tokio cluster (seeded with a few writes first), so
+/// regressions in the async executor path are visible in the same
+/// artifact as the simulator's.
+fn runtime_value(smoke: bool) -> String {
     let (writes, warmup, reads) = if smoke { (2, 2, 10) } else { (10, 50, 200) };
     let rt = tokio::runtime::Builder::new_multi_thread()
         .worker_threads(4)
@@ -375,19 +412,28 @@ fn main() {
         )
         .expect("string write");
     }
+    format!("[\n{runtime_results}\n  ]")
+}
 
-    // Open-loop section: virtual-time latency-vs-offered-load curves per
-    // protocol, plus Zipf hot-key contention sweeps.  These are
-    // deterministic (virtual ticks, fixed seeds) and cheap, so smoke runs
-    // use the identical configuration — the CI regression guard compares a
-    // smoke run's curves directly against this tracked artifact.
-    // The serial curves come first (the CI regression guard reads the
-    // first AlgB curve's pre-knee p99); the sharded-executor curves of the
-    // same schedules follow, labelled by their `executor` field.  Virtual
-    // tick latencies on the sharded engine are comparable numbers, but its
-    // wall-clock cost depends on `host_threads`.
-    let ol_config = SystemConfig::mwmr(4, 4, 4);
-    let ol_base = OpenLoopSpec { arrivals: 400, ..OpenLoopSpec::tao_like(0) };
+/// The shared open-loop sweep configuration (also used by the `obs`
+/// section's observed run, so its event stream describes the same
+/// schedules the latency curves measure).
+fn ol_setup() -> (SystemConfig, OpenLoopSpec) {
+    (SystemConfig::mwmr(4, 4, 4), OpenLoopSpec { arrivals: 400, ..OpenLoopSpec::tao_like(0) })
+}
+
+/// The `open_loop` section value: virtual-time latency-vs-offered-load
+/// curves per protocol, plus Zipf hot-key contention sweeps.  These are
+/// deterministic (virtual ticks, fixed seeds) and cheap, so smoke runs
+/// use the identical configuration — the CI regression guard compares a
+/// smoke run's curves directly against this tracked artifact.
+/// The serial curves come first (the CI regression guard reads the
+/// first AlgB curve's pre-knee p99); the sharded-executor curves of the
+/// same schedules follow, labelled by their `executor` field.  Virtual
+/// tick latencies on the sharded engine are comparable numbers, but its
+/// wall-clock cost depends on `host_threads`.
+fn open_loop_value() -> String {
+    let (ol_config, ol_base) = ol_setup();
     let ol_rates: &[u64] = &[25, 50, 100, 200, 400];
     let ol_protocols = [ProtocolKind::AlgB, ProtocolKind::AlgC, ProtocolKind::Blocking];
     let ol_executors = [ExecutorKind::SerialSim, ExecutorKind::ParallelSim { shards: 4 }];
@@ -412,36 +458,220 @@ fn main() {
     .map(|(p, executor)| open_loop_zipf(p, &zipf_config, executor))
     .collect::<Vec<_>>()
     .join(",\n");
+    format!(
+        "{{\n    \"rate_unit\": \"tx_per_kilotick\",\n    \"latency_unit\": \"virtual_ticks\",\n    \"arrivals\": {},\n    \"curves\": [\n{open_loop_curves}\n  ],\n    \"zipf\": [\n{open_loop_zipf_rows}\n  ]}}",
+        ol_base.arrivals
+    )
+}
 
-    // Checker section: full-history strict-serializability throughput.
-    let checker_sizes: &[usize] = if smoke {
-        &[1_000]
-    } else {
-        &[1_000, 10_000, 100_000]
-    };
-    let checker_results = checker_sizes
+/// The `checker_throughput` section value: full-history
+/// strict-serializability throughput.
+fn checker_value(checker_sizes: &[usize], reps: usize) -> String {
+    let rows = checker_sizes
         .iter()
         .map(|&n| checker_row(n, reps))
         .collect::<Vec<_>>()
         .join(",\n");
+    format!("[\n{rows}\n  ]")
+}
 
-    // Streaming-checker section: the incremental engine over the same
-    // histories, with its memory bound (peak live window) and the post-hoc
-    // wall time for the verdict-latency comparison.
-    let checker_stream_results = checker_sizes
+/// The `checker_stream` section value: the incremental engine over the
+/// same histories, with its memory bound (peak live window) and the
+/// post-hoc wall time for the verdict-latency comparison.
+fn checker_stream_value(checker_sizes: &[usize], reps: usize) -> String {
+    let rows = checker_sizes
         .iter()
         .map(|&n| checker_stream_row(n, reps))
         .collect::<Vec<_>>()
         .join(",\n");
+    format!("[\n{rows}\n  ]")
+}
 
-    let json = format!(
-        "{{\n  \"bench\": \"sim_core\",\n  \"scenario\": \"flood\",\n  \"engine\": \"event-queue\",\n  \"smoke\": {smoke},\n  \"host_threads\": {host_threads},\n  \"results\": [\n{results}\n  ],\n  \"parallel_flood\": [\n{parallel_results}\n  ],\n  \"runtime_read_latency\": [\n{runtime_results}\n  ],\n  \"open_loop\": {{\n    \"rate_unit\": \"tx_per_kilotick\",\n    \"latency_unit\": \"virtual_ticks\",\n    \"arrivals\": {},\n    \"curves\": [\n{open_loop_curves}\n  ],\n    \"zipf\": [\n{open_loop_zipf_rows}\n  ]}},\n  \"checker_throughput\": [\n{checker_results}\n  ],\n  \"checker_stream\": [\n{checker_stream_results}\n  ]\n}}\n",
-        ol_base.arrivals
+/// The `obs` section value — fully deterministic, identical in smoke and
+/// full runs:
+///
+/// * `open_loop`: `sim.*` metrics folded from the virtual-time event
+///   stream of an observed 4-shard open-loop AlgB run at a pre-knee rate
+///   (queue depths, epoch counts/stalls, commit latencies in ticks);
+/// * `checker_stream`: the streaming checker's own frontier counters —
+///   edges added, window re-solves, max retirement lag, peak live
+///   window — over the shared 1k checker-bench history.
+fn obs_value() -> String {
+    let (ol_config, ol_base) = ol_setup();
+    let spec = OpenLoopSpec { rate: 100, ..ol_base };
+    let (_, report, events) = run_open_loop_observed(
+        ProtocolKind::AlgB,
+        &ol_config,
+        &spec,
+        OPEN_LOOP_SCHED,
+        ExecutorKind::ParallelSim { shards: 4 },
+    )
+    .expect("observed open-loop run");
+    let metrics = fold_events(&events);
+    eprintln!(
+        "obs open_loop AlgB [parallel4]: {} events, {} epochs, completed={}",
+        events.len(),
+        metrics.counters.get("sim.epochs").copied().unwrap_or(0),
+        report.completed
     );
+    let open_loop = format!(
+        "{{\"protocol\": \"AlgB\", \"executor\": \"parallel4\", \"rate\": {}, \
+         \"arrivals\": {}, \"completed\": {}, \"events\": {}, \"metrics\": {}}}",
+        spec.rate,
+        spec.arrivals,
+        report.completed,
+        events.len(),
+        metrics.to_json()
+    );
+    let transactions = 1_000;
+    let history = checker_bench_history(transactions);
+    let mut checker = StreamChecker::new().with_obs();
+    checker.feed_history(&history);
+    let verdict = checker.finish();
+    assert!(
+        matches!(verdict, Verdict::Serializable(_)),
+        "obs checker run must stay serializable"
+    );
+    let retired_events = checker.drain_obs_events().len();
+    let r = checker.report();
+    eprintln!(
+        "obs checker_stream tx={} frontier: edges={} resolves={} max_lag={} peak_window={}",
+        transactions, r.edges_added, r.window_resolves, r.max_retirement_lag, r.peak_live_window
+    );
+    let stream = format!(
+        "{{\"transactions\": {transactions}, \"ingested\": {}, \"certified\": {}, \
+         \"stream_peak_live_window\": {}, \"retired_events\": {retired_events}, \
+         \"edges_added\": {}, \"window_resolves\": {}, \"max_retirement_lag\": {}}}",
+        r.ingested, r.certified, r.peak_live_window, r.edges_added, r.window_resolves,
+        r.max_retirement_lag
+    );
+    format!("{{\n    \"open_loop\": {open_loop},\n    \"checker_stream\": {stream}\n  }}")
+}
+
+/// Canonical top-level key order of `BENCH_simcore.json`.
+const SECTION_ORDER: &[&str] = &[
+    "bench",
+    "scenario",
+    "engine",
+    "smoke",
+    "host_threads",
+    "provenance",
+    "results",
+    "parallel_flood",
+    "runtime_read_latency",
+    "open_loop",
+    "checker_throughput",
+    "checker_stream",
+    "obs",
+];
+
+/// Sections `--section` may regenerate (the scalar header sections are
+/// always recomputed — they are free and must reflect this run).
+const SELECTABLE: &[&str] = &[
+    "results",
+    "parallel_flood",
+    "runtime_read_latency",
+    "open_loop",
+    "checker_throughput",
+    "checker_stream",
+    "obs",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Smoke numbers are a liveness check, never a trajectory point: --smoke
+    // always implies --no-write so a quick run cannot clobber the tracked
+    // artifact.
+    let write = !smoke && !args.iter().any(|a| a == "--no-write");
+    // --section <names>: regenerate only the named sections, splicing the
+    // rest verbatim from the tracked artifact.
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--section" {
+            let Some(names) = it.next() else {
+                eprintln!("--section requires a section name (one of: {})", SELECTABLE.join(", "));
+                std::process::exit(2);
+            };
+            for name in names.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                if !SELECTABLE.contains(&name) {
+                    eprintln!(
+                        "unknown section {name:?}; selectable sections: {}",
+                        SELECTABLE.join(", ")
+                    );
+                    std::process::exit(2);
+                }
+                selected.push(name.to_string());
+            }
+        }
+    }
+    if smoke && !selected.is_empty() {
+        eprintln!("--section regenerates the tracked artifact; it cannot be combined with --smoke");
+        std::process::exit(2);
+    }
+    let tracked_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json");
+    let tracked = if selected.is_empty() {
+        String::new()
+    } else {
+        std::fs::read_to_string(tracked_path).unwrap_or_else(|e| {
+            eprintln!("--section needs the tracked {tracked_path} to splice from: {e}");
+            std::process::exit(2);
+        })
+    };
+    let regen = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+    let splice = |name: &str| -> String {
+        extract_section(&tracked, name)
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "tracked {tracked_path} has no {name:?} section to splice; \
+                     run the full bench once (no --section)"
+                );
+                std::process::exit(2);
+            })
+            .to_string()
+    };
+
+    let (sizes, reps): (&[usize], usize) = if smoke {
+        (&[1_000], 1)
+    } else {
+        (&[1_000, 10_000, 100_000], 3)
+    };
+    let checker_sizes: &[usize] = if smoke { &[1_000] } else { &[1_000, 10_000, 100_000] };
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut sections: Vec<(&str, String)> = Vec::with_capacity(SECTION_ORDER.len());
+    for &name in SECTION_ORDER {
+        let value = match name {
+            "bench" => "\"sim_core\"".to_string(),
+            "scenario" => "\"flood\"".to_string(),
+            "engine" => "\"event-queue\"".to_string(),
+            "smoke" => smoke.to_string(),
+            "host_threads" => host_threads.to_string(),
+            "provenance" => provenance_value(host_threads),
+            _ if !regen(name) => splice(name),
+            "results" => results_value(sizes, reps),
+            "parallel_flood" => parallel_flood_value(smoke, reps),
+            "runtime_read_latency" => runtime_value(smoke),
+            "open_loop" => open_loop_value(),
+            "checker_throughput" => checker_value(checker_sizes, reps),
+            "checker_stream" => checker_stream_value(checker_sizes, reps),
+            "obs" => obs_value(),
+            _ => unreachable!("every section in SECTION_ORDER is handled"),
+        };
+        sections.push((name, value));
+    }
+    let body = sections
+        .iter()
+        .map(|(name, value)| format!("  \"{name}\": {value}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!("{{\n{body}\n}}\n");
     if write {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json");
-        std::fs::write(path, &json).expect("write BENCH_simcore.json");
-        eprintln!("wrote {path}");
+        std::fs::write(tracked_path, &json).expect("write BENCH_simcore.json");
+        eprintln!("wrote {tracked_path}");
     }
     print!("{json}");
 }

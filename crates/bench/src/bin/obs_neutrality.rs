@@ -1,0 +1,80 @@
+//! CI guard: the observability layer must be free when it is off.
+//!
+//! The simulator's dispatch core is generic over its trace sink with
+//! `NullSink` as the default, and every emission site is guarded by the
+//! monomorphized `O::ENABLED` constant — so an unobserved flood compiles
+//! to exactly the pre-observability hot path.  This binary pins that
+//! claim: it re-runs the 100k-message flood (best of 3) and compares
+//! steps/s against the tracked `BENCH_simcore.json` row.  A drop beyond
+//! the tolerance fails CI.
+//!
+//! Run with `cargo run -p snow-bench --release --bin obs_neutrality`.
+//! Pass `--tolerance 0.10` to widen the default 5% band (for noisy
+//! hosts).
+
+use snow_bench::artifact::extract_section;
+use snow_bench::simcore::run_flood;
+
+const IN_FLIGHT: usize = 100_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.05f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            tolerance = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--tolerance requires a fraction, e.g. 0.05");
+                    std::process::exit(2);
+                });
+        }
+    }
+    let tracked_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simcore.json");
+    let tracked = std::fs::read_to_string(tracked_path).unwrap_or_else(|e| {
+        eprintln!("cannot read tracked {tracked_path}: {e}");
+        std::process::exit(2);
+    });
+    let results = extract_section(&tracked, "results").unwrap_or_else(|| {
+        eprintln!("tracked {tracked_path} has no results section");
+        std::process::exit(2);
+    });
+    // The 100k row: `{"in_flight": 100000, ..., "steps_per_sec": X}`.
+    let needle = format!("\"in_flight\": {IN_FLIGHT},");
+    let row = results
+        .lines()
+        .find(|l| l.contains(&needle))
+        .unwrap_or_else(|| {
+            eprintln!("tracked results have no in_flight={IN_FLIGHT} row; run the full bench");
+            std::process::exit(2);
+        });
+    let tracked_rate: f64 = row
+        .split("\"steps_per_sec\": ")
+        .nth(1)
+        .and_then(|s| s.trim_end_matches(['}', ',', ' ']).parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("cannot parse steps_per_sec from tracked row: {row}");
+            std::process::exit(2);
+        });
+    let current = (0..3)
+        .map(|rep| run_flood(IN_FLIGHT, 11 + rep).steps_per_sec())
+        .fold(0.0f64, f64::max);
+    let floor = tracked_rate * (1.0 - tolerance);
+    eprintln!(
+        "obs neutrality: flood in_flight={IN_FLIGHT} current={current:.0}/s \
+         tracked={tracked_rate:.0}/s floor={floor:.0}/s (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    if current < floor {
+        eprintln!(
+            "FAIL: unobserved flood regressed beyond {:.0}% of the tracked artifact — \
+             the NullSink path is no longer free (or the artifact is stale; regenerate \
+             with `cargo run -p snow-bench --release --bin bench_json`)",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("obs neutrality ok ({:.1}% of tracked)", 100.0 * current / tracked_rate);
+}

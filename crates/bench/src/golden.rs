@@ -24,7 +24,10 @@
 //! hold the tokio runtime to the simulator's golden combos.
 
 use snow_core::{ClientId, History, SystemConfig, TxSpec};
-use snow_protocols::{build_cluster_on, ExecutorKind, ProtocolKind, SchedulerKind};
+use snow_protocols::{
+    build_cluster_observed, build_cluster_on, ExecutorKind, ProtocolKind, SchedulerKind,
+    ShardEvent,
+};
 use snow_workload::{WorkloadDriver, WorkloadGenerator, WorkloadSpec};
 use std::fmt::Write as _;
 
@@ -122,6 +125,42 @@ pub fn run_combo_on(combo: &Combo, executor: ExecutorKind) -> String {
     }
     writeln!(canon, "now={}", cluster.now()).expect("string write");
     canon
+}
+
+/// [`run_combo_on`] with observability enabled: the identical workload on
+/// an event-recording cluster, returning the canonical history text
+/// *plus* the drained virtual-time event stream.  The text must equal
+/// [`run_combo_on`]'s byte for byte — observation must never perturb the
+/// schedule — which is exactly what `tests/observability.rs` pins against
+/// the golden fixtures for all 30 combos.
+pub fn run_combo_observed(combo: &Combo, executor: ExecutorKind) -> (String, Vec<ShardEvent>) {
+    let config = combo_config(combo.protocol);
+    let mut cluster = build_cluster_observed(
+        combo.protocol,
+        &config,
+        combo.scheduler,
+        executor,
+        snow_protocols::DEFAULT_MAX_STEPS,
+        None,
+    )
+    .expect("valid combo config");
+    let mut generator = WorkloadGenerator::new(&config, combo_workload_spec());
+    let (history, report, events) = WorkloadDriver::new(4).run_observed(
+        cluster.as_mut(),
+        &mut generator,
+        COMBO_TXNS,
+    );
+    assert_eq!(
+        report.completed, report.issued,
+        "{}: combo workload must fully complete",
+        combo.label
+    );
+    let mut canon = String::new();
+    for record in &history.records {
+        writeln!(canon, "{record:?}").expect("string write");
+    }
+    writeln!(canon, "now={}", cluster.now()).expect("string write");
+    (canon, events)
 }
 
 /// The deterministic serial transaction plan the cross-executor parity

@@ -206,6 +206,13 @@ pub struct StreamReport {
     pub peak_live_window: usize,
     /// Records currently held.
     pub live_window: usize,
+    /// Precedence edges accepted into the live window's order graph.
+    pub edges_added: u64,
+    /// Constraint-solver re-solves triggered by ambiguous observations.
+    pub window_resolves: u64,
+    /// Largest gap (in response-time units) between a transaction's
+    /// response and the watermark that finally retired it.
+    pub max_retirement_lag: u64,
 }
 
 /// Incremental strict-serializability checker over a commit stream.
@@ -249,6 +256,15 @@ pub struct StreamChecker {
     fatal: Option<Verdict>,
     offending: Option<usize>,
     early: Vec<TxRecord>,
+
+    edges_added: u64,
+    window_resolves: u64,
+    max_retirement_lag: u64,
+    /// When observed (see [`Self::with_obs`]), a [`CheckerRetired`]
+    /// event is recorded at every retirement pass that frees slots.
+    ///
+    /// [`CheckerRetired`]: snow_obs::ObsEvent::CheckerRetired
+    obs: Option<snow_obs::RecordingSink>,
 }
 
 impl Default for StreamChecker {
@@ -281,6 +297,10 @@ impl Default for StreamChecker {
             fatal: None,
             offending: None,
             early: Vec::new(),
+            edges_added: 0,
+            window_resolves: 0,
+            max_retirement_lag: 0,
+            obs: None,
         }
     }
 }
@@ -294,6 +314,22 @@ impl StreamChecker {
     /// Creates a checker with an explicit constraint-splitting budget.
     pub fn with_split_budget(split_budget: usize) -> Self {
         StreamChecker { split_budget, ..StreamChecker::default() }
+    }
+
+    /// Enables observability: every retirement pass that frees slots
+    /// records a [`snow_obs::ObsEvent::CheckerRetired`] event (stamped
+    /// with the retiring watermark — virtual time, never wall-clock).
+    /// Drain them with [`Self::drain_obs_events`].
+    pub fn with_obs(mut self) -> Self {
+        self.obs = Some(snow_obs::RecordingSink::new());
+        self
+    }
+
+    /// Takes the observability events recorded so far (empty when the
+    /// checker was not built [`Self::with_obs`]).
+    pub fn drain_obs_events(&mut self) -> Vec<snow_obs::ObsEvent> {
+        use snow_obs::TraceSink;
+        self.obs.as_mut().map(|s| s.drain()).unwrap_or_default()
     }
 
     /// The verdict so far, if it is already final (a violation or a sticky
@@ -332,6 +368,9 @@ impl StreamChecker {
             certified: self.certified(),
             peak_live_window: self.peak_live,
             live_window: self.live_window(),
+            edges_added: self.edges_added,
+            window_resolves: self.window_resolves,
+            max_retirement_lag: self.max_retirement_lag,
         }
     }
 
@@ -425,6 +464,7 @@ impl StreamChecker {
         if oa < ob {
             self.tx_mut(a).out.push(b);
             self.tx_mut(b).preds.push(a);
+            self.edges_added += 1;
             return true;
         }
         // Affected region: forward from b within ord ≤ ord(a), backward
@@ -470,6 +510,7 @@ impl StreamChecker {
         }
         self.tx_mut(a).out.push(b);
         self.tx_mut(b).preds.push(a);
+        self.edges_added += 1;
         true
     }
 
@@ -811,6 +852,7 @@ impl StreamChecker {
     /// failure the verdict is final, attributed to the transaction whose
     /// ingestion broke the window.
     fn resolve_window(&mut self, at_slot: u32) {
+        self.window_resolves += 1;
         let at_index = self.tx(at_slot).index;
         let at_tx = self.tx(at_slot).rec.tx_id;
         let mut nodes: Vec<u32> = Vec::new();
@@ -1240,6 +1282,16 @@ impl StreamChecker {
                 }
             }
         }
+        // Retirement lag: the oldest emitted response waited this long (in
+        // response-time units) for the watermark that finally retired it.
+        // The watermark is clamped to the last real response: the final
+        // drain advances it to u64::MAX, which says nothing about how far
+        // certification actually trailed the commit stream.
+        let oldest_resp =
+            emission.iter().map(|&s| self.tx(s).resp()).min().expect("emission is non-empty");
+        let retire_mark = self.watermark.min(self.last_resp);
+        let lag = retire_mark.saturating_sub(oldest_resp);
+        self.max_retirement_lag = self.max_retirement_lag.max(lag);
         // Emit: free the slots, route records into seals / the replay queue.
         for (p, &slot) in emission.iter().enumerate() {
             let t = self.slots[slot as usize].take().expect("retiring slot is live");
@@ -1259,6 +1311,21 @@ impl StreamChecker {
         }
         self.by_resp.retain(|&s| self.slots[s as usize].is_some());
         self.rebuild_pref_top();
+        if self.obs.is_some() {
+            use snow_obs::TraceSink;
+            let event = snow_obs::ObsEvent::CheckerRetired {
+                at: retire_mark,
+                certified: self.certified() as u64,
+                live_window: self.live_window() as u32,
+                frontier: self.by_resp.len() as u32,
+                edges_added: self.edges_added,
+                window_resolves: self.window_resolves,
+                retirement_lag: lag,
+            };
+            if let Some(sink) = self.obs.as_mut() {
+                sink.emit(event);
+            }
+        }
         self.drain_replay();
     }
 

@@ -1,0 +1,215 @@
+//! Typed trace events and the sinks they are emitted into.
+//!
+//! Every event is emitted from exactly one definition site per substrate:
+//! the simulators' `engine::DispatchCore` (virtual-time stamps), the tokio
+//! runtime's striped instrumentation (wall-clock nanoseconds since cluster
+//! start) and the streaming checker's certification frontier.  Sinks are
+//! selected by monomorphization: a substrate generic over `O: TraceSink`
+//! guards every emission with `if O::ENABLED { … }`, so the default
+//! [`NullSink`] (`ENABLED = false`) compiles the whole path away.
+
+use snow_core::{ClientId, MsgKind, ProcessId, TxId};
+
+/// One observability event.  `at` is the substrate's clock at emission:
+/// virtual ticks for the simulators, wall-clock nanoseconds for the
+/// runtime, the certification watermark for the checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// A transaction invocation was dispatched to its client process.
+    InvocationDispatched {
+        /// Clock at dispatch.
+        at: u64,
+        /// The transaction.
+        tx: TxId,
+        /// The invoking client.
+        client: ClientId,
+    },
+    /// A protocol message was sent (and scheduled for delivery).
+    MessageSent {
+        /// Clock at the send.
+        at: u64,
+        /// Raw message id (`MsgId.0`; shard-strided on the parallel engine).
+        msg: u64,
+        /// Protocol-agnostic classification.
+        kind: MsgKind,
+        /// Transaction attribution, if any.
+        tx: Option<TxId>,
+        /// Sending process.
+        src: ProcessId,
+        /// Destination process.
+        dst: ProcessId,
+        /// Pending messages on the emitting substrate after this send.
+        queue_depth: u32,
+        /// The destination lives on another shard (always `false` on the
+        /// serial engine and the runtime).
+        cross_shard: bool,
+    },
+    /// A protocol message was delivered to its destination.
+    MessageDelivered {
+        /// Clock at delivery.
+        at: u64,
+        /// Raw message id (`MsgId.0`).
+        msg: u64,
+        /// Protocol-agnostic classification.
+        kind: MsgKind,
+        /// Transaction attribution, if any.
+        tx: Option<TxId>,
+        /// Sending process.
+        src: ProcessId,
+        /// Destination process.
+        dst: ProcessId,
+        /// Pending messages remaining after this delivery.
+        queue_depth: u32,
+    },
+    /// A sharded-engine worker crossed its epoch barrier.  Never emitted by
+    /// the serial engine or the 1-shard inline fast path, so 1-shard
+    /// parallel event streams stay byte-identical to serial ones.
+    EpochBarrierCrossed {
+        /// The shard's virtual clock after the epoch.
+        at: u64,
+        /// Epoch ordinal on this shard (0-based).
+        epoch: u64,
+        /// The leader-computed delivery watermark the epoch ran under.
+        watermark: u64,
+        /// Steps this shard executed inside the epoch (0 = a stall: the
+        /// shard crossed the barrier without dispatching anything).
+        steps: u64,
+    },
+    /// A transaction responded at its invoking client.
+    TxCommitted {
+        /// Clock at the RESP.
+        at: u64,
+        /// The transaction.
+        tx: TxId,
+        /// The invoking client.
+        client: ClientId,
+        /// Clock at the INV, so `at - invoked_at` is the latency in the
+        /// substrate's own time unit.
+        invoked_at: u64,
+    },
+    /// The streaming checker retired a certified prefix of its live window.
+    CheckerRetired {
+        /// The certification watermark that triggered the retirement.
+        at: u64,
+        /// Transactions whose verdict contribution is now final.
+        certified: u64,
+        /// Records still held (live window + sealed segments).
+        live_window: u32,
+        /// Uncertified live transactions (the frontier width).
+        frontier: u32,
+        /// Precedence edges added so far.
+        edges_added: u64,
+        /// Full window re-solves so far.
+        window_resolves: u64,
+        /// Watermark minus the oldest retired commit's response time: how
+        /// far certification trailed the commit stream.
+        retirement_lag: u64,
+    },
+}
+
+impl ObsEvent {
+    /// The event's clock stamp.
+    pub fn at(&self) -> u64 {
+        match *self {
+            ObsEvent::InvocationDispatched { at, .. }
+            | ObsEvent::MessageSent { at, .. }
+            | ObsEvent::MessageDelivered { at, .. }
+            | ObsEvent::EpochBarrierCrossed { at, .. }
+            | ObsEvent::TxCommitted { at, .. }
+            | ObsEvent::CheckerRetired { at, .. } => at,
+        }
+    }
+}
+
+/// An event tagged with the shard (or stripe) that emitted it — the unit
+/// the exporters consume.  Serial substrates use shard 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEvent {
+    /// Emitting shard (simulators), stripe (runtime) or 0 (checker).
+    pub shard: u32,
+    /// The event.
+    pub event: ObsEvent,
+}
+
+/// Where a substrate's events go.
+///
+/// `ENABLED` is the zero-cost switch: emission sites are written as
+/// `if O::ENABLED { sink.emit(…) }`, so a sink whose `ENABLED` is `false`
+/// ([`NullSink`]) never even constructs the event.  Implementations with
+/// `ENABLED = true` receive every event in emission order.
+pub trait TraceSink {
+    /// Whether emission sites should construct and emit events at all.
+    const ENABLED: bool = true;
+
+    /// Receives one event.
+    fn emit(&mut self, event: ObsEvent);
+
+    /// Yields and clears the events collected so far.  Sinks that forward
+    /// rather than store may leave the default (empty) implementation.
+    fn drain(&mut self) -> Vec<ObsEvent> {
+        Vec::new()
+    }
+}
+
+/// The default sink: drops everything, and — via `ENABLED = false` —
+/// removes the emission sites themselves at compile time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _event: ObsEvent) {}
+}
+
+/// A sink that stores every event in emission order, for draining into the
+/// exporters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordingSink {
+    events: Vec<ObsEvent>,
+}
+
+impl RecordingSink {
+    /// Creates an empty recording sink.
+    pub fn new() -> Self {
+        RecordingSink::default()
+    }
+
+    /// The events collected so far, in emission order.
+    pub fn events(&self) -> &[ObsEvent] {
+        &self.events
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn emit(&mut self, event: ObsEvent) {
+        self.events.push(event);
+    }
+
+    fn drain(&mut self) -> Vec<ObsEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled_and_recording_sink_collects_in_order() {
+        const { assert!(!NullSink::ENABLED) };
+        const { assert!(RecordingSink::ENABLED) };
+        let mut sink = RecordingSink::new();
+        let a = ObsEvent::InvocationDispatched { at: 1, tx: TxId(0), client: ClientId(0) };
+        let b = ObsEvent::TxCommitted { at: 9, tx: TxId(0), client: ClientId(0), invoked_at: 1 };
+        sink.emit(a);
+        sink.emit(b);
+        assert_eq!(sink.events(), &[a, b]);
+        assert_eq!(sink.drain(), vec![a, b]);
+        assert!(sink.events().is_empty());
+        // NullSink's drain is the default empty implementation.
+        assert!(NullSink.drain().is_empty());
+        assert_eq!(b.at(), 9);
+    }
+}

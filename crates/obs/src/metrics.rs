@@ -1,0 +1,371 @@
+//! Stripe-locked metrics registry and on-demand aggregation.
+//!
+//! Live substrates (the tokio runtime) record into a [`MetricsRegistry`]
+//! whose state is split across [`METRIC_STRIPES`] independently locked
+//! stripes — the same `TxId`-striping rule the runtime's instrumentation
+//! uses, so no per-event path ever takes a global mutex.  Deterministic
+//! substrates skip live aggregation entirely: [`fold_events`] derives the
+//! same counters and histograms from a recorded event stream after the run.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use snow_core::FxHashMap;
+
+use crate::event::{ObsEvent, ShardEvent};
+
+/// Number of independently locked stripes in a [`MetricsRegistry`].
+/// Matches the runtime's `TX_SHARDS` so `tx.0 & (METRIC_STRIPES - 1)`
+/// lands on the same stripe as the runtime's own instrumentation.
+pub const METRIC_STRIPES: usize = 16;
+
+/// A power-of-two-bucket histogram: observation `v` lands in bucket
+/// `⌊log2(v)⌋ + 1` (bucket 0 holds `v == 0`), covering the full `u64`
+/// range in 65 buckets.  Percentiles are estimated as the upper bound of
+/// the bucket containing the requested rank.
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram::default()
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 { 0 } else { 64 - v.leading_zeros() as usize }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket holding the rank, clamped to the observed max.  Exact for
+    /// the recorded min/max, bucket-resolution otherwise.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << (i - 1)).saturating_mul(2) - 1 };
+                return upper.min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Freezes the histogram into a snapshot row.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// A frozen histogram row: exact count/sum/min/max plus bucket-estimated
+/// p50/p99.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations (saturating).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    fn to_json(self) -> String {
+        format!(
+            "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p99\": {}}}",
+            self.count, self.sum, self.min, self.max, self.p50, self.p99
+        )
+    }
+}
+
+#[derive(Default)]
+struct Stripe {
+    counters: FxHashMap<&'static str, u64>,
+    gauges: FxHashMap<&'static str, i64>,
+    histograms: FxHashMap<&'static str, Log2Histogram>,
+}
+
+/// Stripe-locked counters, gauges and log2 histograms.
+///
+/// Recording paths lock exactly one stripe (chosen by the caller, usually
+/// `tx.0 as usize & (METRIC_STRIPES - 1)`); [`MetricsRegistry::snapshot`]
+/// walks all stripes and folds them into one deterministic-ordered
+/// [`MetricsSnapshot`].
+pub struct MetricsRegistry {
+    stripes: [Mutex<Stripe>; METRIC_STRIPES],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry { stripes: std::array::from_fn(|_| Mutex::new(Stripe::default())) }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn stripe(&self, stripe: usize) -> &Mutex<Stripe> {
+        &self.stripes[stripe & (METRIC_STRIPES - 1)]
+    }
+
+    /// Adds `by` to counter `name` on `stripe` (wrapped into range).
+    pub fn add(&self, stripe: usize, name: &'static str, by: u64) {
+        *self.stripe(stripe).lock().counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Raises gauge `name` on `stripe` to at least `value`; the snapshot
+    /// reports the maximum across stripes.
+    pub fn gauge_max(&self, stripe: usize, name: &'static str, value: i64) {
+        let mut guard = self.stripe(stripe).lock();
+        let g = guard.gauges.entry(name).or_insert(i64::MIN);
+        *g = (*g).max(value);
+    }
+
+    /// Records `value` into histogram `name` on `stripe`.
+    pub fn observe(&self, stripe: usize, name: &'static str, value: u64) {
+        self.stripe(stripe).lock().histograms.entry(name).or_default().observe(value);
+    }
+
+    /// Folds every stripe into one snapshot: counters summed, gauges
+    /// maxed, histograms merged.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        let mut merged: BTreeMap<&'static str, Log2Histogram> = BTreeMap::new();
+        for stripe in &self.stripes {
+            let guard = stripe.lock();
+            for (&name, &v) in &guard.counters {
+                *snap.counters.entry(name.to_string()).or_insert(0) += v;
+            }
+            for (&name, &v) in &guard.gauges {
+                let g = snap.gauges.entry(name.to_string()).or_insert(i64::MIN);
+                *g = (*g).max(v);
+            }
+            for (&name, h) in &guard.histograms {
+                merged.entry(name).or_default().merge(h);
+            }
+        }
+        for (name, h) in merged {
+            snap.histograms.insert(name.to_string(), h.snapshot());
+        }
+        snap
+    }
+}
+
+/// A frozen, deterministically ordered view of a registry (or of a folded
+/// event stream): `BTreeMap`s so iteration — and [`MetricsSnapshot::to_json`]
+/// output — is stable across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Summed counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Max-folded gauges by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Merged histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a stable JSON object with `counters`,
+    /// `gauges` and `histograms` keys, names sorted.
+    pub fn to_json(&self) -> String {
+        let counters: Vec<String> =
+            self.counters.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        let gauges: Vec<String> =
+            self.gauges.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        let histograms: Vec<String> =
+            self.histograms.iter().map(|(k, h)| format!("\"{k}\": {}", h.to_json())).collect();
+        format!(
+            "{{\"counters\": {{{}}}, \"gauges\": {{{}}}, \"histograms\": {{{}}}}}",
+            counters.join(", "),
+            gauges.join(", "),
+            histograms.join(", ")
+        )
+    }
+}
+
+/// Derives the simulator's metrics from a recorded event stream.
+///
+/// Counters: `sim.invocations`, `sim.sends`, `sim.cross_shard_sends`,
+/// `sim.deliveries`, `sim.commits`, `sim.epochs`, `sim.epoch_stalls`
+/// (epochs that crossed the barrier without executing a step).  Gauge:
+/// `sim.queue_depth_peak`.  Histograms: `sim.queue_depth` (observed at
+/// every send and delivery) and `sim.tx_latency_ticks` (RESP − INV per
+/// committed transaction).
+pub fn fold_events(events: &[ShardEvent]) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    let mut queue_depth = Log2Histogram::new();
+    let mut latency = Log2Histogram::new();
+    let mut peak_depth = 0i64;
+    let bump = |snap: &mut MetricsSnapshot, name: &str| {
+        *snap.counters.entry(name.to_string()).or_insert(0) += 1;
+    };
+    for se in events {
+        match se.event {
+            ObsEvent::InvocationDispatched { .. } => bump(&mut snap, "sim.invocations"),
+            ObsEvent::MessageSent { queue_depth: d, cross_shard, .. } => {
+                bump(&mut snap, "sim.sends");
+                if cross_shard {
+                    bump(&mut snap, "sim.cross_shard_sends");
+                }
+                queue_depth.observe(u64::from(d));
+                peak_depth = peak_depth.max(i64::from(d));
+            }
+            ObsEvent::MessageDelivered { queue_depth: d, .. } => {
+                bump(&mut snap, "sim.deliveries");
+                queue_depth.observe(u64::from(d));
+                peak_depth = peak_depth.max(i64::from(d));
+            }
+            ObsEvent::EpochBarrierCrossed { steps, .. } => {
+                bump(&mut snap, "sim.epochs");
+                if steps == 0 {
+                    bump(&mut snap, "sim.epoch_stalls");
+                }
+            }
+            ObsEvent::TxCommitted { at, invoked_at, .. } => {
+                bump(&mut snap, "sim.commits");
+                latency.observe(at.saturating_sub(invoked_at));
+            }
+            ObsEvent::CheckerRetired { .. } => bump(&mut snap, "sim.checker_retirements"),
+        }
+    }
+    snap.gauges.insert("sim.queue_depth_peak".to_string(), peak_depth);
+    if queue_depth.count() > 0 {
+        snap.histograms.insert("sim.queue_depth".to_string(), queue_depth.snapshot());
+    }
+    if latency.count() > 0 {
+        snap.histograms.insert("sim.tx_latency_ticks".to_string(), latency.snapshot());
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snow_core::{ClientId, TxId};
+
+    #[test]
+    fn log2_histogram_buckets_and_quantiles() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 100, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 1110);
+        assert!(s.p50 >= 3 && s.p50 <= 7, "p50 = {}", s.p50);
+        assert_eq!(s.p99, 1000);
+        // Merge doubles the counts and keeps the extremes.
+        let mut m = Log2Histogram::new();
+        m.merge(&h);
+        m.merge(&h);
+        assert_eq!(m.count(), 14);
+        assert_eq!(m.snapshot().max, 1000);
+    }
+
+    #[test]
+    fn registry_folds_stripes_deterministically() {
+        let reg = MetricsRegistry::new();
+        for stripe in 0..METRIC_STRIPES * 2 {
+            reg.add(stripe, "txs", 1);
+            reg.gauge_max(stripe, "depth", stripe as i64);
+            reg.observe(stripe, "lat", stripe as u64);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["txs"], METRIC_STRIPES as u64 * 2);
+        assert_eq!(snap.gauges["depth"], METRIC_STRIPES as i64 * 2 - 1);
+        assert_eq!(snap.histograms["lat"].count, METRIC_STRIPES as u64 * 2);
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"counters\": {"));
+        assert!(json.contains("\"txs\": 32"));
+        assert_eq!(json, reg.snapshot().to_json());
+    }
+
+    #[test]
+    fn fold_events_derives_sim_metrics() {
+        let events = vec![
+            ShardEvent {
+                shard: 0,
+                event: ObsEvent::InvocationDispatched { at: 0, tx: TxId(0), client: ClientId(0) },
+            },
+            ShardEvent {
+                shard: 1,
+                event: ObsEvent::EpochBarrierCrossed { at: 5, epoch: 0, watermark: 9, steps: 0 },
+            },
+            ShardEvent {
+                shard: 0,
+                event: ObsEvent::TxCommitted { at: 12, tx: TxId(0), client: ClientId(0), invoked_at: 0 },
+            },
+        ];
+        let snap = fold_events(&events);
+        assert_eq!(snap.counters["sim.invocations"], 1);
+        assert_eq!(snap.counters["sim.epochs"], 1);
+        assert_eq!(snap.counters["sim.epoch_stalls"], 1);
+        assert_eq!(snap.counters["sim.commits"], 1);
+        assert_eq!(snap.histograms["sim.tx_latency_ticks"].max, 12);
+    }
+}

@@ -10,10 +10,12 @@
 use crate::any::deploy_any;
 use snow_core::{ClientId, History, Process, Result, SystemConfig, TxId, TxSpec};
 use snow_sim::{
-    FifoScheduler, LatencyScheduler, ParallelSimulation, RandomScheduler, Scheduler, Simulation,
+    FifoScheduler, LatencyScheduler, NullSink, ParallelSimulation, RandomScheduler, RecordingSink,
+    Scheduler, Simulation, TraceSink,
 };
 
 pub use snow_sim::CommitDrain;
+pub use snow_sim::{ObsEvent, ShardEvent};
 
 /// Which protocol a cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -155,12 +157,19 @@ pub trait Cluster {
     /// [`snow_sim::CommitDrain`]).  The batch's `inv_floor` is the
     /// watermark a streaming checker may advance to after ingesting it.
     fn drain_commits(&mut self) -> CommitDrain;
+    /// Yields and clears the observability events collected so far,
+    /// tagged with the emitting shard.  Clusters built without a recording
+    /// sink (every non-`observed` front door) return nothing.
+    fn drain_obs_events(&mut self) -> Vec<ShardEvent> {
+        Vec::new()
+    }
 }
 
-impl<P, S> Cluster for Simulation<P, S>
+impl<P, S, O> Cluster for Simulation<P, S, O>
 where
     P: Process,
     S: Scheduler<P::Msg>,
+    O: TraceSink,
 {
     fn invoke_at(&mut self, at: u64, client: ClientId, spec: TxSpec) -> TxId {
         Simulation::invoke_at(self, at, client, spec)
@@ -186,13 +195,17 @@ where
     fn drain_commits(&mut self) -> CommitDrain {
         Simulation::drain_commits(self)
     }
+    fn drain_obs_events(&mut self) -> Vec<ShardEvent> {
+        Simulation::drain_obs_events(self)
+    }
 }
 
-impl<P, S> Cluster for ParallelSimulation<P, S>
+impl<P, S, O> Cluster for ParallelSimulation<P, S, O>
 where
     P: Process + Send,
     P::Msg: Send,
     S: Scheduler<P::Msg> + Send,
+    O: TraceSink + Send,
 {
     fn invoke_at(&mut self, at: u64, client: ClientId, spec: TxSpec) -> TxId {
         ParallelSimulation::invoke_at(self, at, client, spec)
@@ -218,23 +231,28 @@ where
     fn drain_commits(&mut self) -> CommitDrain {
         ParallelSimulation::drain_commits(self)
     }
+    fn drain_obs_events(&mut self) -> Vec<ShardEvent> {
+        ParallelSimulation::drain_obs_events(self)
+    }
 }
 
 use snow_sim::parallel::shard_seed;
 
-fn boxed_parallel<P>(
+fn boxed_parallel_with<P, O>(
     nodes: Vec<P>,
     scheduler: SchedulerKind,
     shards: usize,
     max_steps: u64,
     trace_capacity: Option<usize>,
+    mut make_sink: impl FnMut(usize) -> O,
 ) -> Box<dyn Cluster>
 where
     P: Process + Send + 'static,
     P::Msg: Send,
+    O: TraceSink + Send + 'static,
 {
-    fn finish<P, S>(
-        mut sim: ParallelSimulation<P, S>,
+    fn finish<P, S, O>(
+        mut sim: ParallelSimulation<P, S, O>,
         nodes: Vec<P>,
         max_steps: u64,
         trace_capacity: Option<usize>,
@@ -243,6 +261,7 @@ where
         P: Process + Send + 'static,
         P::Msg: Send,
         S: Scheduler<P::Msg> + Send + 'static,
+        O: TraceSink + Send + 'static,
     {
         sim = sim.with_max_steps(max_steps);
         if let Some(capacity) = trace_capacity {
@@ -255,13 +274,15 @@ where
     }
     match scheduler {
         SchedulerKind::Fifo => finish(
-            ParallelSimulation::new(shards, |_| FifoScheduler::new()),
+            ParallelSimulation::new(shards, |_| FifoScheduler::new())
+                .with_sinks(&mut make_sink),
             nodes,
             max_steps,
             trace_capacity,
         ),
         SchedulerKind::Random(seed) => finish(
-            ParallelSimulation::new(shards, |i| RandomScheduler::new(shard_seed(seed, i))),
+            ParallelSimulation::new(shards, |i| RandomScheduler::new(shard_seed(seed, i)))
+                .with_sinks(&mut make_sink),
             nodes,
             max_steps,
             trace_capacity,
@@ -269,9 +290,78 @@ where
         SchedulerKind::Latency { seed, min, max } => finish(
             ParallelSimulation::new(shards, |i| {
                 LatencyScheduler::new(shard_seed(seed, i), min, max)
-            }),
+            })
+            .with_sinks(&mut make_sink),
             nodes,
             max_steps,
+            trace_capacity,
+        ),
+    }
+}
+
+fn boxed_parallel<P>(
+    nodes: Vec<P>,
+    scheduler: SchedulerKind,
+    shards: usize,
+    max_steps: u64,
+    trace_capacity: Option<usize>,
+) -> Box<dyn Cluster>
+where
+    P: Process + Send + 'static,
+    P::Msg: Send,
+{
+    boxed_parallel_with(nodes, scheduler, shards, max_steps, trace_capacity, |_| NullSink)
+}
+
+fn boxed_with<P, O>(
+    nodes: Vec<P>,
+    scheduler: SchedulerKind,
+    max_steps: u64,
+    trace_capacity: Option<usize>,
+    sink: O,
+) -> Box<dyn Cluster>
+where
+    P: Process + 'static,
+    O: TraceSink + 'static,
+{
+    fn finish<P, S, O>(
+        mut sim: Simulation<P, S, O>,
+        nodes: Vec<P>,
+        trace_capacity: Option<usize>,
+    ) -> Box<dyn Cluster>
+    where
+        P: Process + 'static,
+        S: Scheduler<P::Msg> + 'static,
+        O: TraceSink + 'static,
+    {
+        if let Some(capacity) = trace_capacity {
+            sim = sim.with_trace_capacity(capacity);
+        }
+        for n in nodes {
+            sim.add_process(n);
+        }
+        Box::new(sim)
+    }
+    match scheduler {
+        SchedulerKind::Fifo => finish(
+            Simulation::new(FifoScheduler::new())
+                .with_max_steps(max_steps)
+                .with_sink(sink),
+            nodes,
+            trace_capacity,
+        ),
+        SchedulerKind::Random(seed) => finish(
+            Simulation::new(RandomScheduler::new(seed))
+                .with_max_steps(max_steps)
+                .with_sink(sink),
+            nodes,
+            trace_capacity,
+        ),
+        SchedulerKind::Latency { seed, min, max } => finish(
+            Simulation::new(LatencyScheduler::new(seed, min, max))
+                .with_max_steps(max_steps)
+                .with_sink(sink),
+            nodes,
             trace_capacity,
         ),
     }
@@ -286,40 +376,7 @@ fn boxed<P>(
 where
     P: Process + 'static,
 {
-    fn finish<P, S>(
-        mut sim: Simulation<P, S>,
-        nodes: Vec<P>,
-        trace_capacity: Option<usize>,
-    ) -> Box<dyn Cluster>
-    where
-        P: Process + 'static,
-        S: Scheduler<P::Msg> + 'static,
-    {
-        if let Some(capacity) = trace_capacity {
-            sim = sim.with_trace_capacity(capacity);
-        }
-        for n in nodes {
-            sim.add_process(n);
-        }
-        Box::new(sim)
-    }
-    match scheduler {
-        SchedulerKind::Fifo => finish(
-            Simulation::new(FifoScheduler::new()).with_max_steps(max_steps),
-            nodes,
-            trace_capacity,
-        ),
-        SchedulerKind::Random(seed) => finish(
-            Simulation::new(RandomScheduler::new(seed)).with_max_steps(max_steps),
-            nodes,
-            trace_capacity,
-        ),
-        SchedulerKind::Latency { seed, min, max } => finish(
-            Simulation::new(LatencyScheduler::new(seed, min, max)).with_max_steps(max_steps),
-            nodes,
-            trace_capacity,
-        ),
-    }
+    boxed_with(nodes, scheduler, max_steps, trace_capacity, NullSink)
 }
 
 /// The step cap every convenience constructor applies (override with
@@ -424,6 +481,43 @@ pub fn build_cluster_on(
         ExecutorKind::ParallelSim { shards } => {
             boxed_parallel(nodes, scheduler, shards, max_steps, trace_capacity)
         }
+    })
+}
+
+/// [`build_cluster_on`] with observability **recording** enabled: every
+/// shard's dispatch core emits virtual-time [`snow_sim::ObsEvent`]s into a
+/// [`RecordingSink`], drained via [`Cluster::drain_obs_events`].
+///
+/// The event stream is deterministic — a pure function of `(protocol,
+/// config, scheduler, executor, plan)` — and recording provably does not
+/// perturb the run: the `observability` integration test pins every golden
+/// protocol × scheduler fixture bit-identical with and without it.
+pub fn build_cluster_observed(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    scheduler: SchedulerKind,
+    executor: ExecutorKind,
+    max_steps: u64,
+    trace_capacity: Option<usize>,
+) -> Result<Box<dyn Cluster>> {
+    if let ExecutorKind::ParallelSim { shards: 0 } = executor {
+        return Err(snow_core::SnowError::InvalidConfig(
+            "a parallel cluster needs at least one shard".to_string(),
+        ));
+    }
+    let nodes = deploy_any(protocol, config)?;
+    Ok(match executor {
+        ExecutorKind::SerialSim => {
+            boxed_with(nodes, scheduler, max_steps, trace_capacity, RecordingSink::new())
+        }
+        ExecutorKind::ParallelSim { shards } => boxed_parallel_with(
+            nodes,
+            scheduler,
+            shards,
+            max_steps,
+            trace_capacity,
+            |_| RecordingSink::new(),
+        ),
     })
 }
 

@@ -59,7 +59,7 @@ pub mod simple;
 pub use any::{deploy_any, AnyDeployment, AnyMsg, AnyNode};
 pub use common::{PendingRead, PendingWrite, WriteLog};
 pub use deploy::{
-    build_cluster, build_cluster_bounded, build_cluster_on, build_cluster_parallel,
-    build_cluster_with_max_steps, Cluster, CommitDrain, ExecutorKind, ProtocolKind,
-    SchedulerKind, DEFAULT_MAX_STEPS,
+    build_cluster, build_cluster_bounded, build_cluster_observed, build_cluster_on,
+    build_cluster_parallel, build_cluster_with_max_steps, Cluster, CommitDrain, ExecutorKind,
+    ObsEvent, ProtocolKind, SchedulerKind, ShardEvent, DEFAULT_MAX_STEPS,
 };

@@ -31,6 +31,7 @@ use snow_core::{
     ClientId, History, MsgInfo, MsgKind, Process, ProcessId, ProtocolMessage, ReadResult,
     SnowError, SystemConfig, TxId, TxKind, TxOutcome, TxRecord, TxSpec,
 };
+use snow_obs::{MetricsRegistry, MetricsSnapshot, ObsEvent, RecordingSink, ShardEvent, TraceSink};
 use snow_protocols::{deploy_any, AnyMsg, ProtocolKind};
 use snow_core::FxHashMap;
 use std::collections::HashSet;
@@ -59,6 +60,9 @@ struct MsgMeta {
     /// a read request of the same transaction (the N property's
     /// non-blocking criterion).
     nonblocking: bool,
+    /// Observability message id assigned at send time (0 when the cluster
+    /// is not observed), so the delivery event correlates with the send.
+    msg_id: u64,
 }
 
 /// What a node task receives in its mailbox.
@@ -118,10 +122,52 @@ struct TxSlot {
     instrument: TxInstrument,
 }
 
+/// Observability state for an observed cluster: trace events striped by
+/// `TxId` exactly like the slot map (no global mutex on the per-send path),
+/// a shard-striped metrics registry, and the wall clock every event is
+/// stamped against.  Runtime events carry **wall-clock nanoseconds since
+/// cluster start** — never virtual time, which belongs to the simulators.
+struct ObsState {
+    /// Per-stripe event sinks, locked by the same `stripe_of` discipline
+    /// as the transaction slots.
+    sinks: [Mutex<RecordingSink>; TX_SHARDS],
+    /// Striped counters/gauges/histograms (`runtime.*` namespace).
+    metrics: MetricsRegistry,
+    /// Monotonic id source for send/delivery correlation.
+    next_msg: AtomicU64,
+    /// Event-timestamp origin.
+    started: Instant,
+}
+
+impl ObsState {
+    fn new() -> Self {
+        ObsState {
+            sinks: std::array::from_fn(|_| Mutex::new(RecordingSink::new())),
+            metrics: MetricsRegistry::new(),
+            next_msg: AtomicU64::new(1),
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall-clock nanoseconds since the observed cluster started.
+    fn now(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// Records `event` on the stripe of `tx` — the same lock-disjointness
+    /// as the slot map: stripe-disjoint transactions never contend.
+    fn emit(&self, tx: TxId, event: ObsEvent) {
+        self.sinks[stripe_of(tx)].lock().emit(event);
+    }
+}
+
 struct Shared {
     /// `TxId`-striped transaction slots — the per-send tx-instrumentation
     /// path locks exactly one stripe, never a global map.
     stripes: [Mutex<FxHashMap<TxId, TxSlot>>; TX_SHARDS],
+    /// Observability (events + metrics); `None` on unobserved clusters,
+    /// where every emission site reduces to one branch.
+    obs: Option<ObsState>,
 }
 
 impl Shared {
@@ -150,6 +196,17 @@ impl AsyncCluster<AnyMsg> {
     pub fn deploy(protocol: ProtocolKind, config: &SystemConfig) -> Result<Self, SnowError> {
         Ok(AsyncCluster::spawn(deploy_any(protocol, config)?))
     }
+
+    /// Like [`AsyncCluster::deploy`], with observability enabled: trace
+    /// events (wall-clock-stamped, `TxId`-striped) and `runtime.*` metrics
+    /// accumulate for [`AsyncCluster::obs_events`] and
+    /// [`AsyncCluster::metrics_snapshot`].
+    pub fn deploy_observed(
+        protocol: ProtocolKind,
+        config: &SystemConfig,
+    ) -> Result<Self, SnowError> {
+        Ok(AsyncCluster::spawn_observed(deploy_any(protocol, config)?))
+    }
 }
 
 impl<M: Send + 'static> AsyncCluster<M> {
@@ -160,8 +217,26 @@ impl<M: Send + 'static> AsyncCluster<M> {
         P: Process<Msg = M> + Send + 'static,
         M: ProtocolMessage,
     {
+        Self::spawn_inner(nodes, None)
+    }
+
+    /// Like [`AsyncCluster::spawn`], with observability enabled.
+    pub fn spawn_observed<P>(nodes: Vec<P>) -> Self
+    where
+        P: Process<Msg = M> + Send + 'static,
+        M: ProtocolMessage,
+    {
+        Self::spawn_inner(nodes, Some(ObsState::new()))
+    }
+
+    fn spawn_inner<P>(nodes: Vec<P>, obs: Option<ObsState>) -> Self
+    where
+        P: Process<Msg = M> + Send + 'static,
+        M: ProtocolMessage,
+    {
         let shared = Arc::new(Shared {
             stripes: std::array::from_fn(|_| Mutex::new(FxHashMap::default())),
+            obs,
         });
         let mut inboxes: FxHashMap<ProcessId, mpsc::UnboundedSender<Input<M>>> =
             FxHashMap::default();
@@ -208,7 +283,7 @@ impl<M: Send + 'static> AsyncCluster<M> {
                     };
                     for (to, msg) in sends {
                         let info = msg.info();
-                        record_send(&shared, my_id, &info, &ancestor_dest_counts);
+                        let msg_id = record_send(&shared, my_id, to, &info, &ancestor_dest_counts);
                         let meta = MsgMeta {
                             info,
                             ancestor_dest_counts: ancestor_dest_counts.clone(),
@@ -217,6 +292,7 @@ impl<M: Send + 'static> AsyncCluster<M> {
                                 && parent.as_ref().is_some_and(|p| {
                                     p.info.kind == MsgKind::ReadRequest && p.info.tx == info.tx
                                 }),
+                            msg_id,
                         };
                         if let Some(inbox) = inboxes.get(&to) {
                             // A closed peer means the cluster is shutting
@@ -272,6 +348,10 @@ impl<M: Send + 'static> AsyncCluster<M> {
             },
         );
         let invoked_at = self.started.elapsed().as_nanos() as u64;
+        if let Some(obs) = &self.shared.obs {
+            obs.metrics.add(stripe_of(tx), "runtime.invocations", 1);
+            obs.emit(tx, ObsEvent::InvocationDispatched { at: obs.now(), tx, client });
+        }
         let start = Instant::now();
         if inbox.send(Input::Invoke { tx, spec: spec.clone() }).is_err() {
             self.abandon(tx);
@@ -309,7 +389,36 @@ impl<M: Send + 'static> AsyncCluster<M> {
             }
         }
         self.histories[stripe_of(tx)].lock().push(record);
+        if let Some(obs) = &self.shared.obs {
+            obs.metrics.add(stripe_of(tx), "runtime.commits", 1);
+            obs.metrics.observe(stripe_of(tx), "runtime.tx_latency_ns", latency.as_nanos() as u64);
+            obs.emit(tx, ObsEvent::TxCommitted { at: obs.now(), tx, client, invoked_at });
+        }
         ExecReport { tx, outcome, latency }
+    }
+
+    /// Takes the observability events recorded so far, tagged with the
+    /// `TxId` stripe they were recorded on (shard = stripe index) and
+    /// concatenated in stripe order.  Empty on unobserved clusters.
+    ///
+    /// Runtime event timestamps are **wall-clock nanoseconds** since the
+    /// cluster started — unlike simulator events, they are not
+    /// reproducible across runs.
+    pub fn obs_events(&self) -> Vec<ShardEvent> {
+        let Some(obs) = &self.shared.obs else { return Vec::new() };
+        let mut out = Vec::new();
+        for (i, sink) in obs.sinks.iter().enumerate() {
+            for event in sink.lock().drain() {
+                out.push(ShardEvent { shard: i as u32, event });
+            }
+        }
+        out
+    }
+
+    /// A snapshot of the `runtime.*` metrics registry, or `None` on
+    /// unobserved clusters.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.shared.obs.as_ref().map(|obs| obs.metrics.snapshot())
     }
 
     /// Executes one transaction at `client` and awaits its outcome.
@@ -409,20 +518,44 @@ impl<M: Send + 'static> AsyncCluster<M> {
 /// Folds one send into the per-transaction instrumentation — the same rules
 /// `snow_sim::Trace::record` applies to `Send` actions.  Locks only the
 /// transaction's stripe: sends of stripe-disjoint transactions never
-/// serialize on each other.
+/// serialize on each other.  On observed clusters also records a
+/// [`ObsEvent::MessageSent`] on the transaction's sink stripe and returns
+/// the assigned message id (0 otherwise).
 fn record_send(
     shared: &Shared,
     sender: ProcessId,
+    to: ProcessId,
     info: &MsgInfo,
     ancestor_dest_counts: &[(ProcessId, u32)],
-) {
-    let Some(tx) = info.tx else { return };
+) -> u64 {
+    let Some(tx) = info.tx else { return 0 };
+    let mut msg_id = 0;
+    if let Some(obs) = &shared.obs {
+        msg_id = obs.next_msg.fetch_add(1, Ordering::Relaxed);
+        obs.metrics.add(stripe_of(tx), "runtime.sends", 1);
+        let depth = shared.stripe(tx).lock().len() as u32;
+        obs.emit(
+            tx,
+            ObsEvent::MessageSent {
+                at: obs.now(),
+                msg: msg_id,
+                kind: info.kind,
+                tx: Some(tx),
+                src: sender,
+                dst: to,
+                queue_depth: depth,
+                // The runtime has no shard topology: every send crosses
+                // task (thread) boundaries, none crosses a shard barrier.
+                cross_shard: false,
+            },
+        );
+    }
     let mut stripe = shared.stripe(tx).lock();
-    let Some(slot) = stripe.get_mut(&tx) else { return };
+    let Some(slot) = stripe.get_mut(&tx) else { return msg_id };
     let ins = &mut slot.instrument;
     if info.kind == MsgKind::ClientToClient {
         ins.c2c += 1;
-        return;
+        return msg_id;
     }
     if ins.invoker == sender {
         let hops = ancestor_dest_counts
@@ -432,12 +565,32 @@ fn record_send(
             .unwrap_or(0);
         ins.rounds = ins.rounds.max(1 + hops);
     }
+    msg_id
 }
 
 /// Folds one delivery into the per-transaction instrumentation — the same
-/// rules `snow_sim::Trace::record` applies to `Recv` actions.
+/// rules `snow_sim::Trace::record` applies to `Recv` actions.  On observed
+/// clusters every tx-attributed delivery also records a
+/// [`ObsEvent::MessageDelivered`] on the transaction's sink stripe.
 fn record_receipt(shared: &Shared, receiver: ProcessId, from: ProcessId, meta: &MsgMeta) {
     let info = meta.info;
+    if let (Some(obs), Some(tx)) = (&shared.obs, info.tx) {
+        obs.metrics.add(stripe_of(tx), "runtime.deliveries", 1);
+        let depth = shared.stripe(tx).lock().len() as u32;
+        obs.metrics.gauge_max(stripe_of(tx), "runtime.queue_depth_peak", i64::from(depth));
+        obs.emit(
+            tx,
+            ObsEvent::MessageDelivered {
+                at: obs.now(),
+                msg: meta.msg_id,
+                kind: info.kind,
+                tx: Some(tx),
+                src: from,
+                dst: receiver,
+                queue_depth: depth,
+            },
+        );
+    }
     if info.kind != MsgKind::ReadResponse {
         return;
     }

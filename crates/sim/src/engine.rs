@@ -44,6 +44,7 @@ use crate::scheduler::Scheduler;
 use crate::sim::Simulation;
 use crate::trace::{ActionKind, CausalEnvelope, Trace};
 use snow_core::{ClientId, Effects, History, Process, ProcessId, TxId, TxKind, TxRecord, TxSpec};
+use snow_obs::{NullSink, ObsEvent, TraceSink};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
@@ -104,7 +105,14 @@ impl<M> Transit<M> {
 /// One dispatch core: a self-contained engine over a subset (possibly all)
 /// of a deployment's processes.  See the module docs for how the serial
 /// and sharded substrates wrap it.
-pub(crate) struct DispatchCore<P: Process, S> {
+///
+/// `O` is the observability sink the core emits [`ObsEvent`]s into.  The
+/// default [`NullSink`] has `ENABLED = false`, so every emission site —
+/// written `if O::ENABLED { … }` — monomorphizes away entirely: an
+/// unobserved core is the pre-observability core, instruction for
+/// instruction.  All stamps are **virtual ticks** (`self.now`); the core
+/// never reads a wall clock.
+pub(crate) struct DispatchCore<P: Process, S, O: TraceSink = NullSink> {
     /// Which shard this core is (0 for the serial engine).
     pub(crate) index: usize,
     /// Total number of shards; message ids are strided by it (the serial
@@ -130,14 +138,21 @@ pub(crate) struct DispatchCore<P: Process, S> {
     /// Sends addressed to processes of another core, buffered for the
     /// epoch exchange.  Always empty at stride 1 (everything is local).
     pub(crate) outbox: Vec<Transit<P::Msg>>,
+    /// Observability sink (virtual-time events only; `NullSink` by
+    /// default, which compiles the emission sites away).
+    pub(crate) sink: O,
 }
 
-impl<P, S> DispatchCore<P, S>
+impl<P, S, O> DispatchCore<P, S, O>
 where
     P: Process,
     S: Scheduler<P::Msg>,
+    O: TraceSink,
 {
-    pub(crate) fn new(index: usize, stride: u64, scheduler: S) -> Self {
+    pub(crate) fn new(index: usize, stride: u64, scheduler: S) -> Self
+    where
+        O: Default,
+    {
         DispatchCore {
             index,
             stride,
@@ -154,6 +169,51 @@ where
             commit_cursor: 0,
             in_flight: BTreeSet::new(),
             outbox: Vec::new(),
+            sink: O::default(),
+        }
+    }
+
+    /// Rebuilds this core around a different observability sink (type
+    /// changing, so the emission sites re-monomorphize for `O2`).
+    pub(crate) fn with_sink<O2: TraceSink>(self, sink: O2) -> DispatchCore<P, S, O2> {
+        DispatchCore {
+            index: self.index,
+            stride: self.stride,
+            processes: self.processes,
+            pool: self.pool,
+            invocations: self.invocations,
+            scheduler: self.scheduler,
+            trace: self.trace,
+            records: self.records,
+            now: self.now,
+            next_msg: self.next_msg,
+            steps: self.steps,
+            max_steps: self.max_steps,
+            commit_cursor: self.commit_cursor,
+            in_flight: self.in_flight,
+            outbox: self.outbox,
+            sink,
+        }
+    }
+
+    /// Yields and clears the sink's collected events.
+    pub(crate) fn drain_events(&mut self) -> Vec<ObsEvent> {
+        self.sink.drain()
+    }
+
+    /// Observability note from the sharded engine's worker loop: this core
+    /// just crossed its epoch barrier, having executed `steps` steps under
+    /// `watermark`.  Called only on the multi-shard path (never by the
+    /// serial engine or the 1-shard inline fast path), so 1-shard event
+    /// streams stay byte-identical to serial ones.
+    pub(crate) fn note_epoch(&mut self, epoch: u64, watermark: u64, steps: u64) {
+        if O::ENABLED {
+            self.sink.emit(ObsEvent::EpochBarrierCrossed {
+                at: self.now,
+                epoch,
+                watermark,
+                steps,
+            });
         }
     }
 
@@ -341,6 +401,9 @@ where
         self.records
             .insert(tx, TxRecord::invoked(tx, client, spec.clone(), self.now));
         self.in_flight.insert((self.now, tx));
+        if O::ENABLED {
+            self.sink.emit(ObsEvent::InvocationDispatched { at: self.now, tx, client });
+        }
         let mut effects = Effects::new(self.now);
         let process = self
             .processes
@@ -369,6 +432,17 @@ where
             msg.dst,
             ActionKind::Recv { msg: msg.id, from: msg.src, info },
         );
+        if O::ENABLED {
+            self.sink.emit(ObsEvent::MessageDelivered {
+                at: self.now,
+                msg: msg.id.0,
+                kind: info.kind,
+                tx: info.tx,
+                src: msg.src,
+                dst: msg.dst,
+                queue_depth: self.pool.len() as u32,
+            });
+        }
         let mut effects = Effects::new(self.now);
         let process = self
             .processes
@@ -411,7 +485,8 @@ where
                 parent,
                 deliver_at,
             };
-            if self.is_local(to) {
+            let local = self.is_local(to);
+            if local {
                 self.pool.insert(pending);
             } else {
                 let causality = self.trace.export_envelope(id);
@@ -421,6 +496,18 @@ where
                 self.trace.prune_meta(id);
                 self.outbox.push(Transit { msg: pending, causality });
             }
+            if O::ENABLED {
+                self.sink.emit(ObsEvent::MessageSent {
+                    at: self.now,
+                    msg: id.0,
+                    kind: info.kind,
+                    tx: info.tx,
+                    src: at,
+                    dst: to,
+                    queue_depth: self.pool.len() as u32,
+                    cross_shard: !local,
+                });
+            }
         }
         for (tx, outcome) in responses {
             self.trace.record(self.now, at, ActionKind::Respond { tx });
@@ -429,6 +516,14 @@ where
                 rec.responded_at = Some(self.now);
                 rec.outcome = Some(outcome);
                 self.in_flight.remove(&(invoked_at, tx));
+                if O::ENABLED {
+                    self.sink.emit(ObsEvent::TxCommitted {
+                        at: self.now,
+                        tx,
+                        client: rec.client,
+                        invoked_at,
+                    });
+                }
             }
         }
     }
@@ -500,10 +595,11 @@ where
 // semantics (`scripts/ci.sh` greps for strays).  Everything else about
 // `Simulation` — construction, planning, accessors, run loops, history
 // assembly — lives in `crate::sim`.
-impl<P, S> Simulation<P, S>
+impl<P, S, O> Simulation<P, S, O>
 where
     P: Process,
     S: Scheduler<P::Msg>,
+    O: TraceSink,
 {
     /// Executes one step: dispatches the earliest due invocation if any,
     /// otherwise delivers the message chosen by the scheduler.  O(log n).

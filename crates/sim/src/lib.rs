@@ -57,6 +57,7 @@ pub use message::{MsgId, MsgInfo, MsgKind, PendingMessage, SimMessage};
 pub use parallel::ParallelSimulation;
 pub use pool::MessagePool;
 pub use snow_core::{Effects, Process};
+pub use snow_obs::{NullSink, ObsEvent, RecordingSink, ShardEvent, TraceSink};
 pub use scheduler::{FifoScheduler, LatencyScheduler, RandomScheduler, Scheduler};
 pub use sim::{CommitDrain, InvocationPlan, Simulation, StepOutcome};
 pub use trace::{Action, ActionKind, CausalEnvelope, Trace};

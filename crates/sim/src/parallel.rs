@@ -65,6 +65,7 @@ use crate::sim::CommitDrain;
 use crate::trace::Trace;
 use snow_core::TxRecord;
 use snow_core::{ClientId, History, Process, ProcessId, TxId, TxSpec};
+use snow_obs::{NullSink, ShardEvent, TraceSink};
 use std::sync::{Barrier, Mutex};
 
 /// Default virtual-time width of one epoch: how far past the globally
@@ -129,8 +130,14 @@ struct ExchangeState<M> {
 /// [`ParallelSimulation::invoke_at`] the plan, then run.  Use shard count 1
 /// for a drop-in (bit-identical) replacement of the serial engine, and
 /// shard count ≈ the number of physical cores for throughput.
-pub struct ParallelSimulation<P: Process, S> {
-    shards: Vec<DispatchCore<P, S>>,
+///
+/// `O` is the observability sink each shard's core emits virtual-time
+/// [`snow_obs::ObsEvent`]s into; the default [`NullSink`] compiles the
+/// emission sites away.  Swap sinks with
+/// [`ParallelSimulation::with_sinks`] and drain per-shard streams with
+/// [`ParallelSimulation::drain_obs_events`].
+pub struct ParallelSimulation<P: Process, S, O: TraceSink = NullSink> {
+    shards: Vec<DispatchCore<P, S, O>>,
     next_tx: u64,
     epoch_width: u64,
     /// Commits drained from their shard but not yet released globally:
@@ -145,10 +152,11 @@ where
     P: Process,
     S: Scheduler<P::Msg>,
 {
-    /// Creates an empty simulation over `shards` shards.  `make_scheduler`
-    /// builds each shard's scheduler from its index; give shard 0 the base
-    /// seed (and derive the rest) so a 1-shard run reproduces the serial
-    /// engine's schedules exactly.
+    /// Creates an empty simulation over `shards` shards (unobserved: the
+    /// default [`NullSink`]).  `make_scheduler` builds each shard's
+    /// scheduler from its index; give shard 0 the base seed (and derive
+    /// the rest) so a 1-shard run reproduces the serial engine's schedules
+    /// exactly.
     ///
     /// # Panics
     /// Panics if `shards` is 0.
@@ -162,6 +170,51 @@ where
             epoch_width: DEFAULT_EPOCH_WIDTH,
             holdback: Vec::new(),
         }
+    }
+}
+
+impl<P, S, O> ParallelSimulation<P, S, O>
+where
+    P: Process,
+    S: Scheduler<P::Msg>,
+    O: TraceSink,
+{
+    /// Rebuilds the simulation around per-shard observability sinks (type
+    /// changing: each core re-monomorphizes its emission sites for `O2`).
+    /// `make_sink` builds shard `i`'s sink.  Set sinks before running.
+    pub fn with_sinks<O2: TraceSink>(
+        self,
+        mut make_sink: impl FnMut(usize) -> O2,
+    ) -> ParallelSimulation<P, S, O2> {
+        ParallelSimulation {
+            shards: self
+                .shards
+                .into_iter()
+                .enumerate()
+                .map(|(i, shard)| shard.with_sink(make_sink(i)))
+                .collect(),
+            next_tx: self.next_tx,
+            epoch_width: self.epoch_width,
+            holdback: self.holdback,
+        }
+    }
+
+    /// Yields and clears every shard's observability events, concatenated
+    /// in shard order and tagged with the emitting shard — virtual-time
+    /// stamps only, a pure function of `(configuration, seeds, shards)`.
+    /// With one shard the stream is byte-identical to the serial engine's
+    /// [`crate::Simulation::drain_obs_events`].
+    pub fn drain_obs_events(&mut self) -> Vec<ShardEvent> {
+        let mut events = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            events.extend(
+                shard
+                    .drain_events()
+                    .into_iter()
+                    .map(|event| ShardEvent { shard: i as u32, event }),
+            );
+        }
+        events
     }
 
     /// Overrides the per-shard safety cap on steps (the serial engine's
@@ -308,11 +361,12 @@ where
     }
 }
 
-impl<P, S> ParallelSimulation<P, S>
+impl<P, S, O> ParallelSimulation<P, S, O>
 where
     P: Process + Send,
     P::Msg: Send,
     S: Scheduler<P::Msg> + Send,
+    O: TraceSink + Send,
 {
     /// Runs until no work remains anywhere (or a shard hits its step cap).
     /// Returns the number of steps executed across all shards.
@@ -404,8 +458,8 @@ where
 /// 3. every worker pushes its outbox; *wait*; the leader routes the union
 ///    in `(deliver_at, MsgId)` order to the destination shards; *wait*
 ///    (so no worker starts the next epoch's inbound take mid-routing).
-fn worker<P, S>(
-    shard: &mut DispatchCore<P, S>,
+fn worker<P, S, O>(
+    shard: &mut DispatchCore<P, S, O>,
     state: &Mutex<ExchangeState<P::Msg>>,
     barrier: &Barrier,
     shard_count: usize,
@@ -414,7 +468,10 @@ fn worker<P, S>(
 ) where
     P: Process,
     S: Scheduler<P::Msg>,
+    O: TraceSink,
 {
+    // Epoch ordinal on this shard, for the observability sink only.
+    let mut epoch = 0u64;
     // True once this shard's epoch panicked: the shard may be mid-mutation,
     // so the worker stops touching it and paces the barrier protocol as an
     // idle shard (reporting no work) until the leader declares the run
@@ -460,7 +517,9 @@ fn worker<P, S>(
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 shard.run_epoch(watermark, watch)
             })) {
-                Ok(_) => {
+                Ok(steps) => {
+                    shard.note_epoch(epoch, watermark, steps);
+                    epoch += 1;
                     let mut st = state.lock().expect("exchange lock");
                     st.outbound.append(&mut shard.outbox);
                 }

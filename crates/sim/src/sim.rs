@@ -47,6 +47,7 @@ use crate::message::PendingMessage;
 use crate::scheduler::Scheduler;
 use crate::trace::Trace;
 use snow_core::{ClientId, History, Process, ProcessId, TxId, TxSpec};
+use snow_obs::{NullSink, ShardEvent, TraceSink};
 
 pub use crate::engine::StepOutcome;
 
@@ -84,8 +85,14 @@ pub struct CommitDrain {
 /// A deterministic simulation of a set of processes exchanging messages over
 /// reliable asynchronous channels: the 1-shard instantiation of the
 /// workspace's single dispatch core (the private `engine` module).
-pub struct Simulation<P: Process, S> {
-    pub(crate) core: DispatchCore<P, S>,
+///
+/// `O` is the observability sink ([`snow_obs::TraceSink`]); the default
+/// [`NullSink`] compiles every emission site away, so an unobserved
+/// `Simulation<P, S>` is exactly the pre-observability simulator.  Swap the
+/// sink with [`Simulation::with_sink`] and drain virtual-time events with
+/// [`Simulation::drain_obs_events`].
+pub struct Simulation<P: Process, S, O: TraceSink = NullSink> {
+    pub(crate) core: DispatchCore<P, S, O>,
     next_tx: u64,
 }
 
@@ -94,12 +101,39 @@ where
     P: Process,
     S: Scheduler<P::Msg>,
 {
-    /// Creates an empty simulation driven by `scheduler`.
+    /// Creates an empty simulation driven by `scheduler` (unobserved: the
+    /// default [`NullSink`]).
     pub fn new(scheduler: S) -> Self {
         Simulation {
             core: DispatchCore::new(0, 1, scheduler),
             next_tx: 0,
         }
+    }
+}
+
+impl<P, S, O> Simulation<P, S, O>
+where
+    P: Process,
+    S: Scheduler<P::Msg>,
+    O: TraceSink,
+{
+    /// Rebuilds the simulation around a different observability sink (type
+    /// changing: the dispatch core re-monomorphizes its emission sites for
+    /// `O2`).  Set the sink before running; events emitted into a previous
+    /// sink do not carry over.
+    pub fn with_sink<O2: TraceSink>(self, sink: O2) -> Simulation<P, S, O2> {
+        Simulation { core: self.core.with_sink(sink), next_tx: self.next_tx }
+    }
+
+    /// Yields and clears the observability events collected so far, all
+    /// tagged shard 0 (the serial engine is one shard) and stamped with
+    /// virtual ticks.  Empty for non-recording sinks such as [`NullSink`].
+    pub fn drain_obs_events(&mut self) -> Vec<ShardEvent> {
+        self.core
+            .drain_events()
+            .into_iter()
+            .map(|event| ShardEvent { shard: 0, event })
+            .collect()
     }
 
     /// Overrides the safety cap on the number of steps a run may take.

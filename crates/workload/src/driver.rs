@@ -103,6 +103,22 @@ impl WorkloadDriver {
         self.run_tapped(cluster, generator, total, &mut |_| {})
     }
 
+    /// [`WorkloadDriver::run`] plus the cluster's recorded observability
+    /// events, drained after the run settles.  Meaningful on clusters
+    /// built with `snow_protocols::build_cluster_observed` — on any other
+    /// cluster the event stream is empty (the default sink records
+    /// nothing).
+    pub fn run_observed(
+        &self,
+        cluster: &mut dyn Cluster,
+        generator: &mut WorkloadGenerator,
+        total: usize,
+    ) -> (History, DriverReport, Vec<snow_protocols::ShardEvent>) {
+        let (history, report) = self.run(cluster, generator, total);
+        let events = cluster.drain_obs_events();
+        (history, report, events)
+    }
+
     /// [`WorkloadDriver::run`] with an observation tap invoked after each
     /// round settles — the hook the streaming check mode uses to drain
     /// commits as they happen.  The no-op tap reproduces `run` exactly.

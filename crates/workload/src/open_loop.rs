@@ -46,7 +46,9 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use snow_checker::{check_auto, LatencyStats, Verdict};
 use snow_core::{ClientId, History, Result, SystemConfig, TxId, TxKind, TxSpec};
-use snow_protocols::{build_cluster_on, Cluster, ExecutorKind, ProtocolKind, SchedulerKind};
+use snow_protocols::{
+    build_cluster_observed, build_cluster_on, Cluster, ExecutorKind, ProtocolKind, SchedulerKind,
+};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Parameters of one open-loop run.
@@ -262,6 +264,27 @@ pub fn run_open_loop(
 ) -> Result<(History, OpenLoopReport)> {
     let mut cluster = build_cluster_on(protocol, config, scheduler, executor, u64::MAX, Some(4096))?;
     Ok(drive_open_loop(cluster.as_mut(), config, spec))
+}
+
+/// [`run_open_loop`] with observability recording: the cluster is built
+/// via [`snow_protocols::build_cluster_observed`], so every shard's
+/// dispatch core records its virtual-time event stream
+/// (`InvocationDispatched`, `MessageSent`, `MessageDelivered`,
+/// `EpochBarrierCrossed`, `TxCommitted`), returned alongside the report.
+/// Feed the events to `snow_obs::perfetto_json` for a Perfetto trace or
+/// `snow_obs::fold_events` for a metrics snapshot.
+pub fn run_open_loop_observed(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    spec: &OpenLoopSpec,
+    scheduler: SchedulerKind,
+    executor: ExecutorKind,
+) -> Result<(History, OpenLoopReport, Vec<snow_protocols::deploy::ShardEvent>)> {
+    let mut cluster =
+        build_cluster_observed(protocol, config, scheduler, executor, u64::MAX, Some(4096))?;
+    let (history, report) = drive_open_loop(cluster.as_mut(), config, spec);
+    let events = cluster.drain_obs_events();
+    Ok((history, report, events))
 }
 
 /// [`run_open_loop`] followed by a full-history strict-serializability

@@ -49,7 +49,19 @@
 #   9. striped-instrumentation guard: the tokio runtime's per-send
 #      transaction bookkeeping must stay striped by TxId — no global
 #      `Mutex<HashMap<TxId, …>>` field may reappear in
-#      crates/runtime/src/cluster.rs.
+#      crates/runtime/src/cluster.rs;
+#  10. observability smoke: the bench artifact's `obs` section must come
+#      out of the smoke run (event-folded sim.* metrics + the streaming
+#      checker's frontier counters), and examples/observe_run.rs must run
+#      end to end (observed open loop → metrics fold → Perfetto export →
+#      checker frontier);
+#  11. observability neutrality: the NullSink path must stay free — the
+#      unobserved 100k flood must be within 5% of the tracked artifact
+#      (cargo run -p snow-bench --release --bin obs_neutrality);
+#  12. virtual-time purity guard: crates/sim must never read the wall
+#      clock (`std::time` / `Instant`) — simulator event streams are a
+#      pure function of (config, seeds, shards), which is what makes the
+#      observability goldens and the determinism proptests meaningful.
 #
 # Usage: scripts/ci.sh
 
@@ -124,7 +136,14 @@ if ! grep -q '"checker_stream"' "$smoke_json" \
     echo "smoke run produced no checker_stream section" >&2
     exit 1
 fi
-echo "bench smoke ok (serial + parallel flood + runtime + open loop + checker + stream)"
+if ! grep -q '"obs"' "$smoke_json" \
+    || ! grep -q '"sim.epochs"' "$smoke_json" \
+    || ! grep -q '"edges_added"' "$smoke_json" \
+    || ! grep -q '"stream_peak_live_window"' "$smoke_json"; then
+    echo "smoke run produced no obs section (sim.* metrics + checker frontier)" >&2
+    exit 1
+fi
+echo "bench smoke ok (serial + parallel flood + runtime + open loop + checker + stream + obs)"
 
 echo "== checker_throughput regression guard =="
 rate_at() { # <file> <transactions>: the graph checker's tx_per_sec row
@@ -212,5 +231,26 @@ if [ -n "$global_tx_maps" ]; then
     exit 1
 fi
 echo "instrumentation striped"
+
+echo "== observability example (observe_run) =="
+if ! cargo run -q --release --example observe_run | grep -q '^observe_run ok$'; then
+    echo "examples/observe_run.rs did not complete" >&2
+    exit 1
+fi
+echo "observe_run ok"
+
+echo "== observability neutrality (NullSink flood within 5% of tracked) =="
+cargo run -q -p snow-bench --release --bin obs_neutrality
+
+echo "== virtual-time purity (no wall clock in crates/sim) =="
+wall_clock="$(grep -rn --include='*.rs' -E 'std::time|\bInstant\b' crates/sim/src || true)"
+if [ -n "$wall_clock" ]; then
+    echo "the simulator read the wall clock:" >&2
+    echo "$wall_clock" >&2
+    echo "Simulator events are stamped with virtual ticks only; wall time" >&2
+    echo "belongs to the runtime substrate (crates/runtime)." >&2
+    exit 1
+fi
+echo "sim is wall-clock free"
 
 echo "CI green"

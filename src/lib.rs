@@ -13,6 +13,7 @@
 pub use snow_checker as checker;
 pub use snow_core as core;
 pub use snow_impossibility as impossibility;
+pub use snow_obs as obs;
 pub use snow_protocols as protocols;
 pub use snow_runtime as runtime;
 pub use snow_sim as sim;

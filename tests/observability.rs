@@ -1,0 +1,307 @@
+//! Observability-layer guarantees, end to end across all three substrates:
+//!
+//! 1. **Schedule neutrality** — running every golden combo (all 30
+//!    protocol × scheduler fixtures) on an *observed* cluster produces the
+//!    byte-identical canonical history the unobserved cluster produces, on
+//!    both the serial and the sharded executor.  Observation must never
+//!    perturb a schedule.
+//! 2. **Event-stream determinism** — the virtual-time event stream of an
+//!    observed run is a pure function of `(seeds, shard count)`, and a
+//!    1-shard parallel run's stream is byte-identical to the serial
+//!    engine's (property-tested over seeds and shard counts).
+//! 3. **Perfetto export** — the Chrome-trace JSON of a 4-shard open-loop
+//!    run parses and is schema-valid: metadata rows name every shard,
+//!    every async span opened is closed, phases are from the known set.
+//! 4. **Checker frontier counters** — the streaming checker's
+//!    `CheckerRetired` events and `StreamReport` counters are populated,
+//!    monotone and internally consistent.
+//! 5. **Runtime observed mode** — a tokio cluster deployed observed
+//!    yields wall-clock events and `runtime.*` metrics; an unobserved one
+//!    yields neither.
+
+use proptest::proptest;
+use proptest::ProptestConfig;
+use snow::checker::StreamChecker;
+use snow::core::SystemConfig;
+use snow::obs::json::Json;
+use snow::obs::{fold_events, perfetto_json, ObsEvent};
+use snow::protocols::{ExecutorKind, ProtocolKind, SchedulerKind};
+use snow::workload::{run_open_loop, run_open_loop_observed, OpenLoopSpec, WorkloadSpec};
+use snow_bench::golden::{combos, run_combo_observed, run_combo_on};
+
+// ---- 1. schedule neutrality over the golden fixtures ----------------------
+
+#[test]
+fn observed_combos_reproduce_all_golden_histories_serially() {
+    for combo in combos() {
+        let plain = run_combo_on(&combo, ExecutorKind::SerialSim);
+        let (observed, events) = run_combo_observed(&combo, ExecutorKind::SerialSim);
+        assert_eq!(plain, observed, "{}: observation perturbed the schedule", combo.label);
+        assert!(!events.is_empty(), "{}: observed run recorded no events", combo.label);
+        assert!(
+            events.iter().all(|e| e.shard == 0),
+            "{}: serial events must all be on shard 0",
+            combo.label
+        );
+    }
+}
+
+#[test]
+fn observed_combos_reproduce_all_golden_histories_sharded() {
+    for combo in combos() {
+        let executor = ExecutorKind::ParallelSim { shards: 2 };
+        let plain = run_combo_on(&combo, executor);
+        let (observed, _) = run_combo_observed(&combo, executor);
+        assert_eq!(
+            plain, observed,
+            "{}: observation perturbed the sharded schedule",
+            combo.label
+        );
+    }
+}
+
+// ---- 2. event-stream determinism ------------------------------------------
+
+fn observed_events(
+    shards: u32,
+    body_seed: u64,
+    sched_seed: u64,
+) -> Vec<snow::protocols::ShardEvent> {
+    let config = SystemConfig::mwmr(4, 2, 2);
+    let spec = OpenLoopSpec {
+        workload: WorkloadSpec { seed: body_seed, ..WorkloadSpec::tao_like() },
+        rate: 50,
+        arrivals: 40,
+        arrival_seed: body_seed ^ 0x9E37,
+    };
+    let executor = if shards == 0 {
+        ExecutorKind::SerialSim
+    } else {
+        ExecutorKind::ParallelSim { shards: shards as usize }
+    };
+    let (_, report, events) = run_open_loop_observed(
+        ProtocolKind::AlgB,
+        &config,
+        &spec,
+        SchedulerKind::Latency { seed: sched_seed, min: 1, max: 16 },
+        executor,
+    )
+    .expect("observed run");
+    assert_eq!(report.completed, 40, "open-loop run must complete");
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn event_stream_is_a_pure_function_of_seeds_and_shards(
+        body_seed in 0u64..1_000,
+        sched_seed in 0u64..1_000,
+        shards in 1u32..5,
+    ) {
+        let a = observed_events(shards, body_seed, sched_seed);
+        let b = observed_events(shards, body_seed, sched_seed);
+        assert_eq!(a, b, "same (seeds, shards) must replay the same event stream");
+    }
+
+    #[test]
+    fn one_shard_parallel_stream_is_byte_identical_to_serial(
+        body_seed in 0u64..1_000,
+        sched_seed in 0u64..1_000,
+    ) {
+        let serial = observed_events(0, body_seed, sched_seed);
+        let parallel1 = observed_events(1, body_seed, sched_seed);
+        assert_eq!(
+            serial, parallel1,
+            "1-shard parallel must reproduce the serial event stream bit for bit"
+        );
+    }
+}
+
+#[test]
+fn observation_does_not_change_open_loop_reports() {
+    // The observed entry point must drive the identical workload: same
+    // completion count, same latency percentiles as the plain one.
+    let config = SystemConfig::mwmr(4, 4, 4);
+    let spec = OpenLoopSpec { rate: 100, arrivals: 200, ..OpenLoopSpec::tao_like(0) };
+    let sched = SchedulerKind::Latency { seed: 11, min: 1, max: 16 };
+    let executor = ExecutorKind::ParallelSim { shards: 4 };
+    let (history, report) =
+        run_open_loop(ProtocolKind::AlgB, &config, &spec, sched, executor).expect("plain");
+    let (obs_history, obs_report, events) =
+        run_open_loop_observed(ProtocolKind::AlgB, &config, &spec, sched, executor)
+            .expect("observed");
+    assert_eq!(report.completed, obs_report.completed);
+    assert_eq!(report.latency.p99, obs_report.latency.p99);
+    assert_eq!(history.records.len(), obs_history.records.len());
+    // Multi-shard runs cross epoch barriers and exchange cross-shard
+    // messages; both must be visible in the stream.
+    let metrics = fold_events(&events);
+    assert!(metrics.counters["sim.epochs"] > 0);
+    assert!(metrics.counters["sim.cross_shard_sends"] > 0);
+    assert_eq!(metrics.counters["sim.commits"], obs_report.completed as u64);
+    assert_eq!(metrics.counters["sim.invocations"], spec.arrivals as u64);
+    // Virtual-time rule: every event timestamp is a tick, and the stream's
+    // shards cover exactly the 4 configured shards.
+    let mut shards: Vec<u32> = events.iter().map(|e| e.shard).collect();
+    shards.sort_unstable();
+    shards.dedup();
+    assert_eq!(shards, vec![0, 1, 2, 3]);
+}
+
+// ---- 3. Perfetto export schema --------------------------------------------
+
+#[test]
+fn perfetto_export_of_sharded_run_is_schema_valid() {
+    let config = SystemConfig::mwmr(4, 4, 4);
+    let spec = OpenLoopSpec { rate: 100, arrivals: 120, ..OpenLoopSpec::tao_like(0) };
+    let (_, _, events) = run_open_loop_observed(
+        ProtocolKind::AlgB,
+        &config,
+        &spec,
+        SchedulerKind::Latency { seed: 11, min: 1, max: 16 },
+        ExecutorKind::ParallelSim { shards: 4 },
+    )
+    .expect("observed run");
+    let text = perfetto_json(&events, "schema test", 1);
+    let doc = Json::parse(&text).expect("exported trace must parse");
+    let rows = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    assert!(rows.len() > events.len(), "metadata rows come on top of event rows");
+    let mut thread_names = 0;
+    let mut opens = 0i64;
+    let mut closes = 0i64;
+    for row in rows {
+        let ph = row.get("ph").and_then(Json::as_str).expect("every row has ph");
+        assert!(
+            matches!(ph, "M" | "b" | "e" | "i" | "C"),
+            "unexpected phase {ph:?}"
+        );
+        match ph {
+            "M" if row.get("name").and_then(Json::as_str) == Some("thread_name") => {
+                thread_names += 1;
+            }
+            "b" => opens += 1,
+            "e" => closes += 1,
+            _ => {}
+        }
+        if ph != "M" {
+            assert!(row.get("ts").and_then(Json::as_num).is_some(), "{ph}: ts required");
+            assert!(row.get("pid").and_then(Json::as_num).is_some(), "{ph}: pid required");
+        }
+    }
+    assert_eq!(thread_names, 4, "one thread meta per shard");
+    assert_eq!(opens, closes, "every tx span opened must close");
+    assert_eq!(opens, 120, "one async span per arrival");
+}
+
+// ---- 4. checker frontier counters -----------------------------------------
+
+#[test]
+fn stream_checker_frontier_counters_are_consistent() {
+    let config = SystemConfig::mwmr(4, 4, 4);
+    let spec = OpenLoopSpec { rate: 100, arrivals: 300, ..OpenLoopSpec::tao_like(0) };
+    let (history, _, _) = run_open_loop_observed(
+        ProtocolKind::AlgB,
+        &config,
+        &spec,
+        SchedulerKind::Latency { seed: 11, min: 1, max: 16 },
+        ExecutorKind::ParallelSim { shards: 4 },
+    )
+    .expect("observed run");
+    let mut checker = StreamChecker::new().with_obs();
+    checker.feed_history(&history);
+    let verdict = checker.finish();
+    assert!(
+        matches!(verdict, snow::checker::Verdict::Serializable(_)),
+        "bench history must be serializable: {verdict:?}"
+    );
+    let report = checker.report();
+    assert!(report.edges_added > 0, "overlapping commits must add precedence edges");
+    assert_eq!(report.certified, report.ingested, "finish drains the whole window");
+    let events = checker.drain_obs_events();
+    assert!(!events.is_empty(), "observed checker must emit retirement events");
+    let mut last_at = 0;
+    let mut last_certified = 0;
+    for event in &events {
+        let ObsEvent::CheckerRetired {
+            at,
+            certified,
+            live_window,
+            frontier,
+            edges_added,
+            window_resolves,
+            retirement_lag,
+        } = event
+        else {
+            panic!("checker emits only CheckerRetired events, got {event:?}");
+        };
+        assert!(*at >= last_at, "retirement watermarks are monotone");
+        assert!(*certified >= last_certified, "certified count is monotone");
+        assert!(u64::from(*frontier) <= *certified + u64::from(*live_window) + 1);
+        assert!(*edges_added <= report.edges_added);
+        assert!(*window_resolves <= report.window_resolves);
+        assert!(*retirement_lag <= report.max_retirement_lag);
+        last_at = *at;
+        last_certified = *certified;
+    }
+    assert_eq!(last_certified, report.certified as u64);
+    assert!(checker.drain_obs_events().is_empty(), "drain takes the events");
+    // An unobserved checker runs the identical analysis without events.
+    let mut plain = StreamChecker::new();
+    plain.feed_history(&history);
+    plain.finish();
+    assert!(plain.drain_obs_events().is_empty());
+    assert_eq!(plain.report().edges_added, report.edges_added);
+    assert_eq!(plain.report().max_retirement_lag, report.max_retirement_lag);
+}
+
+// ---- 5. runtime observed mode ---------------------------------------------
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn runtime_observed_cluster_records_events_and_metrics() {
+    use snow::core::{ObjectId, TxSpec, Value};
+    use snow::runtime::AsyncCluster;
+    let config = SystemConfig::mwmr(2, 1, 1);
+    let cluster = AsyncCluster::deploy_observed(ProtocolKind::AlgB, &config).unwrap();
+    let writer = config.writers().next().unwrap();
+    let reader = config.readers().next().unwrap();
+    cluster
+        .execute(writer, TxSpec::write(vec![(ObjectId(0), Value(7))]))
+        .await
+        .unwrap();
+    cluster.execute(reader, TxSpec::read(vec![ObjectId(0), ObjectId(1)])).await.unwrap();
+    let metrics = cluster.metrics_snapshot().expect("observed cluster has metrics");
+    assert_eq!(metrics.counters["runtime.invocations"], 2);
+    assert_eq!(metrics.counters["runtime.commits"], 2);
+    assert!(metrics.counters["runtime.sends"] > 0);
+    assert_eq!(metrics.histograms["runtime.tx_latency_ns"].count, 2);
+    let events = cluster.obs_events();
+    let dispatched = events
+        .iter()
+        .filter(|e| matches!(e.event, ObsEvent::InvocationDispatched { .. }))
+        .count();
+    let committed =
+        events.iter().filter(|e| matches!(e.event, ObsEvent::TxCommitted { .. })).count();
+    assert_eq!(dispatched, 2);
+    assert_eq!(committed, 2);
+    // Wall-clock rule: commit follows dispatch on every transaction's stripe.
+    for e in &events {
+        if let ObsEvent::TxCommitted { at, invoked_at, .. } = e.event {
+            assert!(at >= invoked_at, "commit cannot precede its own dispatch");
+        }
+    }
+    // The export path works for wall-clock streams too (ns → µs divisor).
+    let trace = perfetto_json(&events, "runtime", 1_000);
+    assert!(Json::parse(&trace).is_ok());
+    cluster.shutdown().await;
+
+    // Unobserved clusters stay silent.
+    let plain = AsyncCluster::deploy(ProtocolKind::AlgB, &config).unwrap();
+    plain
+        .execute(writer, TxSpec::write(vec![(ObjectId(0), Value(1))]))
+        .await
+        .unwrap();
+    assert!(plain.obs_events().is_empty());
+    assert!(plain.metrics_snapshot().is_none());
+    plain.shutdown().await;
+}
