@@ -33,7 +33,13 @@
 //!   folded from the virtual-time event stream of an observed 4-shard
 //!   open-loop run (queue depths, epoch-barrier stall counts) plus the
 //!   streaming checker's own frontier counters (edges added, window
-//!   re-solves, retirement lag) over the shared checker-bench history.
+//!   re-solves, retirement lag) over the shared checker-bench history;
+//!
+//! * `faults` — the fault-engine smoke: the same workload on a faulty
+//!   Algorithm B cluster with an empty schedule vs a 1 %-drop region over
+//!   all links.  Histories are deterministic; the wall-clock `slowdown`
+//!   ratio is the CI guard (within-run, so host speed cancels out) — the
+//!   fault path must not cost more than 5× the clean path.
 //!
 //! Run with `cargo run -p snow-bench --release --bin bench_json`.
 //! Pass `--no-write` to print without touching the file, `--smoke` for a
@@ -49,7 +55,10 @@ use snow_bench::simcore::{run_flood, run_flood_paired, run_flood_parallel, Flood
 use snow_checker::{check_auto, GraphChecker, LatencyStats, StreamChecker, Verdict};
 use snow_core::{History, SystemConfig};
 use snow_obs::fold_events;
-use snow_protocols::{build_cluster_bounded, ExecutorKind, ProtocolKind, SchedulerKind};
+use snow_protocols::{
+    build_cluster_bounded, build_cluster_faulty, ExecutorKind, ProtocolKind, SchedulerKind,
+};
+use snow_sim::{EndpointSel, FaultAction, FaultRegion, FaultSchedule};
 use snow_runtime::cluster::measure_read_latencies;
 use snow_workload::{
     rate_sweep, run_open_loop_observed, zipf_sweep, OpenLoopReport, OpenLoopSpec, WorkloadDriver,
@@ -548,6 +557,80 @@ fn obs_value() -> String {
     format!("{{\n    \"open_loop\": {open_loop},\n    \"checker_stream\": {stream}\n  }}")
 }
 
+/// One `faults` measurement: `transactions` through a faulty Algorithm B
+/// cluster under `schedule`, best wall time of `reps`.  Returns the rate
+/// and the formatted row.
+fn fault_run(
+    label: &str,
+    schedule: &FaultSchedule,
+    transactions: usize,
+    reps: usize,
+) -> (f64, String) {
+    let config = SystemConfig::mwmr(4, 4, 4);
+    let mut wall = std::time::Duration::MAX;
+    let mut completed = 0usize;
+    let mut aborted = 0usize;
+    for _ in 0..reps.max(1) {
+        let mut cluster = build_cluster_faulty(
+            ProtocolKind::AlgB,
+            &config,
+            SchedulerKind::Latency { seed: 11, min: 1, max: 16 },
+            ExecutorKind::SerialSim,
+            schedule.clone(),
+        )
+        .expect("valid fault bench config");
+        let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
+        let start = Instant::now();
+        let (history, report) =
+            WorkloadDriver::new(8).run(cluster.as_mut(), &mut generator, transactions);
+        wall = wall.min(start.elapsed());
+        completed = report.completed;
+        aborted = history
+            .records
+            .iter()
+            .filter(|r| r.outcome.as_ref().is_some_and(|o| o.is_aborted()))
+            .count();
+        assert_eq!(
+            report.completed, report.issued,
+            "fault bench must retire every transaction (committed or aborted)"
+        );
+    }
+    let tx_per_sec = transactions as f64 / wall.as_secs_f64();
+    eprintln!(
+        "faults {label}: tx={transactions} wall={wall:?} {tx_per_sec:.0} tx/s aborted={aborted}"
+    );
+    let row = format!(
+        "    {{\"label\": \"{label}\", \"transactions\": {transactions}, \
+         \"completed\": {completed}, \"aborted\": {aborted}, \"fault_wall_ns\": {}, \
+         \"fault_tx_per_sec\": {tx_per_sec:.1}}}",
+        wall.as_nanos()
+    );
+    (tx_per_sec, row)
+}
+
+/// The `faults` section value: clean vs 1 %-drop throughput on the faulty
+/// builder, plus the within-run `slowdown` ratio the CI guard reads.
+fn faults_value(smoke: bool) -> String {
+    let (transactions, reps) = if smoke { (300, 1) } else { (3_000, 3) };
+    let clean_schedule = FaultSchedule::new(0x5EED);
+    let drop_schedule = FaultSchedule::new(0x5EED).with_region(FaultRegion {
+        action: FaultAction::Drop,
+        src: EndpointSel::Any,
+        dst: EndpointSel::Any,
+        from: 0,
+        until: u64::MAX,
+        chance_pct: 1,
+    });
+    let (clean_rate, clean_row) = fault_run("clean", &clean_schedule, transactions, reps);
+    let (drop_rate, drop_row) = fault_run("drop1pct", &drop_schedule, transactions, reps);
+    let slowdown = clean_rate / drop_rate;
+    eprintln!("faults slowdown drop1pct vs clean: {slowdown:.3}x");
+    format!(
+        "{{\n    \"protocol\": \"AlgB\", \"rows\": [\n{clean_row},\n{drop_row}\n    ],\n    \
+         \"slowdown_drop1_vs_clean\": {slowdown:.3}}}"
+    )
+}
+
 /// Canonical top-level key order of `BENCH_simcore.json`.
 const SECTION_ORDER: &[&str] = &[
     "bench",
@@ -562,6 +645,7 @@ const SECTION_ORDER: &[&str] = &[
     "open_loop",
     "checker_throughput",
     "checker_stream",
+    "faults",
     "obs",
 ];
 
@@ -574,6 +658,7 @@ const SELECTABLE: &[&str] = &[
     "open_loop",
     "checker_throughput",
     "checker_stream",
+    "faults",
     "obs",
 ];
 
@@ -658,6 +743,7 @@ fn main() {
             "open_loop" => open_loop_value(),
             "checker_throughput" => checker_value(checker_sizes, reps),
             "checker_stream" => checker_stream_value(checker_sizes, reps),
+            "faults" => faults_value(smoke),
             "obs" => obs_value(),
             _ => unreachable!("every section in SECTION_ORDER is handled"),
         };

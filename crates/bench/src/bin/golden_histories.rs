@@ -6,17 +6,32 @@
 //! * `… -- --write` — overwrite `tests/golden_histories.txt` at the
 //!   workspace root.  Only do this when schedule semantics intentionally
 //!   change; the point of the fixture is to make accidental changes loud.
+//! * `… -- --faults [--write]` — same for the fault-schedule fixtures in
+//!   `tests/golden_fault_histories.txt`.
 
 use snow_bench::golden;
 
 fn main() {
     let write = std::env::args().any(|a| a == "--write");
-    let contents = golden::fixture_file();
+    let faults = std::env::args().any(|a| a == "--faults");
+    let (contents, path) = if faults {
+        (
+            golden::fault_fixture_file(),
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../tests/golden_fault_histories.txt"
+            ),
+        )
+    } else {
+        (
+            golden::fixture_file(),
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../tests/golden_histories.txt"
+            ),
+        )
+    };
     if write {
-        let path = concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../../tests/golden_histories.txt"
-        );
         std::fs::write(path, &contents).expect("write fixture file");
         eprintln!("wrote {path}");
     }

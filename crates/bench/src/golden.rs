@@ -25,9 +25,10 @@
 
 use snow_core::{ClientId, History, SystemConfig, TxSpec};
 use snow_protocols::{
-    build_cluster_observed, build_cluster_on, ExecutorKind, ProtocolKind, SchedulerKind,
-    ShardEvent,
+    build_cluster_faulty, build_cluster_observed, build_cluster_on, fault_scenarios,
+    ExecutorKind, ProtocolKind, SchedulerKind, ShardEvent,
 };
+use snow_sim::FaultSchedule;
 use snow_workload::{WorkloadDriver, WorkloadGenerator, WorkloadSpec};
 use std::fmt::Write as _;
 
@@ -376,9 +377,155 @@ pub fn fixture_file() -> String {
     out
 }
 
+/// One pinned (protocol, scheduler, fault scenario) execution.
+#[derive(Debug, Clone)]
+pub struct FaultCombo {
+    /// The protocol under test.
+    pub protocol: ProtocolKind,
+    /// The delivery schedule.
+    pub scheduler: SchedulerKind,
+    /// The named fault scenario (see `snow_protocols::fault_scenarios`).
+    pub scenario: &'static str,
+    /// Stable identifier used as the fixture key.
+    pub label: String,
+}
+
+/// The pinned fault matrix: every protocol under the crash and partition
+/// scenarios, plus the duplicate-tolerant protocols under the dup storm.
+/// Unlike [`combos`], the workload is *not* required to fully complete —
+/// transactions orphaned by a crash or a partition retire as
+/// `TxOutcome::Aborted`, and the fixture pins that abort pattern too.
+pub fn fault_combos() -> Vec<FaultCombo> {
+    let mut out = Vec::new();
+    for protocol in ProtocolKind::all() {
+        for scenario in ["crash_mid_read", "partition_during_write"] {
+            out.push(FaultCombo {
+                protocol,
+                scheduler: SchedulerKind::Fifo,
+                scenario,
+                label: format!("{protocol:?}/fifo/{scenario}"),
+            });
+        }
+    }
+    // Dup storm: at-least-once delivery.  Pin it on the quorum protocols
+    // whose handlers are idempotent per tag; a latency schedule besides
+    // FIFO so duplicates genuinely race their originals.
+    for protocol in [ProtocolKind::AlgB, ProtocolKind::AlgC, ProtocolKind::Simple] {
+        out.push(FaultCombo {
+            protocol,
+            scheduler: SchedulerKind::Latency { seed: 7, min: 1, max: 20 },
+            scenario: "dup_storm",
+            label: format!("{protocol:?}/latency7/dup_storm"),
+        });
+    }
+    out
+}
+
+/// Resolves a scenario name from [`fault_scenarios`] to its schedule.
+pub fn scenario_by_name(name: &str) -> FaultSchedule {
+    fault_scenarios()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, s)| s)
+        .unwrap_or_else(|| panic!("unknown fault scenario {name:?}"))
+}
+
+/// Runs the pinned 20-transaction workload under an arbitrary fault
+/// schedule and renders the history canonically, exactly like
+/// [`run_combo_on`] — full `Debug` of every record plus the final clock —
+/// with one extra trailer line counting aborted transactions.  No
+/// completion assert beyond retirement: aborts are the point.
+pub fn run_fault_schedule_on(
+    protocol: ProtocolKind,
+    scheduler: SchedulerKind,
+    schedule: FaultSchedule,
+    executor: ExecutorKind,
+) -> String {
+    let config = combo_config(protocol);
+    let mut cluster = build_cluster_faulty(protocol, &config, scheduler, executor, schedule)
+        .expect("valid fault combo config");
+    let mut generator = WorkloadGenerator::new(&config, combo_workload_spec());
+    let (history, report) =
+        WorkloadDriver::new(4).run(cluster.as_mut(), &mut generator, COMBO_TXNS);
+    assert_eq!(
+        report.completed, report.issued,
+        "{protocol:?}: every transaction must retire (committed or aborted)"
+    );
+    let aborted = history
+        .records
+        .iter()
+        .filter(|r| r.outcome.as_ref().is_some_and(|o| o.is_aborted()))
+        .count();
+    let mut canon = String::new();
+    for record in &history.records {
+        writeln!(canon, "{record:?}").expect("string write");
+    }
+    writeln!(canon, "now={} aborted={aborted}", cluster.now()).expect("string write");
+    canon
+}
+
+/// [`run_fault_schedule_on`] for one pinned fault combo.
+pub fn run_fault_combo_on(combo: &FaultCombo, executor: ExecutorKind) -> String {
+    run_fault_schedule_on(
+        combo.protocol,
+        combo.scheduler,
+        scenario_by_name(combo.scenario),
+        executor,
+    )
+}
+
+/// [`run_fault_combo_on`] on the serial simulator.
+pub fn run_fault_combo(combo: &FaultCombo) -> String {
+    run_fault_combo_on(combo, ExecutorKind::SerialSim)
+}
+
+/// Renders the fault fixture file: one `label ntx=<n> hash=<hex>` line per
+/// fault combo, sorted by label — the fault-engine analogue of
+/// [`fixture_file`], pinned in `tests/golden_fault_histories.txt`.
+pub fn fault_fixture_file() -> String {
+    let mut lines: Vec<String> = fault_combos()
+        .iter()
+        .map(|combo| {
+            let canon = run_fault_combo(combo);
+            format!(
+                "{} ntx={} hash={:016x}",
+                combo.label,
+                COMBO_TXNS,
+                fingerprint(&canon)
+            )
+        })
+        .collect();
+    lines.sort();
+    let mut out = String::from(
+        "# Golden fault-schedule history fingerprints per (protocol, scheduler, scenario).\n\
+         # Regenerate: cargo run -p snow-bench --release --bin golden_histories -- --faults --write\n",
+    );
+    for line in lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_combos_are_unique_and_cover_every_scenario() {
+        let combos = fault_combos();
+        assert_eq!(combos.len(), 15);
+        let mut labels: Vec<&str> = combos.iter().map(|c| c.label.as_str()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 15, "fault combo labels must be unique");
+        for (name, _) in fault_scenarios() {
+            assert!(
+                combos.iter().any(|c| c.scenario == name),
+                "scenario {name} must be pinned by at least one combo"
+            );
+        }
+    }
 
     #[test]
     fn combos_cover_every_protocol_and_are_unique() {

@@ -654,7 +654,10 @@ fn build_ctx(history: &History) -> Result<Ctx<'_>, Verdict> {
 
     let mut writes_of: BTreeMap<ObjectId, Vec<usize>> = BTreeMap::new();
     for (node, rec) in txs.iter().enumerate() {
-        if rec.kind() == TxKind::Write {
+        // Membership is decided by the *outcome*, not the spec: an aborted
+        // write installed nothing, so it takes no place in any version
+        // order (it stays a node, but only real-time edges touch it).
+        if matches!(rec.outcome, Some(TxOutcome::Write(_))) {
             for object in rec.spec.objects() {
                 writes_of.entry(object).or_default().push(node);
             }
@@ -965,6 +968,23 @@ mod tests {
         for tx in &completed {
             assert!(order.contains(tx), "{tx} missing from witness");
         }
+    }
+
+    #[test]
+    fn aborted_write_takes_no_place_in_the_version_order() {
+        // Regression: an aborted WRITE (fault-engine retirement) installed
+        // nothing, so a later read of the initial version must not be
+        // forced before it.  With spec-based write classification the
+        // aborted write joined `writes_of`, giving read→abort (version
+        // order) plus abort→read (real time) — a spurious cycle.
+        let mut aborted = write(1, 1, 1, &[0], 0, 5, None);
+        aborted.outcome = Some(TxOutcome::Aborted);
+        let stale = read(2, vec![(0, Key::initial())], 10, 15);
+        let mut h = History::new();
+        h.push(aborted);
+        h.push(stale);
+        let verdict = GraphChecker::new().check(&h);
+        assert_valid_witness(&h, &verdict);
     }
 
     #[test]

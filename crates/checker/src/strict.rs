@@ -54,7 +54,14 @@ impl TagOrderChecker {
 
     /// Checks `history` against the P1–P4 conditions of Lemma 20.
     pub fn check(&self, history: &History) -> Verdict {
-        let completed: Vec<&TxRecord> = history.completed().collect();
+        // Aborted transactions (fault-engine retirements) observed nothing
+        // and installed nothing: they are constraint-free, need no place in
+        // the serial order, and carry no tag — exclude them rather than
+        // fall back to the search checker over them.
+        let completed: Vec<&TxRecord> = history
+            .completed()
+            .filter(|r| !r.outcome.as_ref().is_some_and(|o| o.is_aborted()))
+            .collect();
         // Every completed transaction must carry a tag.
         for rec in &completed {
             if rec.outcome.as_ref().and_then(|o| o.tag()).is_none() {
@@ -351,9 +358,11 @@ impl SearchChecker {
 /// ```
 pub fn check_auto(history: &History) -> Verdict {
     let completed = history.completed().count();
+    // Aborted transactions are tag-free by construction but impose no
+    // constraints, so they must not disqualify the tag-order engine.
     let all_tagged = history
         .completed()
-        .all(|r| r.outcome.as_ref().and_then(|o| o.tag()).is_some());
+        .all(|r| r.outcome.as_ref().is_some_and(|o| o.is_aborted() || o.tag().is_some()));
     let mut tag_conviction = None;
     if all_tagged && completed > 0 {
         match TagOrderChecker::new().check(history) {

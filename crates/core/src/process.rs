@@ -46,6 +46,19 @@ pub trait Process {
 
     /// Handle delivery of `msg` from `from`.
     fn on_message(&mut self, from: ProcessId, msg: Self::Msg, effects: &mut Effects<Self::Msg>);
+
+    /// The execution substrate retired transaction `tx_id` as
+    /// [`TxOutcome::Aborted`]: a fault (server crash, partition, dropped
+    /// message) orphaned it and no further message for it will ever arrive.
+    ///
+    /// Client processes clear any in-flight state they hold for `tx_id` so
+    /// the next invocation finds them idle; anything else (and any client
+    /// with no per-transaction state) can keep the default no-op.  Handlers
+    /// must not send or respond here — the abort itself is recorded by the
+    /// substrate — which is why the hook takes no [`Effects`] buffer.
+    fn on_abort(&mut self, tx_id: TxId) {
+        let _ = tx_id;
+    }
 }
 
 /// The buffered sends of one handler call: `(destination, message)` pairs,

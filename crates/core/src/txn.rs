@@ -3,8 +3,13 @@
 //! A WRITE transaction `WRITE((o_{i1}, v_{i1}), …, (o_{ip}, v_{ip}))` updates
 //! a set of distinct objects; a READ transaction `READ(o_{i1}, …, o_{iq})`
 //! returns a consistent snapshot of a set of distinct objects.  No
-//! transaction mixes reads and writes, no transaction aborts, and every
-//! object named in a transaction lives on its own shard.
+//! transaction mixes reads and writes, and every object named in a
+//! transaction lives on its own shard.  Under the paper's reliable-network
+//! model no transaction aborts; the fault engine (`snow-sim`'s
+//! `FaultSchedule`) relaxes that with [`TxOutcome::Aborted`] — the
+//! retirement outcome of a transaction whose server crashed or whose
+//! messages a partition swallowed, which the checkers treat as a
+//! constraint-free (no read observations, no installed write) record.
 
 use crate::ids::ObjectId;
 use crate::key::{Key, Tag};
@@ -198,6 +203,12 @@ pub enum TxOutcome {
     Read(ReadOutcome),
     /// A WRITE transaction's acknowledgement.
     Write(WriteOutcome),
+    /// The transaction was retired without a result: its server crashed, a
+    /// partition swallowed its messages, or the run's fault schedule
+    /// otherwise guaranteed it can never complete.  An aborted transaction
+    /// observed nothing and installed nothing, so checkers treat it as a
+    /// constraint-free node (only its real-time interval matters).
+    Aborted,
 }
 
 impl TxOutcome {
@@ -205,7 +216,7 @@ impl TxOutcome {
     pub fn as_read(&self) -> Option<&ReadOutcome> {
         match self {
             TxOutcome::Read(r) => Some(r),
-            TxOutcome::Write(_) => None,
+            TxOutcome::Write(_) | TxOutcome::Aborted => None,
         }
     }
 
@@ -213,8 +224,13 @@ impl TxOutcome {
     pub fn as_write(&self) -> Option<&WriteOutcome> {
         match self {
             TxOutcome::Write(w) => Some(w),
-            TxOutcome::Read(_) => None,
+            TxOutcome::Read(_) | TxOutcome::Aborted => None,
         }
+    }
+
+    /// True if the transaction was retired without a result.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, TxOutcome::Aborted)
     }
 
     /// The tag carried by the outcome, if any.
@@ -222,6 +238,7 @@ impl TxOutcome {
         match self {
             TxOutcome::Read(r) => r.tag,
             TxOutcome::Write(w) => w.tag,
+            TxOutcome::Aborted => None,
         }
     }
 }
@@ -298,5 +315,16 @@ mod tests {
         assert_eq!(wo.tag(), Some(Tag(2)));
         assert!(wo.as_write().is_some());
         assert!(wo.as_read().is_none());
+    }
+
+    #[test]
+    fn aborted_outcome_is_constraint_free() {
+        let a = TxOutcome::Aborted;
+        assert!(a.is_aborted());
+        assert!(a.as_read().is_none());
+        assert!(a.as_write().is_none());
+        assert_eq!(a.tag(), None);
+        let ro = TxOutcome::Read(ReadOutcome { reads: vec![], tag: None });
+        assert!(!ro.is_aborted());
     }
 }

@@ -8,7 +8,7 @@
 //! guards every emission with `if O::ENABLED { … }`, so the default
 //! [`NullSink`] (`ENABLED = false`) compiles the whole path away.
 
-use snow_core::{ClientId, MsgKind, ProcessId, TxId};
+use snow_core::{ClientId, MsgKind, ProcessId, ServerId, TxId};
 
 /// One observability event.  `at` is the substrate's clock at emission:
 /// virtual ticks for the simulators, wall-clock nanoseconds for the
@@ -87,6 +87,65 @@ pub enum ObsEvent {
         /// substrate's own time unit.
         invoked_at: u64,
     },
+    /// The fault engine dropped a message in flight (a drop region, a
+    /// `Drop`-policy partition cut, or a delivery into a `DropInFlight`
+    /// crash window).
+    MessageDropped {
+        /// Clock at the drop decision.
+        at: u64,
+        /// Raw message id (`MsgId.0`).
+        msg: u64,
+        /// Sending process.
+        src: ProcessId,
+        /// Destination the message never reached.
+        dst: ProcessId,
+    },
+    /// The fault engine duplicated a message: a second copy with its own id
+    /// was sent alongside the original.
+    MessageDuplicated {
+        /// Clock at the duplication.
+        at: u64,
+        /// Raw id of the original message.
+        original: u64,
+        /// Raw id of the injected duplicate.
+        duplicate: u64,
+        /// Sending process.
+        src: ProcessId,
+        /// Destination process.
+        dst: ProcessId,
+    },
+    /// A scheduled server crash took effect (announced on the first
+    /// dispatch decision that observes the crash window).
+    ServerCrashed {
+        /// Clock at the announcement.
+        at: u64,
+        /// The crashed server.
+        server: ServerId,
+    },
+    /// A crashed server recovered: its process was rebuilt from fresh
+    /// state (announced on the first delivery past the crash window).
+    ServerRecovered {
+        /// Clock at the recovery.
+        at: u64,
+        /// The recovered server.
+        server: ServerId,
+    },
+    /// A scheduled network partition took effect (announced on the first
+    /// send decision inside its window).
+    PartitionStarted {
+        /// Clock at the announcement.
+        at: u64,
+        /// Index of the partition in the run's fault schedule.
+        partition: u32,
+    },
+    /// A partition healed (announced on the first send decision past its
+    /// window).
+    PartitionHealed {
+        /// Clock at the announcement.
+        at: u64,
+        /// Index of the partition in the run's fault schedule.
+        partition: u32,
+    },
     /// The streaming checker retired a certified prefix of its live window.
     CheckerRetired {
         /// The certification watermark that triggered the retirement.
@@ -116,6 +175,12 @@ impl ObsEvent {
             | ObsEvent::MessageDelivered { at, .. }
             | ObsEvent::EpochBarrierCrossed { at, .. }
             | ObsEvent::TxCommitted { at, .. }
+            | ObsEvent::MessageDropped { at, .. }
+            | ObsEvent::MessageDuplicated { at, .. }
+            | ObsEvent::ServerCrashed { at, .. }
+            | ObsEvent::ServerRecovered { at, .. }
+            | ObsEvent::PartitionStarted { at, .. }
+            | ObsEvent::PartitionHealed { at, .. }
             | ObsEvent::CheckerRetired { at, .. } => at,
         }
     }

@@ -288,6 +288,12 @@ pub fn fold_events(events: &[ShardEvent]) -> MetricsSnapshot {
                 bump(&mut snap, "sim.commits");
                 latency.observe(at.saturating_sub(invoked_at));
             }
+            ObsEvent::MessageDropped { .. } => bump(&mut snap, "sim.fault_drops"),
+            ObsEvent::MessageDuplicated { .. } => bump(&mut snap, "sim.fault_duplicates"),
+            ObsEvent::ServerCrashed { .. } => bump(&mut snap, "sim.crashes"),
+            ObsEvent::ServerRecovered { .. } => bump(&mut snap, "sim.recoveries"),
+            ObsEvent::PartitionStarted { .. } => bump(&mut snap, "sim.partitions_started"),
+            ObsEvent::PartitionHealed { .. } => bump(&mut snap, "sim.partitions_healed"),
             ObsEvent::CheckerRetired { .. } => bump(&mut snap, "sim.checker_retirements"),
         }
     }

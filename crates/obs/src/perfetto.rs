@@ -101,6 +101,48 @@ pub fn perfetto_json(events: &[ShardEvent], process_name: &str, ts_divisor: u64)
                      \"args\": {{\"watermark\": {watermark}, \"epoch\": {epoch}}}}}"
                 ));
             }
+            ObsEvent::MessageDropped { msg, src, dst, .. } => {
+                rows.push(format!(
+                    "{{\"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \
+                     \"name\": \"fault drop\", \"args\": {{\"msg\": {msg}, \
+                     \"src\": \"{src}\", \"dst\": \"{dst}\"}}}}"
+                ));
+            }
+            ObsEvent::MessageDuplicated { original, duplicate, src, dst, .. } => {
+                rows.push(format!(
+                    "{{\"ph\": \"i\", \"s\": \"t\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \
+                     \"name\": \"fault dup\", \"args\": {{\"original\": {original}, \
+                     \"duplicate\": {duplicate}, \"src\": \"{src}\", \"dst\": \"{dst}\"}}}}"
+                ));
+            }
+            ObsEvent::ServerCrashed { server, .. } => {
+                rows.push(format!(
+                    "{{\"ph\": \"i\", \"s\": \"g\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \
+                     \"name\": \"server {id} crashed\", \"args\": {{\"server\": {id}}}}}",
+                    id = server.0,
+                ));
+            }
+            ObsEvent::ServerRecovered { server, .. } => {
+                rows.push(format!(
+                    "{{\"ph\": \"i\", \"s\": \"g\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \
+                     \"name\": \"server {id} recovered\", \"args\": {{\"server\": {id}}}}}",
+                    id = server.0,
+                ));
+            }
+            ObsEvent::PartitionStarted { partition, .. } => {
+                rows.push(format!(
+                    "{{\"ph\": \"i\", \"s\": \"g\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \
+                     \"name\": \"partition {partition} started\", \
+                     \"args\": {{\"partition\": {partition}}}}}"
+                ));
+            }
+            ObsEvent::PartitionHealed { partition, .. } => {
+                rows.push(format!(
+                    "{{\"ph\": \"i\", \"s\": \"g\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \
+                     \"name\": \"partition {partition} healed\", \
+                     \"args\": {{\"partition\": {partition}}}}}"
+                ));
+            }
             ObsEvent::CheckerRetired { certified, live_window, frontier, retirement_lag, .. } => {
                 rows.push(format!(
                     "{{\"ph\": \"C\", \"pid\": 0, \"tid\": {tid}, \"ts\": {ts}, \

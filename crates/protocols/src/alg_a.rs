@@ -248,6 +248,22 @@ impl Process for AlgANode {
         }
     }
 
+    fn on_abort(&mut self, tx_id: TxId) {
+        match self {
+            AlgANode::Reader(r) => {
+                if r.pending.as_ref().is_some_and(|p| p.tx == tx_id) {
+                    r.pending = None;
+                }
+            }
+            AlgANode::Writer(w) => {
+                if w.pending.as_ref().is_some_and(|p| p.tx == tx_id) {
+                    w.pending = None;
+                }
+            }
+            AlgANode::Server(_) => {}
+        }
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: AlgAMsg, effects: &mut Effects<AlgAMsg>) {
         match self {
             AlgANode::Server(server) => match msg {
@@ -261,10 +277,15 @@ impl Process for AlgANode {
                     effects.send(from, AlgAMsg::WriteAck { tx, object });
                 }
                 AlgAMsg::ReadVal { tx, object, key } => {
-                    let value = server
-                        .store
-                        .get(object, &key)
-                        .expect("Algorithm A invariant: requested version is always installed");
+                    // On the paper's reliable network the reader only asks
+                    // for versions its info-reader notifications proved
+                    // installed.  Under the fault engine the install can die
+                    // (dropped WriteVal, server crash with state loss); a
+                    // server without the version stays silent and the
+                    // orphaned READ retires as Aborted at quiescence.
+                    let Some(value) = server.store.get(object, &key) else {
+                        return;
+                    };
                     effects.send(
                         from,
                         AlgAMsg::ReadResp {

@@ -244,6 +244,22 @@ impl Process for AlgBNode {
         }
     }
 
+    fn on_abort(&mut self, tx_id: TxId) {
+        match self {
+            AlgBNode::Reader(r) => {
+                if r.pending.as_ref().is_some_and(|p| p.tx == tx_id) {
+                    r.pending = None;
+                }
+            }
+            AlgBNode::Writer(w) => {
+                if w.pending.as_ref().is_some_and(|p| p.tx == tx_id) {
+                    w.pending = None;
+                }
+            }
+            AlgBNode::Server(_) => {}
+        }
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: AlgBMsg, effects: &mut Effects<AlgBMsg>) {
         match self {
             AlgBNode::Server(server) => match msg {
@@ -273,10 +289,16 @@ impl Process for AlgBNode {
                     effects.send(from, AlgBMsg::TagArr { tx, tag, keys });
                 }
                 AlgBMsg::ReadVal { tx, object, key } => {
-                    let value = server
-                        .store
-                        .get(object, &key)
-                        .expect("Algorithm B invariant: coordinator only names installed versions");
+                    // On the paper's reliable network the coordinator only
+                    // names installed versions.  Under the fault engine the
+                    // WriteVal can die (dropped message, server crash with
+                    // state loss) after the UpdateCoor succeeded; a server
+                    // that never installed the named version cannot answer
+                    // and stays silent — the orphaned READ is retired as
+                    // Aborted at quiescence.
+                    let Some(value) = server.store.get(object, &key) else {
+                        return;
+                    };
                     effects.send(
                         from,
                         AlgBMsg::ReadResp {

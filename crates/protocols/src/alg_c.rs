@@ -386,6 +386,22 @@ impl Process for AlgCNode {
         }
     }
 
+    fn on_abort(&mut self, tx_id: TxId) {
+        match self {
+            AlgCNode::Reader(r) => {
+                if r.pending.as_ref().is_some_and(|p| p.tx == tx_id) {
+                    r.pending = None;
+                }
+            }
+            AlgCNode::Writer(w) => {
+                if w.pending.as_ref().is_some_and(|p| p.tx == tx_id) {
+                    w.pending = None;
+                }
+            }
+            AlgCNode::Server(_) => {}
+        }
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: AlgCMsg, effects: &mut Effects<AlgCMsg>) {
         match self {
             AlgCNode::Server(server) => match msg {
@@ -430,10 +446,15 @@ impl Process for AlgCNode {
                     );
                 }
                 AlgCMsg::ReadVal { tx, object, key } => {
-                    let value = server
-                        .store
-                        .get(object, &key)
-                        .expect("fallback read: version registered at coordinator is installed");
+                    // On the paper's reliable network every version the
+                    // coordinator registers is installed before the fallback
+                    // can name it.  Under the fault engine the WriteVal can
+                    // die (dropped message, server crash with state loss); a
+                    // server without the named version stays silent and the
+                    // orphaned READ retires as Aborted at quiescence.
+                    let Some(value) = server.store.get(object, &key) else {
+                        return;
+                    };
                     effects.send(
                         from,
                         AlgCMsg::ReadResp {

@@ -119,6 +119,17 @@ impl Process for AnyNode {
         dispatch!(self, effects, |node, inner| node.on_invoke(tx_id, spec.clone(), inner));
     }
 
+    fn on_abort(&mut self, tx_id: TxId) {
+        match self {
+            AnyNode::AlgA(n) => n.on_abort(tx_id),
+            AnyNode::AlgB(n) => n.on_abort(tx_id),
+            AnyNode::AlgC(n) => n.on_abort(tx_id),
+            AnyNode::Eiger(n) => n.on_abort(tx_id),
+            AnyNode::Blocking(n) => n.on_abort(tx_id),
+            AnyNode::Simple(n) => n.on_abort(tx_id),
+        }
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: AnyMsg, effects: &mut Effects<AnyMsg>) {
         match (self, msg) {
             (AnyNode::AlgA(node), AnyMsg::AlgA(m)) => {

@@ -303,6 +303,18 @@ impl Process for BlockingNode {
         client.lock_next(effects);
     }
 
+    fn on_abort(&mut self, tx_id: TxId) {
+        // Locks the aborted transaction already holds at live servers are
+        // deliberately *not* released: the client cannot send from this
+        // hook, and leaked locks are exactly the blocking-protocol failure
+        // mode the fault scenarios are meant to surface.
+        if let BlockingNode::Client(client) = self {
+            if client.pending.as_ref().is_some_and(|p| p.tx == tx_id) {
+                client.pending = None;
+            }
+        }
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: BlockingMsg, effects: &mut Effects<BlockingMsg>) {
         match self {
             BlockingNode::Server(server) => match msg {

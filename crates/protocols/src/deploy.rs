@@ -7,11 +7,12 @@
 //! boxed cluster from a [`ProtocolKind`], a [`SystemConfig`] and a
 //! [`SchedulerKind`].
 
-use crate::any::deploy_any;
-use snow_core::{ClientId, History, Process, Result, SystemConfig, TxId, TxSpec};
+use crate::any::{deploy_any, AnyNode};
+use snow_core::{ClientId, History, Process, Result, ServerId, SystemConfig, TxId, TxSpec};
 use snow_sim::{
-    FifoScheduler, LatencyScheduler, NullSink, ParallelSimulation, RandomScheduler, RecordingSink,
-    Scheduler, Simulation, TraceSink,
+    Crash, CrashPolicy, EndpointSel, FaultAction, FaultRegion, FaultSchedule, FifoScheduler,
+    LatencyScheduler, NullSink, ParallelSimulation, Partition, PartitionPolicy, RandomScheduler,
+    RecordingSink, RestartFn, Scheduler, Simulation, TraceSink,
 };
 
 pub use snow_sim::CommitDrain;
@@ -519,6 +520,287 @@ pub fn build_cluster_observed(
             |_| RecordingSink::new(),
         ),
     })
+}
+
+/// The restart factory [`build_cluster_faulty`] hands the fault engine: a
+/// crashed process is rebuilt **from fresh protocol state** by re-running
+/// the (pure) deployment for its id — exactly the state loss of a
+/// crash-stop-with-restart failure.
+fn faulty_restart(protocol: ProtocolKind, config: &SystemConfig) -> RestartFn<AnyNode> {
+    let config = config.clone();
+    Box::new(move |pid| {
+        deploy_any(protocol, &config)
+            .expect("a deployed configuration redeploys")
+            .into_iter()
+            .find(|n| n.id() == pid)
+            .unwrap_or_else(|| panic!("restart factory: no process {pid} in the deployment"))
+    })
+}
+
+fn boxed_faulty<O: TraceSink + 'static>(
+    nodes: Vec<AnyNode>,
+    scheduler: SchedulerKind,
+    max_steps: u64,
+    faults: FaultSchedule,
+    restart: RestartFn<AnyNode>,
+    sink: O,
+) -> Box<dyn Cluster> {
+    fn finish<S, O>(mut sim: Simulation<AnyNode, S, O>, nodes: Vec<AnyNode>) -> Box<dyn Cluster>
+    where
+        S: Scheduler<<AnyNode as Process>::Msg> + 'static,
+        O: TraceSink + 'static,
+    {
+        for n in nodes {
+            sim.add_process(n);
+        }
+        Box::new(sim)
+    }
+    match scheduler {
+        SchedulerKind::Fifo => finish(
+            Simulation::new(FifoScheduler::new())
+                .with_max_steps(max_steps)
+                .with_sink(sink)
+                .with_faults(faults, Some(restart)),
+            nodes,
+        ),
+        SchedulerKind::Random(seed) => finish(
+            Simulation::new(RandomScheduler::new(seed))
+                .with_max_steps(max_steps)
+                .with_sink(sink)
+                .with_faults(faults, Some(restart)),
+            nodes,
+        ),
+        SchedulerKind::Latency { seed, min, max } => finish(
+            Simulation::new(LatencyScheduler::new(seed, min, max))
+                .with_max_steps(max_steps)
+                .with_sink(sink)
+                .with_faults(faults, Some(restart)),
+            nodes,
+        ),
+    }
+}
+
+fn boxed_parallel_faulty<O: TraceSink + Send + 'static>(
+    nodes: Vec<AnyNode>,
+    scheduler: SchedulerKind,
+    shards: usize,
+    max_steps: u64,
+    faults: FaultSchedule,
+    mut make_restart: impl FnMut(usize) -> RestartFn<AnyNode>,
+    mut make_sink: impl FnMut(usize) -> O,
+) -> Box<dyn Cluster> {
+    fn finish<S, O>(
+        mut sim: ParallelSimulation<AnyNode, S, O>,
+        nodes: Vec<AnyNode>,
+    ) -> Box<dyn Cluster>
+    where
+        S: Scheduler<<AnyNode as Process>::Msg> + Send + 'static,
+        O: TraceSink + Send + 'static,
+    {
+        for n in nodes {
+            sim.add_process(n);
+        }
+        Box::new(sim)
+    }
+    match scheduler {
+        SchedulerKind::Fifo => finish(
+            ParallelSimulation::new(shards, |_| FifoScheduler::new())
+                .with_max_steps(max_steps)
+                .with_sinks(&mut make_sink)
+                .with_faults(faults, |i| Some(make_restart(i))),
+            nodes,
+        ),
+        SchedulerKind::Random(seed) => finish(
+            ParallelSimulation::new(shards, |i| RandomScheduler::new(shard_seed(seed, i)))
+                .with_max_steps(max_steps)
+                .with_sinks(&mut make_sink)
+                .with_faults(faults, |i| Some(make_restart(i))),
+            nodes,
+        ),
+        SchedulerKind::Latency { seed, min, max } => finish(
+            ParallelSimulation::new(shards, |i| {
+                LatencyScheduler::new(shard_seed(seed, i), min, max)
+            })
+            .with_max_steps(max_steps)
+            .with_sinks(&mut make_sink)
+            .with_faults(faults, |i| Some(make_restart(i))),
+            nodes,
+        ),
+    }
+}
+
+/// [`build_cluster_on`] with a [`FaultSchedule`]: the same protocol-erased
+/// deployment, executed under drop/duplicate/delay regions, partitions and
+/// server crash+recovery.  Crashed processes restart from fresh protocol
+/// state (deployment re-run for their id).  The faulty history is a pure
+/// function of `(protocol, config, scheduler, executor, fault schedule)`,
+/// and an empty schedule reproduces [`build_cluster_on`]'s histories byte
+/// for byte on both substrates.
+///
+/// Transactions the schedule orphans (server crashed with the request in
+/// flight, partition swallowed a message) are retired as
+/// [`snow_core::TxOutcome::Aborted`] at quiescence, so
+/// [`Cluster::history`] stays complete and the checkers can certify or
+/// convict the run.
+pub fn build_cluster_faulty(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    scheduler: SchedulerKind,
+    executor: ExecutorKind,
+    faults: FaultSchedule,
+) -> Result<Box<dyn Cluster>> {
+    if let ExecutorKind::ParallelSim { shards: 0 } = executor {
+        return Err(snow_core::SnowError::InvalidConfig(
+            "a parallel cluster needs at least one shard".to_string(),
+        ));
+    }
+    let nodes = deploy_any(protocol, config)?;
+    Ok(match executor {
+        ExecutorKind::SerialSim => boxed_faulty(
+            nodes,
+            scheduler,
+            DEFAULT_MAX_STEPS,
+            faults,
+            faulty_restart(protocol, config),
+            NullSink,
+        ),
+        ExecutorKind::ParallelSim { shards } => boxed_parallel_faulty(
+            nodes,
+            scheduler,
+            shards,
+            DEFAULT_MAX_STEPS,
+            faults,
+            |_| faulty_restart(protocol, config),
+            |_| NullSink,
+        ),
+    })
+}
+
+/// [`build_cluster_faulty`] with observability recording enabled, the
+/// fault-engine counterpart of [`build_cluster_observed`]: alongside the
+/// usual dispatch events the stream carries the fault vocabulary —
+/// `MessageDropped`, `MessageDuplicated`, `ServerCrashed`,
+/// `ServerRecovered`, `PartitionStarted`, `PartitionHealed` — all stamped
+/// with virtual ticks, so a crash-recovery trace is bit-reproducible and
+/// exportable to Perfetto like any other.
+///
+/// The crash-recovery walkthrough the README points at:
+///
+/// ```
+/// use snow_core::{ObjectId, SystemConfig, TxSpec, Value};
+/// use snow_protocols::{
+///     build_cluster_faulty_observed, scenario_crash_mid_read, ExecutorKind, ObsEvent,
+///     ProtocolKind, SchedulerKind,
+/// };
+///
+/// let config = SystemConfig::mwmr(4, 4, 4);
+/// let mut cluster = build_cluster_faulty_observed(
+///     ProtocolKind::AlgB,
+///     &config,
+///     SchedulerKind::Latency { seed: 11, min: 1, max: 16 },
+///     ExecutorKind::SerialSim,
+///     scenario_crash_mid_read(), // server 0 dies at tick 30, back at 120
+/// )
+/// .unwrap();
+///
+/// // Drive traffic across the crash window.  Every transaction retires —
+/// // committed, or Aborted when the crash orphaned it — so the closed
+/// // loop never wedges on a dead server.
+/// let writer = config.writers().next().unwrap();
+/// let reader = config.readers().next().unwrap();
+/// for round in 0..20 {
+///     let w = cluster.invoke_at(cluster.now(), writer, TxSpec::write(vec![(ObjectId(0), Value(round))]));
+///     assert!(cluster.run_until_complete(w));
+///     let r = cluster.invoke_at(cluster.now(), reader, TxSpec::read(vec![ObjectId(0)]));
+///     assert!(cluster.run_until_complete(r));
+/// }
+///
+/// let events = cluster.drain_obs_events();
+/// let crashed = events.iter().any(|e| matches!(e.event, ObsEvent::ServerCrashed { .. }));
+/// let recovered = events.iter().any(|e| matches!(e.event, ObsEvent::ServerRecovered { .. }));
+/// assert!(crashed && recovered, "the trace shows the crash and the recovery");
+/// // Export with `snow_obs::perfetto_json(&events, "crash drill", 1)` and
+/// // load the file at https://ui.perfetto.dev — the crash/recovery pair
+/// // shows up as instant markers on the emitting shard's track.
+/// ```
+pub fn build_cluster_faulty_observed(
+    protocol: ProtocolKind,
+    config: &SystemConfig,
+    scheduler: SchedulerKind,
+    executor: ExecutorKind,
+    faults: FaultSchedule,
+) -> Result<Box<dyn Cluster>> {
+    if let ExecutorKind::ParallelSim { shards: 0 } = executor {
+        return Err(snow_core::SnowError::InvalidConfig(
+            "a parallel cluster needs at least one shard".to_string(),
+        ));
+    }
+    let nodes = deploy_any(protocol, config)?;
+    Ok(match executor {
+        ExecutorKind::SerialSim => boxed_faulty(
+            nodes,
+            scheduler,
+            DEFAULT_MAX_STEPS,
+            faults,
+            faulty_restart(protocol, config),
+            RecordingSink::new(),
+        ),
+        ExecutorKind::ParallelSim { shards } => boxed_parallel_faulty(
+            nodes,
+            scheduler,
+            shards,
+            DEFAULT_MAX_STEPS,
+            faults,
+            |_| faulty_restart(protocol, config),
+            |_| RecordingSink::new(),
+        ),
+    })
+}
+
+/// The "crash mid-read" scenario: server 0 crashes in the middle of a
+/// short workload and recovers with its state lost; in-flight messages to
+/// it are dropped.  Transactions it was serving abort.
+pub fn scenario_crash_mid_read() -> FaultSchedule {
+    FaultSchedule::new(0xC7A5).with_crash(Crash {
+        server: ServerId(0),
+        at: 30,
+        recover_at: 120,
+        policy: CrashPolicy::DropInFlight,
+    })
+}
+
+/// The "partition during write" scenario: server 0 is cut off from every
+/// other process over ticks 20–90; cut messages are held and delivered at
+/// the heal, so writes in flight stall across the partition instead of
+/// dying.
+pub fn scenario_partition_during_write() -> FaultSchedule {
+    FaultSchedule::new(0xBEEF)
+        .with_partition(Partition::isolate_server(ServerId(0), 20, 90, PartitionPolicy::Queue))
+}
+
+/// The "dup storm" scenario: 40% of client→server traffic is duplicated
+/// for the whole run — at-least-once delivery, which the paper's
+/// reliable-network model never exercises.
+pub fn scenario_dup_storm() -> FaultSchedule {
+    FaultSchedule::new(0xD0B).with_region(FaultRegion {
+        action: FaultAction::Duplicate,
+        src: EndpointSel::AnyClient,
+        dst: EndpointSel::AnyServer,
+        from: 0,
+        until: u64::MAX,
+        chance_pct: 40,
+    })
+}
+
+/// The scenario matrix the fault suites and `examples/partition_drill.rs`
+/// run: named fault schedules re-asking the paper's Fig. 1 questions under
+/// failures.
+pub fn fault_scenarios() -> Vec<(&'static str, FaultSchedule)> {
+    vec![
+        ("crash_mid_read", scenario_crash_mid_read()),
+        ("partition_during_write", scenario_partition_during_write()),
+        ("dup_storm", scenario_dup_storm()),
+    ]
 }
 
 /// Builds a boxed cluster on the sharded parallel simulator

@@ -399,6 +399,22 @@ impl Process for EigerNode {
         }
     }
 
+    fn on_abort(&mut self, tx_id: TxId) {
+        match self {
+            EigerNode::Reader(r) => {
+                if r.pending.as_ref().is_some_and(|p| p.tx == tx_id) {
+                    r.pending = None;
+                }
+            }
+            EigerNode::Writer(w) => {
+                if w.pending.as_ref().is_some_and(|(tx, ..)| *tx == tx_id) {
+                    w.pending = None;
+                }
+            }
+            EigerNode::Server(_) => {}
+        }
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: EigerMsg, effects: &mut Effects<EigerMsg>) {
         match self {
             EigerNode::Server(server) => match msg {

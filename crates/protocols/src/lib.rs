@@ -59,7 +59,10 @@ pub mod simple;
 pub use any::{deploy_any, AnyDeployment, AnyMsg, AnyNode};
 pub use common::{PendingRead, PendingWrite, WriteLog};
 pub use deploy::{
-    build_cluster, build_cluster_bounded, build_cluster_observed, build_cluster_on,
-    build_cluster_parallel, build_cluster_with_max_steps, Cluster, CommitDrain, ExecutorKind,
-    ObsEvent, ProtocolKind, SchedulerKind, ShardEvent, DEFAULT_MAX_STEPS,
+    build_cluster, build_cluster_bounded, build_cluster_faulty, build_cluster_faulty_observed,
+    build_cluster_observed,
+    build_cluster_on, build_cluster_parallel, build_cluster_with_max_steps, fault_scenarios,
+    scenario_crash_mid_read, scenario_dup_storm, scenario_partition_during_write, Cluster,
+    CommitDrain, ExecutorKind, ObsEvent, ProtocolKind, SchedulerKind, ShardEvent,
+    DEFAULT_MAX_STEPS,
 };

@@ -162,6 +162,17 @@ impl Process for SimpleNode {
         }
     }
 
+    fn on_abort(&mut self, tx_id: TxId) {
+        if let SimpleNode::Client(client) = self {
+            if client.pending_read.as_ref().is_some_and(|p| p.tx == tx_id) {
+                client.pending_read = None;
+            }
+            if client.pending_write.as_ref().is_some_and(|(tx, _, _)| *tx == tx_id) {
+                client.pending_write = None;
+            }
+        }
+    }
+
     fn on_message(&mut self, from: ProcessId, msg: SimpleMsg, effects: &mut Effects<SimpleMsg>) {
         match self {
             SimpleNode::Server(server) => match msg {

@@ -37,13 +37,16 @@
 //! the monotonicity check in [`Trace::record`] — keep the invariant
 //! audited.
 
+use crate::fault::{CrashPolicy, FaultState, SendVerdict};
 use crate::message::{MsgId, PendingMessage, SimMessage as _};
 use crate::pool::MessagePool;
 use crate::parallel::shard_of;
 use crate::scheduler::Scheduler;
 use crate::sim::Simulation;
 use crate::trace::{ActionKind, CausalEnvelope, Trace};
-use snow_core::{ClientId, Effects, History, Process, ProcessId, TxId, TxKind, TxRecord, TxSpec};
+use snow_core::{
+    ClientId, Effects, History, Process, ProcessId, TxId, TxKind, TxOutcome, TxRecord, TxSpec,
+};
 use snow_obs::{NullSink, ObsEvent, TraceSink};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -141,6 +144,10 @@ pub(crate) struct DispatchCore<P: Process, S, O: TraceSink = NullSink> {
     /// Observability sink (virtual-time events only; `NullSink` by
     /// default, which compiles the emission sites away).
     pub(crate) sink: O,
+    /// Fault engine state (`None` = fault-free: every fault check is
+    /// guarded by `is_some()`, so an unfaulted core executes the exact
+    /// pre-fault-engine path and histories stay byte-identical).
+    pub(crate) faults: Option<FaultState<P>>,
 }
 
 impl<P, S, O> DispatchCore<P, S, O>
@@ -170,6 +177,7 @@ where
             in_flight: BTreeSet::new(),
             outbox: Vec::new(),
             sink: O::default(),
+            faults: None,
         }
     }
 
@@ -193,6 +201,7 @@ where
             in_flight: self.in_flight,
             outbox: self.outbox,
             sink,
+            faults: self.faults,
         }
     }
 
@@ -319,7 +328,9 @@ where
                     .remove(id)
                     .expect("scheduler must choose a live message");
                 self.advance_past(msg.deliver_at.unwrap_or(self.now));
-                self.deliver(msg);
+                if let Some(msg) = self.crash_intercept(msg) {
+                    self.deliver(msg);
+                }
                 Some(StepOutcome::Delivered(id))
             }
             None => None,
@@ -367,7 +378,9 @@ where
         let id = self.pool.iter().find(|p| pred(p)).map(|p| p.id)?;
         let msg = self.pool.remove(id).expect("matched message is live");
         self.advance_past(msg.deliver_at.unwrap_or(self.now));
-        self.deliver(msg);
+        if let Some(msg) = self.crash_intercept(msg) {
+            self.deliver(msg);
+        }
         Some(id)
     }
 
@@ -475,7 +488,52 @@ where
                 at,
                 ActionKind::Send { msg: id, to, parent, info },
             );
+            // The scheduler always sees the send (its latency/RNG draw
+            // sequence is part of the determinism contract), then the fault
+            // schedule gets the last word on whether and when the message
+            // travels.  `send_verdict` is a pure function of
+            // `(schedule, src, dst, sent_at, id)`, so verdicts are
+            // independent of decision order across shards.
             let deliver_at = self.scheduler.on_send(self.now);
+            let verdict = match self.faults.as_ref() {
+                Some(f) => f.schedule.send_verdict(at, to, self.now, id),
+                None => SendVerdict::default(),
+            };
+            if self.faults.is_some() {
+                self.note_partitions();
+            }
+            if verdict.dropped {
+                // Sent, never inserted: the trace keeps the Send record (a
+                // drop is an event of the run), but the causal meta can
+                // never be walked again.
+                if O::ENABLED {
+                    self.sink.emit(ObsEvent::MessageSent {
+                        at: self.now,
+                        msg: id.0,
+                        kind: info.kind,
+                        tx: info.tx,
+                        src: at,
+                        dst: to,
+                        queue_depth: self.pool.len() as u32,
+                        cross_shard: !self.is_local(to),
+                    });
+                    self.sink.emit(ObsEvent::MessageDropped {
+                        at: self.now,
+                        msg: id.0,
+                        src: at,
+                        dst: to,
+                    });
+                }
+                self.trace.prune_meta(id);
+                continue;
+            }
+            let deliver_at = if verdict.extra_delay > 0 || verdict.hold_until.is_some() {
+                let base = deliver_at.unwrap_or(self.now).saturating_add(verdict.extra_delay);
+                Some(base.max(verdict.hold_until.unwrap_or(0)))
+            } else {
+                deliver_at
+            };
+            let dup = verdict.duplicate.then(|| m.clone());
             let pending = PendingMessage {
                 id,
                 src: at,
@@ -507,6 +565,55 @@ where
                     queue_depth: self.pool.len() as u32,
                     cross_shard: !local,
                 });
+            }
+            if let Some(copy) = dup {
+                // The duplicate is a first-class message: its own
+                // (shard-strided) id, its own Send record, its own
+                // scheduler draw.  It is not re-evaluated against the fault
+                // schedule (no duplicate storms of duplicates).
+                let dup_id = MsgId(self.next_msg);
+                self.next_msg += self.stride;
+                self.trace.record(
+                    self.now,
+                    at,
+                    ActionKind::Send { msg: dup_id, to, parent, info },
+                );
+                let dup_deliver = self.scheduler.on_send(self.now);
+                let dup_pending = PendingMessage {
+                    id: dup_id,
+                    src: at,
+                    dst: to,
+                    msg: copy,
+                    sent_at: self.now,
+                    parent,
+                    deliver_at: dup_deliver,
+                };
+                if local {
+                    self.pool.insert(dup_pending);
+                } else {
+                    let causality = self.trace.export_envelope(dup_id);
+                    self.trace.prune_meta(dup_id);
+                    self.outbox.push(Transit { msg: dup_pending, causality });
+                }
+                if O::ENABLED {
+                    self.sink.emit(ObsEvent::MessageSent {
+                        at: self.now,
+                        msg: dup_id.0,
+                        kind: info.kind,
+                        tx: info.tx,
+                        src: at,
+                        dst: to,
+                        queue_depth: self.pool.len() as u32,
+                        cross_shard: !local,
+                    });
+                    self.sink.emit(ObsEvent::MessageDuplicated {
+                        at: self.now,
+                        original: id.0,
+                        duplicate: dup_id.0,
+                        src: at,
+                        dst: to,
+                    });
+                }
             }
         }
         for (tx, outcome) in responses {
@@ -587,6 +694,131 @@ where
             .map(|&(at, _)| at)
             .unwrap_or(u64::MAX);
         in_flight.min(self.now + 1)
+    }
+
+    /// Delivery-side fault gate, called after the clock clamp and before
+    /// the handler runs.  Applies any crash recoveries for the destination
+    /// that have elapsed by `now` (the process is rebuilt **from fresh
+    /// state** by the restart factory), then intercepts the delivery if the
+    /// attempt lands inside an active crash window: `DropInFlight` loses
+    /// the message, `QueueInFlight` re-queues it to deliver no earlier than
+    /// the recovery tick.  Returns the message iff delivery proceeds.
+    /// A no-op (`Some(msg)`) without a fault schedule.
+    fn crash_intercept(&mut self, msg: PendingMessage<P::Msg>) -> Option<PendingMessage<P::Msg>> {
+        let Some(mut faults) = self.faults.take() else { return Some(msg) };
+        let dst = msg.dst;
+        // Recoveries first: every window of `dst` that fully elapsed must
+        // have restarted the process before this delivery observes it —
+        // even if no delivery was attempted inside the window itself (the
+        // state loss happened regardless).
+        for i in faults.schedule.elapsed_crashes(dst, self.now) {
+            if faults.crash_recovered[i] {
+                continue;
+            }
+            let crash = faults.schedule.crashes[i];
+            if !faults.crash_announced[i] {
+                faults.crash_announced[i] = true;
+                if O::ENABLED {
+                    self.sink.emit(ObsEvent::ServerCrashed { at: self.now, server: crash.server });
+                }
+            }
+            faults.crash_recovered[i] = true;
+            let restart = faults
+                .restart
+                .as_mut()
+                .expect("crash schedules carry a restart factory (FaultState::new)");
+            let fresh = restart(dst);
+            assert_eq!(fresh.id(), dst, "restart factory rebuilt the wrong process");
+            self.processes.insert(dst, fresh);
+            if O::ENABLED {
+                self.sink.emit(ObsEvent::ServerRecovered { at: self.now, server: crash.server });
+            }
+        }
+        let mut verdict = Some(msg);
+        if let Some((i, crash)) = faults.schedule.crash_window(dst, self.now) {
+            if !faults.crash_announced[i] {
+                faults.crash_announced[i] = true;
+                if O::ENABLED {
+                    self.sink.emit(ObsEvent::ServerCrashed { at: self.now, server: crash.server });
+                }
+            }
+            let msg = verdict.take().expect("set above");
+            match crash.policy {
+                CrashPolicy::DropInFlight => {
+                    if O::ENABLED {
+                        self.sink.emit(ObsEvent::MessageDropped {
+                            at: self.now,
+                            msg: msg.id.0,
+                            src: msg.src,
+                            dst: msg.dst,
+                        });
+                    }
+                    self.trace.prune_meta(msg.id);
+                }
+                CrashPolicy::QueueInFlight => {
+                    // Held for the restarted process: re-queued with its
+                    // delivery pushed to the recovery tick (the clock
+                    // already advanced past the attempt, so the next pick
+                    // lands at or past `recover_at` and takes the recovery
+                    // path above).
+                    let mut held = msg;
+                    held.deliver_at = Some(crash.recover_at);
+                    self.pool.insert(held);
+                }
+            }
+        }
+        self.faults = Some(faults);
+        verdict
+    }
+
+    /// Lazily announces partition starts and heals: each transition is
+    /// emitted once, on the first send decision whose clock observes it.
+    /// Pure bookkeeping — the actual cut is decided per message by
+    /// [`FaultSchedule::send_verdict`].
+    fn note_partitions(&mut self) {
+        let Some(faults) = self.faults.as_mut() else { return };
+        for (i, p) in faults.schedule.partitions.iter().enumerate() {
+            if !faults.partition_started[i] && self.now >= p.from && self.now < p.until {
+                faults.partition_started[i] = true;
+                if O::ENABLED {
+                    self.sink.emit(ObsEvent::PartitionStarted { at: self.now, partition: i as u32 });
+                }
+            }
+            if faults.partition_started[i] && !faults.partition_healed[i] && self.now >= p.until {
+                faults.partition_healed[i] = true;
+                if O::ENABLED {
+                    self.sink.emit(ObsEvent::PartitionHealed { at: self.now, partition: i as u32 });
+                }
+            }
+        }
+    }
+
+    /// Fault-engine retirement rule: once the core is quiescent, any
+    /// transaction still in flight can never complete — its server crashed
+    /// with the request in flight, or a partition swallowed a message of
+    /// its protocol exchange.  Retires each as [`TxOutcome::Aborted`]
+    /// (recorded as a Respond, so it flows into the commit log and the
+    /// streaming checker's certification frontier advances instead of
+    /// wedging).  A no-op without a fault schedule: on a fault-free run an
+    /// in-flight transaction at quiescence is a protocol bug, and the
+    /// existing completeness assertions should keep catching it.
+    pub(crate) fn abort_orphans(&mut self) {
+        if self.faults.is_none() || !self.is_quiescent() {
+            return;
+        }
+        let orphans: Vec<(u64, TxId)> = std::mem::take(&mut self.in_flight).into_iter().collect();
+        for (_, tx) in orphans {
+            let rec = self.records.get_mut(&tx).expect("in-flight transaction has a record");
+            rec.responded_at = Some(self.now);
+            rec.outcome = Some(TxOutcome::Aborted);
+            let client = rec.client;
+            self.trace.record(self.now, ProcessId::Client(client), ActionKind::Respond { tx });
+            // Let the client automaton drop its in-flight state for the
+            // orphan, so the next invocation finds it idle.
+            if let Some(p) = self.processes.get_mut(&ProcessId::Client(client)) {
+                p.on_abort(tx);
+            }
+        }
     }
 }
 

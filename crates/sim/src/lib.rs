@@ -34,7 +34,11 @@
 //! are a pure function of `(configuration, seeds, shard count)` — while
 //! running one worker thread per shard, exchanging cross-shard messages at
 //! deterministic epoch barriers; with one shard it reproduces the serial
-//! engine bit for bit.
+//! engine bit for bit.  A seeded [`FaultSchedule`] (see [`fault`]) extends
+//! the contract to failures: drop/duplicate/delay regions, partitions and
+//! server crash+recovery are pure per-message decisions, so a faulty
+//! history is a pure function of `(configuration, seeds, shard count,
+//! fault schedule)` on both substrates.
 //!
 //! Both simulators execute on **one dispatch core** (the private `engine`
 //! module): [`Simulation`] wraps a single core, [`ParallelSimulation`]
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod fault;
 pub mod message;
 pub mod parallel;
 pub mod pool;
@@ -53,6 +58,10 @@ pub mod scheduler;
 pub mod sim;
 pub mod trace;
 
+pub use fault::{
+    Crash, CrashPolicy, EndpointSel, FaultAction, FaultRegion, FaultSchedule, Partition,
+    PartitionPolicy, RestartFn,
+};
 pub use message::{MsgId, MsgInfo, MsgKind, PendingMessage, SimMessage};
 pub use parallel::ParallelSimulation;
 pub use pool::MessagePool;

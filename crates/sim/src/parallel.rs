@@ -60,6 +60,7 @@
 //! `runtime_parity`.
 
 use crate::engine::{DispatchCore, QueuedInvocation, Transit};
+use crate::fault::{FaultSchedule, FaultState, RestartFn};
 use crate::scheduler::Scheduler;
 use crate::sim::CommitDrain;
 use crate::trace::Trace;
@@ -217,6 +218,27 @@ where
         events
     }
 
+    /// Attaches a [`FaultSchedule`] to the run (builder style; set it
+    /// before running).  Every shard carries its own copy of the schedule
+    /// plus a restart factory from `make_restart` (required to be `Some`
+    /// for any shard when the schedule contains crash windows).  Fault
+    /// decisions are pure per-message functions — send-side faults decided
+    /// on the sending shard, crash windows on the destination shard — so
+    /// the shards need no coordination, the epoch barrier is unaffected,
+    /// and a faulty history stays a pure function of `(configuration,
+    /// seeds, shard count, fault schedule)`; with one shard it is
+    /// byte-identical to the serial engine's.
+    pub fn with_faults(
+        mut self,
+        schedule: FaultSchedule,
+        mut make_restart: impl FnMut(usize) -> Option<RestartFn<P>>,
+    ) -> Self {
+        for i in 0..self.shards.len() {
+            self.shards[i].faults = Some(FaultState::new(schedule.clone(), make_restart(i)));
+        }
+        self
+    }
+
     /// Overrides the per-shard safety cap on steps (the serial engine's
     /// `with_max_steps`, applied to each shard independently).
     pub fn with_max_steps(mut self, max_steps: u64) -> Self {
@@ -371,13 +393,17 @@ where
     /// Runs until no work remains anywhere (or a shard hits its step cap).
     /// Returns the number of steps executed across all shards.
     pub fn run_until_quiescent(&mut self) -> u64 {
-        self.run(&[])
+        let steps = self.run(&[]);
+        self.retire_faulted();
+        steps
     }
 
     /// Runs until transaction `tx` completes (or the system goes
-    /// quiescent).  Returns `true` if the transaction completed.
+    /// quiescent).  Returns `true` if the transaction completed — which
+    /// under a fault schedule includes completing as `Aborted`.
     pub fn run_until_complete(&mut self, tx: TxId) -> bool {
         self.run(&[tx]);
+        self.retire_faulted();
         self.is_complete(tx)
     }
 
@@ -391,7 +417,22 @@ where
             return None;
         }
         self.run(watch);
+        self.retire_faulted();
         watch.iter().copied().find(|&tx| self.is_complete(tx))
+    }
+
+    /// Fault-engine retirement at quiescence: asks every shard to retire
+    /// its orphaned transactions (a per-core no-op unless that shard both
+    /// carries a fault schedule and has nothing left to do — a run that
+    /// stopped early because a watched transaction completed retires
+    /// nothing).  The decision itself lives in the dispatch core.
+    fn retire_faulted(&mut self) {
+        if !self.is_quiescent() {
+            return;
+        }
+        for shard in &mut self.shards {
+            shard.abort_orphans();
+        }
     }
 
     /// The epoch-barrier driver (see the module docs for the cycle).  An

@@ -43,6 +43,7 @@
 //! integration test against committed golden histories.
 
 use crate::engine::{DispatchCore, QueuedInvocation};
+use crate::fault::{FaultSchedule, FaultState, RestartFn};
 use crate::message::PendingMessage;
 use crate::scheduler::Scheduler;
 use crate::trace::Trace;
@@ -160,6 +161,22 @@ where
         self
     }
 
+    /// Attaches a [`FaultSchedule`] to the run (builder style; set it
+    /// before running).  `restart` is the factory that rebuilds a crashed
+    /// process from fresh state at recovery — required iff the schedule
+    /// contains crash windows.  An empty schedule is structurally inert:
+    /// the engine's fault checks are guarded by the state's presence, and
+    /// histories stay byte-identical to an unfaulted run.
+    ///
+    /// With a schedule attached, the run loops retire transactions that can
+    /// no longer complete (their messages dropped, their server's state
+    /// lost) as [`snow_core::TxOutcome::Aborted`] once the system goes
+    /// quiescent, so histories stay complete under faults.
+    pub fn with_faults(mut self, schedule: FaultSchedule, restart: Option<RestartFn<P>>) -> Self {
+        self.core.faults = Some(FaultState::new(schedule, restart));
+        self
+    }
+
     /// Registers a process.  Panics if a process with the same id exists.
     pub fn add_process(&mut self, process: P) {
         self.core.add_process(process);
@@ -225,17 +242,20 @@ where
                 break;
             }
         }
+        self.core.abort_orphans();
         self.core.steps - start
     }
 
     /// Runs until transaction `tx` completes (or the system goes quiescent).
-    /// Returns `true` if the transaction completed.
+    /// Returns `true` if the transaction completed — which under a fault
+    /// schedule includes completing as `Aborted`.
     pub fn run_until_complete(&mut self, tx: TxId) -> bool {
         while !self.is_complete(tx) {
             if self.is_quiescent() || self.step() == StepOutcome::Quiescent {
                 break;
             }
         }
+        self.core.abort_orphans();
         self.is_complete(tx)
     }
 
@@ -257,6 +277,11 @@ where
                 return Some(tx);
             }
             if self.is_quiescent() || self.step() == StepOutcome::Quiescent {
+                // Quiescent with watched transactions still in flight: under
+                // a fault schedule those can never complete — retire them as
+                // aborted before the final scan so the caller is never
+                // livelocked waiting on a transaction whose server died.
+                self.core.abort_orphans();
                 return watch.iter().copied().find(|&tx| self.is_complete(tx));
             }
         }

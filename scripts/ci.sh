@@ -11,11 +11,20 @@
 #      (fn step / run_epoch / dispatch_invocation / deliver /
 #      apply_effects / deliver_where / force_invoke / try_dispatch).
 #      The serial and sharded engines once carried hand-mirrored copies
-#      of this logic; a second definition site means the mirror is back;
+#      of this logic; a second definition site means the mirror is back.
+#      The same rule covers the fault engine: the fault decision
+#      primitives (send_verdict / crash_window / elapsed_crashes / gate /
+#      crash_intercept / note_partitions / abort_orphans) may only be
+#      defined in engine.rs or fault.rs — fault handling is wired through
+#      the one dispatch core, never mirrored per executor;
 #   3. golden-fingerprint freshness: the committed seeded-history fixtures
 #      (tests/golden_histories.txt) must match what the current engine
 #      produces — catching both accidental schedule changes *and* fixture
 #      files regenerated without justification;
+#   3b. golden *fault* fingerprint freshness: same rule for the faulty
+#      matrix (tests/golden_fault_histories.txt) — crash, partition and
+#      dup-storm histories are pure functions of their schedules and must
+#      reproduce bit-for-bit (regenerate with `--faults --write`);
 #   4. parallel-engine parity: the sharded engine must reproduce every
 #      golden fixture bit-for-bit at 1 shard and be reproducible at 4
 #      shards (tests/parallel_determinism.rs);
@@ -26,6 +35,12 @@
 #      agree with `check_auto` on the same generated histories, convict
 #      the adversarial ones at the right commit index, and keep its live
 #      window bounded on long runs (tests/stream_differential.rs);
+#   5c. fault suites: fault-engine determinism (golden fault fixtures,
+#      1-shard ≡ serial under faults, empty-schedule inertness, the
+#      randomized-schedule proptest — tests/fault_determinism.rs) and
+#      checker behaviour on fault-laden histories (graph/stream agreement,
+#      bounded frontier under aborts, conviction at the offending commit,
+#      orphan retirement — tests/fault_checker.rs);
 #   6. bench_json smoke run: all three executors (serial flood, sharded
 #      parallel flood, tokio runtime read path) and the
 #      checker-throughput section must stay alive end to end.  The smoke
@@ -46,6 +61,11 @@
 #      within 5x of the tracked artifact.  Open-loop latencies are
 #      *virtual ticks* — deterministic per seed, not host noise — so a
 #      drift here means the protocols' message behaviour changed;
+#   8b. fault-overhead guard: the smoke run's `faults` section compares
+#      AlgB throughput clean vs under a 1% message-drop region.  Both
+#      rates come from the same run on the same host, so their ratio
+#      (slowdown_drop1_vs_clean) cancels host speed; above 5x the fault
+#      path has started serializing or retrying pathologically;
 #   9. striped-instrumentation guard: the tokio runtime's per-send
 #      transaction bookkeeping must stay striped by TxId — no global
 #      `Mutex<HashMap<TxId, …>>` field may reappear in
@@ -55,6 +75,9 @@
 #      checker's frontier counters), and examples/observe_run.rs must run
 #      end to end (observed open loop → metrics fold → Perfetto export →
 #      checker frontier);
+#  10b. fault-engine example: examples/partition_drill.rs must run end to
+#      end (partition a server mid-workload under the Queue policy, heal,
+#      per-phase p99, SNOW verdict over the scarred history);
 #  11. observability neutrality: the NullSink path must stay free — the
 #      unobserved 100k flood must be within 5% of the tracked artifact
 #      (cargo run -p snow-bench --release --bin obs_neutrality);
@@ -89,7 +112,18 @@ if [ -n "$strays" ]; then
     echo "route new dispatch logic through engine::DispatchCore instead." >&2
     exit 1
 fi
-echo "dispatch core unified"
+fault_strays="$(grep -rn --include='*.rs' -E \
+    'fn (send_verdict|crash_window|elapsed_crashes|gate|crash_intercept|note_partitions|abort_orphans)\(' \
+    crates/sim/src \
+    | grep -v -e '^crates/sim/src/engine.rs:' -e '^crates/sim/src/fault.rs:' || true)"
+if [ -n "$fault_strays" ]; then
+    echo "fault decision primitives defined outside engine.rs/fault.rs:" >&2
+    echo "$fault_strays" >&2
+    echo "Fault injection is wired through the one dispatch core; a second" >&2
+    echo "decision site would let executors drift apart under faults." >&2
+    exit 1
+fi
+echo "dispatch core unified (incl. fault primitives)"
 
 echo "== doc build (warnings denied) + doc-tests =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
@@ -105,6 +139,15 @@ if ! diff <(cargo run -q -p snow-bench --release --bin golden_histories) tests/g
 fi
 echo "fixtures fresh"
 
+echo "== golden fault-fingerprint freshness =="
+if ! diff <(cargo run -q -p snow-bench --release --bin golden_histories -- --faults) tests/golden_fault_histories.txt; then
+    echo "golden_fault_histories.txt is stale or the fault engine's schedules changed." >&2
+    echo "If (and only if) the fault semantics changed intentionally," >&2
+    echo "regenerate with: cargo run -p snow-bench --release --bin golden_histories -- --faults --write" >&2
+    exit 1
+fi
+echo "fault fixtures fresh"
+
 echo "== parallel-engine parity (golden bit-parity + determinism) =="
 cargo test -q --release --test parallel_determinism
 echo "parallel parity ok"
@@ -116,6 +159,11 @@ echo "differential ok"
 echo "== stream differential suite =="
 cargo test -q --release --test stream_differential
 echo "stream differential ok"
+
+echo "== fault suites (determinism + checker behaviour under faults) =="
+cargo test -q --release --test fault_determinism
+cargo test -q --release --test fault_checker
+echo "fault suites ok"
 
 echo "== bench_json smoke =="
 smoke_json="$(mktemp)"
@@ -143,7 +191,13 @@ if ! grep -q '"obs"' "$smoke_json" \
     echo "smoke run produced no obs section (sim.* metrics + checker frontier)" >&2
     exit 1
 fi
-echo "bench smoke ok (serial + parallel flood + runtime + open loop + checker + stream + obs)"
+if ! grep -q '"faults"' "$smoke_json" \
+    || ! grep -q '"slowdown_drop1_vs_clean"' "$smoke_json" \
+    || ! grep -q '"label": "drop1pct"' "$smoke_json"; then
+    echo "smoke run produced no faults section (clean vs 1% drop)" >&2
+    exit 1
+fi
+echo "bench smoke ok (serial + parallel flood + runtime + open loop + checker + stream + faults + obs)"
 
 echo "== checker_throughput regression guard =="
 rate_at() { # <file> <transactions>: the graph checker's tx_per_sec row
@@ -214,6 +268,20 @@ if ! awk -v cur="$ol_current" -v ref="$ol_tracked" 'BEGIN { exit !(cur <= ref * 
     exit 1
 fi
 echo "open-loop latency ok (tracked p99 ${ol_tracked} ticks, smoke ${ol_current} ticks)"
+
+echo "== fault-overhead guard (1% drop within 5x of clean, same run) =="
+fault_slowdown="$(grep -o '"slowdown_drop1_vs_clean": [0-9.]*' "$smoke_json" | sed 's/.*: //')"
+if [ -z "$fault_slowdown" ]; then
+    echo "smoke run produced no slowdown_drop1_vs_clean ratio" >&2
+    exit 1
+fi
+if ! awk -v s="$fault_slowdown" 'BEGIN { exit !(s <= 5) }'; then
+    echo "1% message drop slowed AlgB > 5x (ratio ${fault_slowdown})" >&2
+    echo "Both rates come from the same run, so this is not host noise:" >&2
+    echo "the fault path has started serializing or retrying pathologically." >&2
+    exit 1
+fi
+echo "fault overhead ok (drop1pct/clean slowdown ${fault_slowdown}x)"
 rm -f "$smoke_json"
 
 echo "== striped tx instrumentation (no global per-send mutex) =="
@@ -238,6 +306,13 @@ if ! cargo run -q --release --example observe_run | grep -q '^observe_run ok$'; 
     exit 1
 fi
 echo "observe_run ok"
+
+echo "== fault-engine example (partition_drill) =="
+if ! cargo run -q --release --example partition_drill | grep -q '^partition_drill ok$'; then
+    echo "examples/partition_drill.rs did not complete" >&2
+    exit 1
+fi
+echo "partition_drill ok"
 
 echo "== observability neutrality (NullSink flood within 5% of tracked) =="
 cargo run -q -p snow-bench --release --bin obs_neutrality
