@@ -39,7 +39,16 @@
 //!   Algorithm B cluster with an empty schedule vs a 1 %-drop region over
 //!   all links.  Histories are deterministic; the wall-clock `slowdown`
 //!   ratio is the CI guard (within-run, so host speed cancels out) — the
-//!   fault path must not cost more than 5× the clean path.
+//!   fault path must not cost more than 5× the clean path;
+//!
+//! * `scenarios` — the geo-topology scenario matrix
+//!   (`snow_workload::scenario`): every protocol × topology ×
+//!   workload-shape cell run in virtual time on the site/link topology
+//!   layer and summarised as an SLO report — checker-observed SNOW
+//!   verdict, read p50/p99 in site-ticks, mean rounds per read, C2C
+//!   message count.  Fully deterministic (pure per-message latency
+//!   hashes), so smoke runs produce the identical cells and the CI p99
+//!   guard compares them directly against this tracked artifact.
 //!
 //! Run with `cargo run -p snow-bench --release --bin bench_json`.
 //! Pass `--no-write` to print without touching the file, `--smoke` for a
@@ -61,8 +70,8 @@ use snow_protocols::{
 use snow_sim::{EndpointSel, FaultAction, FaultRegion, FaultSchedule};
 use snow_runtime::cluster::measure_read_latencies;
 use snow_workload::{
-    rate_sweep, run_open_loop_observed, zipf_sweep, OpenLoopReport, OpenLoopSpec, WorkloadDriver,
-    WorkloadGenerator, WorkloadSpec,
+    rate_sweep, run_open_loop_observed, scenario_matrix, slo_report, zipf_sweep, OpenLoopReport,
+    OpenLoopSpec, WorkloadDriver, WorkloadGenerator, WorkloadSpec, SCENARIO_MATRIX_VERSION,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -333,7 +342,8 @@ fn provenance_value(host_threads: usize) -> String {
     let rustc = command_line("rustc", &["--version"]);
     let commit = command_line("git", &["rev-parse", "--short", "HEAD"]);
     format!(
-        "{{\"rustc\": \"{}\", \"git_commit\": \"{}\", \"host_threads\": {host_threads}}}",
+        "{{\"rustc\": \"{}\", \"git_commit\": \"{}\", \"host_threads\": {host_threads}, \
+         \"scenario_matrix_version\": {SCENARIO_MATRIX_VERSION}}}",
         rustc.replace('"', "'"),
         commit.replace('"', "'")
     )
@@ -631,6 +641,45 @@ fn faults_value(smoke: bool) -> String {
     )
 }
 
+/// The `scenarios` section value: one SLO report per cell of the
+/// geo-topology scenario matrix.  Latencies are virtual site-ticks from
+/// the topology's per-link distributions and the verdict comes from the
+/// checker, so every number is a pure function of `(cell, seed)` —
+/// identical in smoke and full runs, and bit-stable across hosts.
+fn scenarios_value() -> String {
+    let seed = 42;
+    let rounds = 4;
+    let rows = scenario_matrix()
+        .iter()
+        .map(|cell| {
+            let r = slo_report(cell, seed, rounds).expect("scenario cell");
+            eprintln!(
+                "scenario {}: snow={} committed={} read_p50={} read_p99={} ticks",
+                r.scenario, r.snow, r.committed, r.read_p50, r.read_p99
+            );
+            format!(
+                "      {{\"scenario\": \"{}\", \"snow\": \"{}\", \"committed\": {}, \
+                 \"aborted\": {}, \"read_p50_ticks\": {}, \"read_p99_ticks\": {}, \
+                 \"mean_rounds\": {:.2}, \"c2c_messages\": {}, \"duration_ticks\": {}}}",
+                r.scenario,
+                r.snow,
+                r.committed,
+                r.aborted,
+                r.read_p50,
+                r.read_p99,
+                r.mean_rounds,
+                r.c2c_messages,
+                r.duration_ticks
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n    \"matrix_version\": {SCENARIO_MATRIX_VERSION}, \"seed\": {seed}, \
+         \"rounds\": {rounds}, \"latency_unit\": \"site_ticks\",\n    \"cells\": [\n{rows}\n  ]}}"
+    )
+}
+
 /// Canonical top-level key order of `BENCH_simcore.json`.
 const SECTION_ORDER: &[&str] = &[
     "bench",
@@ -647,6 +696,7 @@ const SECTION_ORDER: &[&str] = &[
     "checker_stream",
     "faults",
     "obs",
+    "scenarios",
 ];
 
 /// Sections `--section` may regenerate (the scalar header sections are
@@ -660,6 +710,7 @@ const SELECTABLE: &[&str] = &[
     "checker_stream",
     "faults",
     "obs",
+    "scenarios",
 ];
 
 fn main() {
@@ -745,6 +796,7 @@ fn main() {
             "checker_stream" => checker_stream_value(checker_sizes, reps),
             "faults" => faults_value(smoke),
             "obs" => obs_value(),
+            "scenarios" => scenarios_value(),
             _ => unreachable!("every section in SECTION_ORDER is handled"),
         };
         sections.push((name, value));

@@ -12,8 +12,9 @@ use snow_core::{ClientId, History, Process, Result, ServerId, SystemConfig, TxId
 use snow_sim::{
     Crash, CrashPolicy, EndpointSel, FaultAction, FaultRegion, FaultSchedule, FifoScheduler,
     LatencyScheduler, NullSink, ParallelSimulation, Partition, PartitionPolicy, RandomScheduler,
-    RecordingSink, RestartFn, Scheduler, Simulation, TraceSink,
+    RecordingSink, RestartFn, Scheduler, Simulation, Topology, TopologyScheduler, TraceSink,
 };
+use std::sync::Arc;
 
 pub use snow_sim::CommitDrain;
 pub use snow_sim::{ObsEvent, ShardEvent};
@@ -239,145 +240,265 @@ where
 
 use snow_sim::parallel::shard_seed;
 
-fn boxed_parallel_with<P, O>(
-    nodes: Vec<P>,
-    scheduler: SchedulerKind,
-    shards: usize,
+/// The scheduler half of a [`ClusterSpec`]: a classic [`SchedulerKind`], or
+/// a topology whose link distributions drive a
+/// [`TopologyScheduler`].
+#[derive(Debug, Clone)]
+enum SchedChoice {
+    Kind(SchedulerKind),
+    Topology { topology: Arc<Topology>, seed: u64 },
+}
+
+/// The single cluster-construction path: a builder crossing protocol ×
+/// scheduler/topology × executor × step cap × trace bound × observability ×
+/// fault schedule, replacing the old `build_cluster_*` constructor family
+/// (each of which survives as a one-line wrapper over this type).
+///
+/// | old front door | [`ClusterSpec`] equivalent |
+/// |---|---|
+/// | `build_cluster(p, c, s)` | `ClusterSpec::new(p, c).scheduler(s).build()` |
+/// | `build_cluster_with_max_steps(p, c, s, m)` | `….scheduler(s).max_steps(m).build()` |
+/// | `build_cluster_bounded(p, c, s, m, t)` | `….max_steps(m).trace_capacity(Some(t)).build()` |
+/// | `build_cluster_on(p, c, s, e, m, t)` | `….scheduler(s).executor(e).max_steps(m).trace_capacity(t).build()` |
+/// | `build_cluster_observed(…)` | `….observed(true).build()` |
+/// | `build_cluster_faulty(p, c, s, e, f)` | `….scheduler(s).executor(e).faults(f).build()` |
+/// | `build_cluster_faulty_observed(…)` | `….faults(f).observed(true).build()` |
+/// | `build_cluster_parallel(p, c, s, n)` | `….executor(ExecutorKind::ParallelSim { shards: n }).build()` |
+///
+/// Defaults: FIFO scheduler, [`ExecutorKind::SerialSim`],
+/// [`DEFAULT_MAX_STEPS`], unbounded trace, no observability recording, no
+/// faults.  [`ClusterSpec::build`] borrows the spec, so one spec can stamp
+/// out many clusters (e.g. a serial run and its 4-shard parity twin).
+///
+/// ```
+/// use snow_core::{ObjectId, SystemConfig, TxSpec, Value};
+/// use snow_protocols::{ClusterSpec, ExecutorKind, ProtocolKind, SchedulerKind};
+///
+/// let config = SystemConfig::mwmr(2, 1, 1);
+/// let spec = ClusterSpec::new(ProtocolKind::AlgC, &config)
+///     .scheduler(SchedulerKind::Latency { seed: 7, min: 1, max: 20 })
+///     .executor(ExecutorKind::ParallelSim { shards: 2 });
+/// let mut cluster = spec.build().unwrap();
+/// let writer = config.writers().next().unwrap();
+/// let w = cluster.invoke_at(0, writer, TxSpec::write(vec![(ObjectId(0), Value(9))]));
+/// assert!(cluster.run_until_complete(w));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    protocol: ProtocolKind,
+    config: SystemConfig,
+    sched: SchedChoice,
+    executor: ExecutorKind,
     max_steps: u64,
     trace_capacity: Option<usize>,
-    mut make_sink: impl FnMut(usize) -> O,
-) -> Box<dyn Cluster>
-where
-    P: Process + Send + 'static,
-    P::Msg: Send,
-    O: TraceSink + Send + 'static,
-{
-    fn finish<P, S, O>(
-        mut sim: ParallelSimulation<P, S, O>,
-        nodes: Vec<P>,
-        max_steps: u64,
-        trace_capacity: Option<usize>,
+    observed: bool,
+    faults: Option<FaultSchedule>,
+}
+
+impl ClusterSpec {
+    /// A spec for `protocol` over `config` with every axis at its default.
+    pub fn new(protocol: ProtocolKind, config: &SystemConfig) -> Self {
+        ClusterSpec {
+            protocol,
+            config: config.clone(),
+            sched: SchedChoice::Kind(SchedulerKind::Fifo),
+            executor: ExecutorKind::SerialSim,
+            max_steps: DEFAULT_MAX_STEPS,
+            trace_capacity: None,
+            observed: false,
+            faults: None,
+        }
+    }
+
+    /// Delivers messages per `scheduler` (FIFO / seeded-random / uniform
+    /// latency).  Mutually exclusive with [`ClusterSpec::topology`]; the
+    /// last call wins.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.sched = SchedChoice::Kind(scheduler);
+        self
+    }
+
+    /// Delivers messages with per-link latencies drawn from `topology` —
+    /// a [`TopologyScheduler`] seeded with
+    /// `seed`.  On the sharded executor **every shard shares this seed**:
+    /// the draw is a pure per-message function, which is what makes
+    /// topology-scheduled histories bit-identical across shard counts
+    /// (deriving per-shard seeds would break that — see the
+    /// `snow_sim::topology` module docs).
+    pub fn topology(mut self, topology: Arc<Topology>, seed: u64) -> Self {
+        self.sched = SchedChoice::Topology { topology, seed };
+        self
+    }
+
+    /// Runs on `executor` (serial or sharded simulator).
+    pub fn executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Caps the run at `max_steps` dispatches (default
+    /// [`DEFAULT_MAX_STEPS`]).
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Bounds the raw action trace to a sliding window of `capacity`
+    /// actions (`None` = unbounded).  Histories are byte-identical either
+    /// way; the bound keeps memory O(window + in-flight) on long runs.
+    pub fn trace_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Records observability events ([`ObsEvent`]) into per-shard
+    /// [`RecordingSink`]s, drained via [`Cluster::drain_obs_events`].
+    /// Recording provably does not perturb the run (the `observability`
+    /// integration test pins every golden fixture with and without it).
+    pub fn observed(mut self, observed: bool) -> Self {
+        self.observed = observed;
+        self
+    }
+
+    /// Executes under `faults` (drop/duplicate/delay regions, partitions,
+    /// server crash+recovery).  Crashed processes restart from fresh
+    /// protocol state (the deployment re-run for their id); an empty
+    /// schedule reproduces the fault-free histories byte for byte.
+    pub fn faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Deploys the protocol and assembles the cluster.  Errors if the
+    /// protocol rejects the configuration (e.g. Algorithm A without C2C)
+    /// or the executor is a zero-shard parallel simulator.
+    pub fn build(&self) -> Result<Box<dyn Cluster>> {
+        if let ExecutorKind::ParallelSim { shards: 0 } = self.executor {
+            return Err(snow_core::SnowError::InvalidConfig(
+                "a parallel cluster needs at least one shard".to_string(),
+            ));
+        }
+        let nodes = deploy_any(self.protocol, &self.config)?;
+        Ok(match self.executor {
+            ExecutorKind::SerialSim => match &self.sched {
+                SchedChoice::Kind(SchedulerKind::Fifo) => {
+                    self.build_serial(nodes, FifoScheduler::new())
+                }
+                SchedChoice::Kind(SchedulerKind::Random(seed)) => {
+                    self.build_serial(nodes, RandomScheduler::new(*seed))
+                }
+                SchedChoice::Kind(SchedulerKind::Latency { seed, min, max }) => {
+                    self.build_serial(nodes, LatencyScheduler::new(*seed, *min, *max))
+                }
+                SchedChoice::Topology { topology, seed } => {
+                    self.build_serial(nodes, TopologyScheduler::new(topology.clone(), *seed))
+                }
+            },
+            ExecutorKind::ParallelSim { shards } => match &self.sched {
+                SchedChoice::Kind(SchedulerKind::Fifo) => {
+                    self.build_parallel(nodes, shards, |_| FifoScheduler::new())
+                }
+                SchedChoice::Kind(SchedulerKind::Random(seed)) => {
+                    let seed = *seed;
+                    self.build_parallel(nodes, shards, move |i| {
+                        RandomScheduler::new(shard_seed(seed, i))
+                    })
+                }
+                SchedChoice::Kind(SchedulerKind::Latency { seed, min, max }) => {
+                    let (seed, min, max) = (*seed, *min, *max);
+                    self.build_parallel(nodes, shards, move |i| {
+                        LatencyScheduler::new(shard_seed(seed, i), min, max)
+                    })
+                }
+                SchedChoice::Topology { topology, seed } => {
+                    // Every shard gets the SAME seed — the topology draw is
+                    // a pure per-message function, so sharing the seed is
+                    // what makes the schedule shard-count-independent.
+                    let (topology, seed) = (topology.clone(), *seed);
+                    self.build_parallel(nodes, shards, move |_| {
+                        TopologyScheduler::new(topology.clone(), seed)
+                    })
+                }
+            },
+        })
+    }
+
+    fn build_serial<S>(&self, nodes: Vec<AnyNode>, scheduler: S) -> Box<dyn Cluster>
+    where
+        S: Scheduler<<AnyNode as Process>::Msg> + 'static,
+    {
+        fn finish<S, O>(
+            spec: &ClusterSpec,
+            nodes: Vec<AnyNode>,
+            scheduler: S,
+            sink: O,
+        ) -> Box<dyn Cluster>
+        where
+            S: Scheduler<<AnyNode as Process>::Msg> + 'static,
+            O: TraceSink + 'static,
+        {
+            let mut sim = Simulation::new(scheduler)
+                .with_max_steps(spec.max_steps)
+                .with_sink(sink);
+            if let Some(capacity) = spec.trace_capacity {
+                sim = sim.with_trace_capacity(capacity);
+            }
+            if let Some(faults) = spec.faults.clone() {
+                sim = sim.with_faults(faults, Some(faulty_restart(spec.protocol, &spec.config)));
+            }
+            for n in nodes {
+                sim.add_process(n);
+            }
+            Box::new(sim)
+        }
+        if self.observed {
+            finish(self, nodes, scheduler, RecordingSink::new())
+        } else {
+            finish(self, nodes, scheduler, NullSink)
+        }
+    }
+
+    fn build_parallel<S>(
+        &self,
+        nodes: Vec<AnyNode>,
+        shards: usize,
+        make_sched: impl FnMut(usize) -> S,
     ) -> Box<dyn Cluster>
     where
-        P: Process + Send + 'static,
-        P::Msg: Send,
-        S: Scheduler<P::Msg> + Send + 'static,
-        O: TraceSink + Send + 'static,
+        S: Scheduler<<AnyNode as Process>::Msg> + Send + 'static,
     {
-        sim = sim.with_max_steps(max_steps);
-        if let Some(capacity) = trace_capacity {
-            sim = sim.with_trace_capacity(capacity);
+        fn finish<S, O>(
+            spec: &ClusterSpec,
+            nodes: Vec<AnyNode>,
+            shards: usize,
+            make_sched: impl FnMut(usize) -> S,
+            mut make_sink: impl FnMut(usize) -> O,
+        ) -> Box<dyn Cluster>
+        where
+            S: Scheduler<<AnyNode as Process>::Msg> + Send + 'static,
+            O: TraceSink + Send + 'static,
+        {
+            let mut sim = ParallelSimulation::new(shards, make_sched)
+                .with_sinks(&mut make_sink)
+                .with_max_steps(spec.max_steps);
+            if let Some(capacity) = spec.trace_capacity {
+                sim = sim.with_trace_capacity(capacity);
+            }
+            if let Some(faults) = spec.faults.clone() {
+                let (protocol, config) = (spec.protocol, spec.config.clone());
+                sim = sim.with_faults(faults, move |_i| Some(faulty_restart(protocol, &config)));
+            }
+            for n in nodes {
+                sim.add_process(n);
+            }
+            Box::new(sim)
         }
-        for n in nodes {
-            sim.add_process(n);
+        if self.observed {
+            finish(self, nodes, shards, make_sched, |_| RecordingSink::new())
+        } else {
+            finish(self, nodes, shards, make_sched, |_| NullSink)
         }
-        Box::new(sim)
     }
-    match scheduler {
-        SchedulerKind::Fifo => finish(
-            ParallelSimulation::new(shards, |_| FifoScheduler::new())
-                .with_sinks(&mut make_sink),
-            nodes,
-            max_steps,
-            trace_capacity,
-        ),
-        SchedulerKind::Random(seed) => finish(
-            ParallelSimulation::new(shards, |i| RandomScheduler::new(shard_seed(seed, i)))
-                .with_sinks(&mut make_sink),
-            nodes,
-            max_steps,
-            trace_capacity,
-        ),
-        SchedulerKind::Latency { seed, min, max } => finish(
-            ParallelSimulation::new(shards, |i| {
-                LatencyScheduler::new(shard_seed(seed, i), min, max)
-            })
-            .with_sinks(&mut make_sink),
-            nodes,
-            max_steps,
-            trace_capacity,
-        ),
-    }
-}
-
-fn boxed_parallel<P>(
-    nodes: Vec<P>,
-    scheduler: SchedulerKind,
-    shards: usize,
-    max_steps: u64,
-    trace_capacity: Option<usize>,
-) -> Box<dyn Cluster>
-where
-    P: Process + Send + 'static,
-    P::Msg: Send,
-{
-    boxed_parallel_with(nodes, scheduler, shards, max_steps, trace_capacity, |_| NullSink)
-}
-
-fn boxed_with<P, O>(
-    nodes: Vec<P>,
-    scheduler: SchedulerKind,
-    max_steps: u64,
-    trace_capacity: Option<usize>,
-    sink: O,
-) -> Box<dyn Cluster>
-where
-    P: Process + 'static,
-    O: TraceSink + 'static,
-{
-    fn finish<P, S, O>(
-        mut sim: Simulation<P, S, O>,
-        nodes: Vec<P>,
-        trace_capacity: Option<usize>,
-    ) -> Box<dyn Cluster>
-    where
-        P: Process + 'static,
-        S: Scheduler<P::Msg> + 'static,
-        O: TraceSink + 'static,
-    {
-        if let Some(capacity) = trace_capacity {
-            sim = sim.with_trace_capacity(capacity);
-        }
-        for n in nodes {
-            sim.add_process(n);
-        }
-        Box::new(sim)
-    }
-    match scheduler {
-        SchedulerKind::Fifo => finish(
-            Simulation::new(FifoScheduler::new())
-                .with_max_steps(max_steps)
-                .with_sink(sink),
-            nodes,
-            trace_capacity,
-        ),
-        SchedulerKind::Random(seed) => finish(
-            Simulation::new(RandomScheduler::new(seed))
-                .with_max_steps(max_steps)
-                .with_sink(sink),
-            nodes,
-            trace_capacity,
-        ),
-        SchedulerKind::Latency { seed, min, max } => finish(
-            Simulation::new(LatencyScheduler::new(seed, min, max))
-                .with_max_steps(max_steps)
-                .with_sink(sink),
-            nodes,
-            trace_capacity,
-        ),
-    }
-}
-
-fn boxed<P>(
-    nodes: Vec<P>,
-    scheduler: SchedulerKind,
-    max_steps: u64,
-    trace_capacity: Option<usize>,
-) -> Box<dyn Cluster>
-where
-    P: Process + 'static,
-{
-    boxed_with(nodes, scheduler, max_steps, trace_capacity, NullSink)
 }
 
 /// The step cap every convenience constructor applies (override with
@@ -389,12 +510,15 @@ pub const DEFAULT_MAX_STEPS: u64 = 10_000_000;
 
 /// Builds a boxed cluster running `protocol` over `config`, with messages
 /// delivered by `scheduler`.
+///
+/// **Deprecated front door** — kept as a one-line wrapper; prefer
+/// [`ClusterSpec`]: `ClusterSpec::new(protocol, config).scheduler(s).build()`.
 pub fn build_cluster(
     protocol: ProtocolKind,
     config: &SystemConfig,
     scheduler: SchedulerKind,
 ) -> Result<Box<dyn Cluster>> {
-    build_cluster_with_max_steps(protocol, config, scheduler, DEFAULT_MAX_STEPS)
+    ClusterSpec::new(protocol, config).scheduler(scheduler).build()
 }
 
 /// [`build_cluster`] with an explicit step cap (large workloads need more).
@@ -402,13 +526,16 @@ pub fn build_cluster(
 /// This is the simulator instantiation of the shared deployment layer: the
 /// per-protocol dispatch happens once, in [`crate::any::deploy_any`], which
 /// the tokio runtime's `AsyncCluster::deploy` uses too.
+///
+/// **Deprecated front door** — kept as a one-line wrapper; prefer
+/// [`ClusterSpec`] with [`ClusterSpec::max_steps`].
 pub fn build_cluster_with_max_steps(
     protocol: ProtocolKind,
     config: &SystemConfig,
     scheduler: SchedulerKind,
     max_steps: u64,
 ) -> Result<Box<dyn Cluster>> {
-    Ok(boxed(deploy_any(protocol, config)?, scheduler, max_steps, None))
+    ClusterSpec::new(protocol, config).scheduler(scheduler).max_steps(max_steps).build()
 }
 
 /// [`build_cluster_with_max_steps`] with a bounded simulator trace
@@ -418,6 +545,9 @@ pub fn build_cluster_with_max_steps(
 /// in-flight) regardless of run length.  Histories are byte-for-byte
 /// identical to the unbounded cluster's; this is what the workload driver
 /// and the bench binaries use for 100k+/million-transaction runs.
+///
+/// **Deprecated front door** — kept as a one-line wrapper; prefer
+/// [`ClusterSpec`] with [`ClusterSpec::trace_capacity`].
 ///
 /// ```
 /// use snow_core::{ObjectId, SystemConfig, TxSpec, Value};
@@ -451,18 +581,16 @@ pub fn build_cluster_bounded(
     max_steps: u64,
     trace_capacity: usize,
 ) -> Result<Box<dyn Cluster>> {
-    Ok(boxed(
-        deploy_any(protocol, config)?,
-        scheduler,
-        max_steps,
-        Some(trace_capacity),
-    ))
+    ClusterSpec::new(protocol, config).scheduler(scheduler).max_steps(max_steps).trace_capacity(Some(trace_capacity)).build()
 }
 
 /// Builds a boxed cluster of `protocol` on an explicit execution substrate
 /// — the [`ExecutorKind`]-dispatched front door over the same
 /// [`deploy_any`] node set that [`build_cluster`] (serial) and
 /// `snow_runtime::AsyncCluster::deploy` (tokio) use.
+///
+/// **Deprecated front door** — kept as a one-line wrapper; prefer
+/// [`ClusterSpec`] with [`ClusterSpec::executor`].
 pub fn build_cluster_on(
     protocol: ProtocolKind,
     config: &SystemConfig,
@@ -471,18 +599,7 @@ pub fn build_cluster_on(
     max_steps: u64,
     trace_capacity: Option<usize>,
 ) -> Result<Box<dyn Cluster>> {
-    if let ExecutorKind::ParallelSim { shards: 0 } = executor {
-        return Err(snow_core::SnowError::InvalidConfig(
-            "a parallel cluster needs at least one shard".to_string(),
-        ));
-    }
-    let nodes = deploy_any(protocol, config)?;
-    Ok(match executor {
-        ExecutorKind::SerialSim => boxed(nodes, scheduler, max_steps, trace_capacity),
-        ExecutorKind::ParallelSim { shards } => {
-            boxed_parallel(nodes, scheduler, shards, max_steps, trace_capacity)
-        }
-    })
+    ClusterSpec::new(protocol, config).scheduler(scheduler).executor(executor).max_steps(max_steps).trace_capacity(trace_capacity).build()
 }
 
 /// [`build_cluster_on`] with observability **recording** enabled: every
@@ -493,6 +610,9 @@ pub fn build_cluster_on(
 /// config, scheduler, executor, plan)` — and recording provably does not
 /// perturb the run: the `observability` integration test pins every golden
 /// protocol × scheduler fixture bit-identical with and without it.
+///
+/// **Deprecated front door** — kept as a one-line wrapper; prefer
+/// [`ClusterSpec`] with [`ClusterSpec::observed`].
 pub fn build_cluster_observed(
     protocol: ProtocolKind,
     config: &SystemConfig,
@@ -501,28 +621,10 @@ pub fn build_cluster_observed(
     max_steps: u64,
     trace_capacity: Option<usize>,
 ) -> Result<Box<dyn Cluster>> {
-    if let ExecutorKind::ParallelSim { shards: 0 } = executor {
-        return Err(snow_core::SnowError::InvalidConfig(
-            "a parallel cluster needs at least one shard".to_string(),
-        ));
-    }
-    let nodes = deploy_any(protocol, config)?;
-    Ok(match executor {
-        ExecutorKind::SerialSim => {
-            boxed_with(nodes, scheduler, max_steps, trace_capacity, RecordingSink::new())
-        }
-        ExecutorKind::ParallelSim { shards } => boxed_parallel_with(
-            nodes,
-            scheduler,
-            shards,
-            max_steps,
-            trace_capacity,
-            |_| RecordingSink::new(),
-        ),
-    })
+    ClusterSpec::new(protocol, config).scheduler(scheduler).executor(executor).max_steps(max_steps).trace_capacity(trace_capacity).observed(true).build()
 }
 
-/// The restart factory [`build_cluster_faulty`] hands the fault engine: a
+/// The restart factory [`ClusterSpec::faults`] hands the fault engine: a
 /// crashed process is rebuilt **from fresh protocol state** by re-running
 /// the (pure) deployment for its id — exactly the state loss of a
 /// crash-stop-with-restart failure.
@@ -535,98 +637,6 @@ fn faulty_restart(protocol: ProtocolKind, config: &SystemConfig) -> RestartFn<An
             .find(|n| n.id() == pid)
             .unwrap_or_else(|| panic!("restart factory: no process {pid} in the deployment"))
     })
-}
-
-fn boxed_faulty<O: TraceSink + 'static>(
-    nodes: Vec<AnyNode>,
-    scheduler: SchedulerKind,
-    max_steps: u64,
-    faults: FaultSchedule,
-    restart: RestartFn<AnyNode>,
-    sink: O,
-) -> Box<dyn Cluster> {
-    fn finish<S, O>(mut sim: Simulation<AnyNode, S, O>, nodes: Vec<AnyNode>) -> Box<dyn Cluster>
-    where
-        S: Scheduler<<AnyNode as Process>::Msg> + 'static,
-        O: TraceSink + 'static,
-    {
-        for n in nodes {
-            sim.add_process(n);
-        }
-        Box::new(sim)
-    }
-    match scheduler {
-        SchedulerKind::Fifo => finish(
-            Simulation::new(FifoScheduler::new())
-                .with_max_steps(max_steps)
-                .with_sink(sink)
-                .with_faults(faults, Some(restart)),
-            nodes,
-        ),
-        SchedulerKind::Random(seed) => finish(
-            Simulation::new(RandomScheduler::new(seed))
-                .with_max_steps(max_steps)
-                .with_sink(sink)
-                .with_faults(faults, Some(restart)),
-            nodes,
-        ),
-        SchedulerKind::Latency { seed, min, max } => finish(
-            Simulation::new(LatencyScheduler::new(seed, min, max))
-                .with_max_steps(max_steps)
-                .with_sink(sink)
-                .with_faults(faults, Some(restart)),
-            nodes,
-        ),
-    }
-}
-
-fn boxed_parallel_faulty<O: TraceSink + Send + 'static>(
-    nodes: Vec<AnyNode>,
-    scheduler: SchedulerKind,
-    shards: usize,
-    max_steps: u64,
-    faults: FaultSchedule,
-    mut make_restart: impl FnMut(usize) -> RestartFn<AnyNode>,
-    mut make_sink: impl FnMut(usize) -> O,
-) -> Box<dyn Cluster> {
-    fn finish<S, O>(
-        mut sim: ParallelSimulation<AnyNode, S, O>,
-        nodes: Vec<AnyNode>,
-    ) -> Box<dyn Cluster>
-    where
-        S: Scheduler<<AnyNode as Process>::Msg> + Send + 'static,
-        O: TraceSink + Send + 'static,
-    {
-        for n in nodes {
-            sim.add_process(n);
-        }
-        Box::new(sim)
-    }
-    match scheduler {
-        SchedulerKind::Fifo => finish(
-            ParallelSimulation::new(shards, |_| FifoScheduler::new())
-                .with_max_steps(max_steps)
-                .with_sinks(&mut make_sink)
-                .with_faults(faults, |i| Some(make_restart(i))),
-            nodes,
-        ),
-        SchedulerKind::Random(seed) => finish(
-            ParallelSimulation::new(shards, |i| RandomScheduler::new(shard_seed(seed, i)))
-                .with_max_steps(max_steps)
-                .with_sinks(&mut make_sink)
-                .with_faults(faults, |i| Some(make_restart(i))),
-            nodes,
-        ),
-        SchedulerKind::Latency { seed, min, max } => finish(
-            ParallelSimulation::new(shards, |i| {
-                LatencyScheduler::new(shard_seed(seed, i), min, max)
-            })
-            .with_max_steps(max_steps)
-            .with_sinks(&mut make_sink)
-            .with_faults(faults, |i| Some(make_restart(i))),
-            nodes,
-        ),
-    }
 }
 
 /// [`build_cluster_on`] with a [`FaultSchedule`]: the same protocol-erased
@@ -642,6 +652,9 @@ fn boxed_parallel_faulty<O: TraceSink + Send + 'static>(
 /// [`snow_core::TxOutcome::Aborted`] at quiescence, so
 /// [`Cluster::history`] stays complete and the checkers can certify or
 /// convict the run.
+///
+/// **Deprecated front door** — kept as a one-line wrapper; prefer
+/// [`ClusterSpec`] with [`ClusterSpec::faults`].
 pub fn build_cluster_faulty(
     protocol: ProtocolKind,
     config: &SystemConfig,
@@ -649,31 +662,7 @@ pub fn build_cluster_faulty(
     executor: ExecutorKind,
     faults: FaultSchedule,
 ) -> Result<Box<dyn Cluster>> {
-    if let ExecutorKind::ParallelSim { shards: 0 } = executor {
-        return Err(snow_core::SnowError::InvalidConfig(
-            "a parallel cluster needs at least one shard".to_string(),
-        ));
-    }
-    let nodes = deploy_any(protocol, config)?;
-    Ok(match executor {
-        ExecutorKind::SerialSim => boxed_faulty(
-            nodes,
-            scheduler,
-            DEFAULT_MAX_STEPS,
-            faults,
-            faulty_restart(protocol, config),
-            NullSink,
-        ),
-        ExecutorKind::ParallelSim { shards } => boxed_parallel_faulty(
-            nodes,
-            scheduler,
-            shards,
-            DEFAULT_MAX_STEPS,
-            faults,
-            |_| faulty_restart(protocol, config),
-            |_| NullSink,
-        ),
-    })
+    ClusterSpec::new(protocol, config).scheduler(scheduler).executor(executor).faults(faults).build()
 }
 
 /// [`build_cluster_faulty`] with observability recording enabled, the
@@ -683,6 +672,9 @@ pub fn build_cluster_faulty(
 /// `ServerRecovered`, `PartitionStarted`, `PartitionHealed` — all stamped
 /// with virtual ticks, so a crash-recovery trace is bit-reproducible and
 /// exportable to Perfetto like any other.
+///
+/// **Deprecated front door** — kept as a one-line wrapper; prefer
+/// [`ClusterSpec`] with [`ClusterSpec::faults`] + [`ClusterSpec::observed`].
 ///
 /// The crash-recovery walkthrough the README points at:
 ///
@@ -730,31 +722,7 @@ pub fn build_cluster_faulty_observed(
     executor: ExecutorKind,
     faults: FaultSchedule,
 ) -> Result<Box<dyn Cluster>> {
-    if let ExecutorKind::ParallelSim { shards: 0 } = executor {
-        return Err(snow_core::SnowError::InvalidConfig(
-            "a parallel cluster needs at least one shard".to_string(),
-        ));
-    }
-    let nodes = deploy_any(protocol, config)?;
-    Ok(match executor {
-        ExecutorKind::SerialSim => boxed_faulty(
-            nodes,
-            scheduler,
-            DEFAULT_MAX_STEPS,
-            faults,
-            faulty_restart(protocol, config),
-            RecordingSink::new(),
-        ),
-        ExecutorKind::ParallelSim { shards } => boxed_parallel_faulty(
-            nodes,
-            scheduler,
-            shards,
-            DEFAULT_MAX_STEPS,
-            faults,
-            |_| faulty_restart(protocol, config),
-            |_| RecordingSink::new(),
-        ),
-    })
+    ClusterSpec::new(protocol, config).scheduler(scheduler).executor(executor).faults(faults).observed(true).build()
 }
 
 /// The "crash mid-read" scenario: server 0 crashes in the middle of a
@@ -811,20 +779,16 @@ pub fn fault_scenarios() -> Vec<(&'static str, FaultSchedule)> {
 /// barriers.  With `shards == 1` the cluster reproduces
 /// [`build_cluster`]'s histories bit-for-bit; with more shards histories
 /// stay deterministic per seed but interleave differently.
+///
+/// **Deprecated front door** — kept as a one-line wrapper; prefer
+/// [`ClusterSpec`] with [`ExecutorKind::ParallelSim`].
 pub fn build_cluster_parallel(
     protocol: ProtocolKind,
     config: &SystemConfig,
     scheduler: SchedulerKind,
     shards: usize,
 ) -> Result<Box<dyn Cluster>> {
-    build_cluster_on(
-        protocol,
-        config,
-        scheduler,
-        ExecutorKind::ParallelSim { shards },
-        DEFAULT_MAX_STEPS,
-        None,
-    )
+    ClusterSpec::new(protocol, config).scheduler(scheduler).executor(ExecutorKind::ParallelSim { shards }).build()
 }
 
 #[cfg(test)]
@@ -959,6 +923,68 @@ mod tests {
             let mut parallel =
                 build_cluster_parallel(ProtocolKind::AlgB, &config, sched, 1).unwrap();
             assert_eq!(drive(&mut serial), drive(&mut parallel), "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_spec_defaults_match_the_wrapped_front_door() {
+        let config = SystemConfig::mwmr(2, 1, 1);
+        let drive = |cluster: &mut Box<dyn Cluster>| {
+            let writer = config.writers().next().unwrap();
+            let w = cluster.invoke_at(0, writer, TxSpec::write(vec![(ObjectId(0), Value(5))]));
+            assert!(cluster.run_until_complete(w));
+            format!("{:?}", cluster.history())
+        };
+        let sched = SchedulerKind::Latency { seed: 21, min: 1, max: 9 };
+        let mut via_wrapper = build_cluster(ProtocolKind::AlgC, &config, sched).unwrap();
+        let mut via_spec = ClusterSpec::new(ProtocolKind::AlgC, &config)
+            .scheduler(sched)
+            .build()
+            .unwrap();
+        assert_eq!(drive(&mut via_wrapper), drive(&mut via_spec));
+    }
+
+    #[test]
+    fn topology_clusters_are_shard_count_independent() {
+        use snow_sim::Topology;
+        // Unlike Random/Latency (whose draw-order RNGs legitimately diverge
+        // across shard counts), a topology schedule is a pure per-message
+        // function: serial, 1-shard and 4-shard runs must be bit-identical.
+        let config = SystemConfig::mwmr(4, 2, 2);
+        let topo = Arc::new(Topology::wan3(&config));
+        let drive = |cluster: &mut Box<dyn Cluster>| {
+            let writers: Vec<_> = config.writers().collect();
+            let readers: Vec<_> = config.readers().collect();
+            for round in 0..4u64 {
+                // Invoke at consecutive µticks right at quiescence: every
+                // core (serial or any sharding) dispatches the INVs before
+                // the round's first delivery can exist (min link latency is
+                // a full site-tick), so they are stamped identically.
+                let mut at = cluster.now();
+                for (i, w) in writers.iter().enumerate() {
+                    at += 1;
+                    cluster.invoke_at(
+                        at,
+                        *w,
+                        TxSpec::write(vec![(ObjectId(i as u32), Value(round + 1))]),
+                    );
+                }
+                at += 1;
+                cluster.invoke_at(at, readers[0], TxSpec::read(vec![ObjectId(0), ObjectId(1)]));
+                cluster.run_until_quiescent();
+            }
+            format!("{:?} now={}", cluster.history(), cluster.now())
+        };
+        let spec = ClusterSpec::new(ProtocolKind::AlgB, &config).topology(topo, 0x70);
+        let mut serial = spec.build().unwrap();
+        let reference = drive(&mut serial);
+        for shards in [1usize, 4] {
+            let mut sharded = spec
+                .clone()
+                .executor(ExecutorKind::ParallelSim { shards })
+                .build()
+                .unwrap();
+            assert_eq!(reference, drive(&mut sharded), "{shards} shards");
         }
     }
 

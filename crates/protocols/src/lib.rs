@@ -63,6 +63,6 @@ pub use deploy::{
     build_cluster_observed,
     build_cluster_on, build_cluster_parallel, build_cluster_with_max_steps, fault_scenarios,
     scenario_crash_mid_read, scenario_dup_storm, scenario_partition_during_write, Cluster,
-    CommitDrain, ExecutorKind, ObsEvent, ProtocolKind, SchedulerKind, ShardEvent,
+    ClusterSpec, CommitDrain, ExecutorKind, ObsEvent, ProtocolKind, SchedulerKind, ShardEvent,
     DEFAULT_MAX_STEPS,
 };

@@ -266,7 +266,17 @@ where
                 return Some(inv.at);
             }
         }
-        self.pool.peek_earliest().map(|(key, _)| key)
+        let earliest = self.pool.peek_earliest().map(|(key, _)| key);
+        // Strict-key-order schedulers dispatch an invocation ahead of any
+        // later-keyed delivery (see [`Scheduler::strict_key_order`]).
+        if self.scheduler.strict_key_order() {
+            if let (Some(inv), Some(key)) = (self.invocations.peek(), earliest) {
+                if inv.at < key {
+                    return Some(inv.at);
+                }
+            }
+        }
+        earliest
     }
 
     fn count_step(&mut self) {
@@ -300,10 +310,17 @@ where
     /// without counting a step if nothing below the watermark is
     /// dispatchable.  The serial engine passes `u64::MAX`.
     fn try_dispatch(&mut self, watermark: u64) -> Option<StepOutcome> {
+        let strict = self.scheduler.strict_key_order();
+        let earliest_key = self.pool.peek_earliest().map(|(key, _)| key);
         let due = self
             .invocations
             .peek()
-            .map(|inv| (inv.at <= self.now || self.pool.is_empty()) && inv.at < watermark)
+            .map(|inv| {
+                let reached = inv.at <= self.now
+                    || earliest_key.is_none()
+                    || (strict && earliest_key.is_some_and(|key| inv.at < key));
+                reached && inv.at < watermark
+            })
             .unwrap_or(false);
         if due {
             let inv = self.invocations.pop().expect("peeked invocation");
@@ -494,7 +511,7 @@ where
             // travels.  `send_verdict` is a pure function of
             // `(schedule, src, dst, sent_at, id)`, so verdicts are
             // independent of decision order across shards.
-            let deliver_at = self.scheduler.on_send(self.now);
+            let deliver_at = self.scheduler.on_send_to(at, to, id, self.now);
             let verdict = match self.faults.as_ref() {
                 Some(f) => f.schedule.send_verdict(at, to, self.now, id),
                 None => SendVerdict::default(),
@@ -578,7 +595,7 @@ where
                     at,
                     ActionKind::Send { msg: dup_id, to, parent, info },
                 );
-                let dup_deliver = self.scheduler.on_send(self.now);
+                let dup_deliver = self.scheduler.on_send_to(at, to, dup_id, self.now);
                 let dup_pending = PendingMessage {
                     id: dup_id,
                     src: at,

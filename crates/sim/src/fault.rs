@@ -55,9 +55,29 @@ pub enum EndpointSel {
     Client(ClientId),
     /// One specific server.
     Server(ServerId),
+    /// Every process placed at one topology site, as bitmasks over server
+    /// and client ids — build with [`EndpointSel::site`].  Keeps the
+    /// selector `Copy` while covering an arbitrary process set.
+    Site {
+        /// Bit `i` set ⇒ `ServerId(i)` is selected.
+        servers: u64,
+        /// Bit `i` set ⇒ `ClientId(i)` is selected.
+        clients: u64,
+    },
 }
 
 impl EndpointSel {
+    /// Selects every process the topology places at `site` — so a WAN
+    /// fault region targets a whole site without enumerating ids.
+    ///
+    /// # Panics
+    /// Panics if the topology has a process id ≥ 64 (see
+    /// [`Topology::site_masks`](crate::topology::Topology::site_masks)).
+    pub fn site(topology: &crate::topology::Topology, site: usize) -> Self {
+        let (servers, clients) = topology.site_masks(site);
+        EndpointSel::Site { servers, clients }
+    }
+
     /// True if `id` is selected.
     pub fn matches(&self, id: ProcessId) -> bool {
         match (self, id) {
@@ -66,6 +86,12 @@ impl EndpointSel {
             (EndpointSel::AnyServer, ProcessId::Server(_)) => true,
             (EndpointSel::Client(c), ProcessId::Client(x)) => *c == x,
             (EndpointSel::Server(s), ProcessId::Server(x)) => *s == x,
+            (EndpointSel::Site { servers, .. }, ProcessId::Server(x)) => {
+                x.0 < 64 && servers & (1 << x.0) != 0
+            }
+            (EndpointSel::Site { clients, .. }, ProcessId::Client(x)) => {
+                x.0 < 64 && clients & (1 << x.0) != 0
+            }
             _ => false,
         }
     }
@@ -137,6 +163,25 @@ impl Partition {
     pub fn isolate_server(server: ServerId, from: u64, until: u64, policy: PartitionPolicy) -> Self {
         Partition {
             side_a: vec![ProcessId::Server(server)],
+            side_b: Vec::new(),
+            symmetric: true,
+            from,
+            until,
+            policy,
+        }
+    }
+
+    /// Isolates every process the topology places at `site` from the rest
+    /// of the world in `[from, until)` — a WAN partition in one line.
+    pub fn isolate_site(
+        topology: &crate::topology::Topology,
+        site: usize,
+        from: u64,
+        until: u64,
+        policy: PartitionPolicy,
+    ) -> Self {
+        Partition {
+            side_a: topology.site_processes(site),
             side_b: Vec::new(),
             symmetric: true,
             from,
@@ -407,6 +452,49 @@ mod tests {
         assert!(EndpointSel::Server(ServerId(0)).matches(S0));
         assert!(!EndpointSel::Server(ServerId(0)).matches(S1));
         assert!(!EndpointSel::Client(ClientId(0)).matches(S0));
+    }
+
+    #[test]
+    fn site_selector_matches_per_mask_and_builds_from_topology() {
+        let sel = EndpointSel::Site { servers: 0b01, clients: 0b10 };
+        assert!(sel.matches(S0));
+        assert!(!sel.matches(S1));
+        assert!(!sel.matches(C0));
+        assert!(sel.matches(ProcessId::Client(ClientId(1))));
+
+        // From a topology: site 1 holds server 1 and client 0.
+        let config = snow_core::SystemConfig::mwmr(2, 1, 1);
+        let mut t = crate::topology::Topology::for_config(
+            &config,
+            &["a", "b"],
+            crate::topology::LinkDist::Uniform { min: 1, max: 1 },
+            crate::topology::LinkDist::Uniform { min: 5, max: 5 },
+        );
+        t.place_server(ServerId(1), 1);
+        t.place_client(ClientId(0), 1);
+        let sel = EndpointSel::site(&t, 1);
+        assert!(sel.matches(S1) && sel.matches(C0));
+        assert!(!sel.matches(S0));
+        let region = FaultRegion::always(FaultAction::Drop, EndpointSel::Any, sel, 0, u64::MAX);
+        assert!(region.covers(S0, S1, 3));
+        assert!(!region.covers(S1, S0, 3));
+    }
+
+    #[test]
+    fn isolate_site_cuts_exactly_the_sites_processes() {
+        let config = snow_core::SystemConfig::mwmr(2, 1, 1);
+        let mut t = crate::topology::Topology::for_config(
+            &config,
+            &["dc", "edge"],
+            crate::topology::LinkDist::Uniform { min: 1, max: 1 },
+            crate::topology::LinkDist::Uniform { min: 5, max: 5 },
+        );
+        t.place_server(ServerId(1), 1);
+        let p = Partition::isolate_site(&t, 1, 10, 20, PartitionPolicy::Drop);
+        assert!(p.cuts(S1, S0, 10));
+        assert!(p.cuts(S0, S1, 15), "symmetric cut");
+        assert!(!p.cuts(S0, C0, 15), "intra-remainder traffic flows");
+        assert!(!p.cuts(S1, S0, 20), "healed at `until`");
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod parallel;
 pub mod pool;
 pub mod scheduler;
 pub mod sim;
+pub mod topology;
 pub mod trace;
 
 pub use fault::{
@@ -69,4 +70,5 @@ pub use snow_core::{Effects, Process};
 pub use snow_obs::{NullSink, ObsEvent, RecordingSink, ShardEvent, TraceSink};
 pub use scheduler::{FifoScheduler, LatencyScheduler, RandomScheduler, Scheduler};
 pub use sim::{CommitDrain, InvocationPlan, Simulation, StepOutcome};
+pub use topology::{LinkDist, Topology, TopologyScheduler, TICK};
 pub use trace::{Action, ActionKind, CausalEnvelope, Trace};

@@ -44,6 +44,7 @@ use crate::message::MsgId;
 use crate::pool::MessagePool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use snow_core::ProcessId;
 
 /// A policy choosing which pending message to deliver next.
 pub trait Scheduler<M> {
@@ -61,6 +62,38 @@ pub trait Scheduler<M> {
     fn on_send(&mut self, sent_at: u64) -> Option<u64> {
         let _ = sent_at;
         None
+    }
+
+    /// Like [`Scheduler::on_send`], but with the message's endpoints and id —
+    /// what a topology-aware latency model keys its draw on.  The engine
+    /// calls this (never `on_send` directly); the default delegates to
+    /// [`Scheduler::on_send`], so schedulers that don't care about endpoints
+    /// are unchanged and existing schedules stay bit-identical.
+    fn on_send_to(&mut self, src: ProcessId, dst: ProcessId, id: MsgId, sent_at: u64) -> Option<u64> {
+        let _ = (src, dst, id);
+        self.on_send(sent_at)
+    }
+
+    /// Whether the engine should dispatch a planned invocation as soon as it
+    /// is keyed **before every pending delivery** (strict ascending-key
+    /// dispatch), instead of only when its planned time has been reached or
+    /// nothing is pending.
+    ///
+    /// The default (`false`) preserves the historical rule — a future
+    /// invocation waits while deliveries advance the clock — which every
+    /// golden fixture is pinned against.  A scheduler whose latencies are
+    /// *pure per-message functions* (see
+    /// [`TopologyScheduler`](crate::topology::TopologyScheduler)) opts in:
+    /// under strict key order every core dispatches its events in ascending
+    /// key order, so an invocation planned at quiescence is stamped
+    /// `planned + 1` on the serial engine and on every shard alike — the
+    /// missing half of shard-count-independent histories.  (With the
+    /// historical rule, a shard hosting two clients whose planned times
+    /// straddle another shard's invocation sees the second invocation as
+    /// "not due" once the first one's sends hit the local pool, and
+    /// deliveries drag the clock past it.)
+    fn strict_key_order(&self) -> bool {
+        false
     }
 }
 
@@ -114,6 +147,20 @@ impl<M> Scheduler<M> for RandomScheduler {
 /// Assigns each message a pseudo-random latency in `[min_latency, max_latency]`
 /// ticks and delivers the message with the earliest delivery time first —
 /// one O(log n) pop of the `(deliver_at, id)`-keyed queue per step.
+///
+/// # Latency schedules are shard-count-dependent
+///
+/// Each latency comes from a stateful **draw-order RNG**: the n-th draw
+/// latches onto whichever send happens to be the n-th `on_send` *on that
+/// engine*.  On the sharded engine every shard owns its own RNG
+/// (`shard_seed`) and sees only its own sends, so the latency assigned to a
+/// logical message changes with the shard count — 1-shard runs match serial
+/// bit-for-bit, but 4-shard runs are a different (equally deterministic)
+/// schedule.  The golden fixtures pin this behaviour; do not change it.
+/// When a schedule must be *identical across shard counts* — e.g. the
+/// scenario matrix — use
+/// [`TopologyScheduler`](crate::topology::TopologyScheduler), whose draws
+/// are pure per-message functions instead of draw-order state.
 #[derive(Debug, Clone)]
 pub struct LatencyScheduler {
     rng: StdRng,

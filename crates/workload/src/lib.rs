@@ -9,7 +9,11 @@
 //!   objects-per-WRITE;
 //! * [`driver`] — drives a generated workload against any
 //!   [`snow_protocols::Cluster`] in rounds of concurrent transactions,
-//!   returning the merged history for the checker and the metrics tables.
+//!   returning the merged history for the checker and the metrics tables;
+//! * [`scenario`] — the scenario matrix: protocols × geo-topologies ×
+//!   workload shapes, each cell running on a topology-scheduled cluster and
+//!   condensed into an [`SloReport`] (SNOW verdict, p50/p99 read latency,
+//!   rounds, C2C counts) for the `scenarios` section of the bench artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,6 +21,7 @@
 pub mod driver;
 pub mod generator;
 pub mod open_loop;
+pub mod scenario;
 pub mod zipf;
 
 pub use driver::{CheckMode, DriverReport, WorkloadDriver};
@@ -26,4 +31,8 @@ pub use open_loop::{
     OpenLoopSpec, RateSweep,
 };
 pub use generator::{GeneratedTx, WorkloadGenerator, WorkloadSpec};
+pub use scenario::{
+    run_scenario, scenario_matrix, slo_report, Scenario, ScenarioRun, SloReport, TopologyKind,
+    WorkloadShape, SCENARIO_MATRIX_VERSION,
+};
 pub use zipf::Zipf;

@@ -1,34 +1,44 @@
-//! Partition drill: run a mixed workload against Algorithm B while the
-//! fault engine cuts server 0 off from every other process over virtual
-//! ticks 20–90 (the `partition_during_write` scenario), heal the link,
-//! and then ask the paper's questions of the scarred history — the SNOW
-//! verdict — alongside per-phase latency percentiles.
+//! Partition drill: run a mixed workload against Algorithm B on the
+//! three-site WAN topology while the fault engine cuts the whole
+//! `us-east` site — its servers *and* its clients — off from the rest of
+//! the world, heal the cut, and then ask the paper's questions of the
+//! scarred history — the SNOW verdict — alongside per-phase latency
+//! percentiles.
 //!
-//! The partition policy is `Queue`: messages crossing the cut are held
-//! and delivered at the heal, so transactions touching server 0 stall
-//! across the window instead of dying.  Anything the schedule still
-//! orphans retires as `Aborted` at quiescence, which the checkers accept
-//! without wedging — the S verdict below covers the committed
-//! transactions and tolerates the aborted ones.
+//! The cut is one line: [`Partition::isolate_site`] reads the site's
+//! membership straight off the [`Topology`], so the drill partitions
+//! whatever `wan3` placed at `us-east` (here servers 0 and 3 and clients
+//! 0, 3 and 6) without enumerating endpoints by hand.  The partition
+//! policy is `Queue`: messages crossing the cut are held and delivered
+//! at the heal, so transactions straddling the cut stall across the
+//! window instead of dying — the partition becomes a latency cliff, not
+//! an availability hole — while operations confined to the cut site
+//! keep committing at LAN speed.  Anything the schedule still orphans retires
+//! as `Aborted` at quiescence, which the checkers accept without wedging
+//! — the S verdict below covers the committed transactions and tolerates
+//! the aborted ones.
 //!
 //! Everything printed is a pure function of `(protocol, config,
-//! scheduler seed, fault schedule)`: two runs of this example produce
-//! identical output, which is why CI asserts its final line.
+//! topology, scheduler seed, fault schedule)`: two runs of this example
+//! produce identical output, which is why CI asserts its final line.
+//! The latencies themselves come from the topology's per-link
+//! distributions (`TopologyScheduler`), so the clock below is in
+//! site-ticks (`TICK` µticks each), not scheduler ticks.
 //!
 //! Run with: `cargo run --example partition_drill`
 
+use std::sync::Arc;
+
 use snow::checker::SnowReport;
 use snow::core::SystemConfig;
-use snow::protocols::{
-    build_cluster_faulty, scenario_partition_during_write, ExecutorKind, ProtocolKind,
-    SchedulerKind,
-};
+use snow::protocols::{ClusterSpec, ProtocolKind};
+use snow::sim::{FaultSchedule, Partition, PartitionPolicy, Topology, TICK};
 use snow::workload::{WorkloadDriver, WorkloadGenerator, WorkloadSpec};
 
-/// Partition window of [`scenario_partition_during_write`] — server 0 is
-/// isolated from tick 20 (inclusive) until the heal at tick 90.
-const PARTITION_FROM: u64 = 20;
-const PARTITION_HEAL: u64 = 90;
+/// Partition window, in site-ticks: `us-east` is isolated from tick
+/// 2000 (inclusive) until the heal at tick 9000.
+const PARTITION_FROM_TICKS: u64 = 2_000;
+const PARTITION_HEAL_TICKS: u64 = 9_000;
 
 fn p99(sorted: &[u64]) -> u64 {
     if sorted.is_empty() {
@@ -39,19 +49,35 @@ fn p99(sorted: &[u64]) -> u64 {
 
 fn main() {
     let config = SystemConfig::mwmr(4, 4, 4);
-    let mut cluster = build_cluster_faulty(
-        ProtocolKind::AlgB,
-        &config,
-        SchedulerKind::Latency { seed: 11, min: 1, max: 16 },
-        ExecutorKind::SerialSim,
-        scenario_partition_during_write(),
-    )
-    .expect("valid partition scenario");
+    let topology = Arc::new(Topology::wan3(&config));
+    let site = topology.site_index("us-east").expect("wan3 places a us-east site");
+    let cut = Partition::isolate_site(
+        &topology,
+        site,
+        PARTITION_FROM_TICKS * TICK,
+        PARTITION_HEAL_TICKS * TICK,
+        PartitionPolicy::Queue,
+    );
+    println!(
+        "partition drill: AlgB on wan3, isolating us-east = {} processes \
+         over site-ticks {PARTITION_FROM_TICKS}..{PARTITION_HEAL_TICKS} (Queue policy)",
+        cut.side_a.len()
+    );
+    let mut cluster = ClusterSpec::new(ProtocolKind::AlgB, &config)
+        .topology(Arc::clone(&topology), 11)
+        .faults(FaultSchedule::new(0xBEEF).with_partition(cut))
+        .build()
+        .expect("valid partition scenario");
     let mut generator = WorkloadGenerator::new(&config, WorkloadSpec::write_heavy());
 
     // The *paced* driver frees a client the moment its transaction
-    // retires, so clients not stuck behind the cut keep issuing through
-    // the partition window — that populates the "during" phase below.
+    // retires.  Every transaction here touches all four servers, two of
+    // which sit in us-east, so once the cut lands the in-flight slots
+    // wedge behind it and the window goes quiet — except for us-east
+    // clients whose operations stay entirely inside the cut site, which
+    // keep committing at LAN speed.  The "before" bucket below carries
+    // the stalled straddlers (invoked before the cut, retired at the
+    // heal), which is where the partition shows up as a latency cliff.
     let total = 400;
     let (history, report) =
         WorkloadDriver::new(4).run_paced(cluster.as_mut(), &mut generator, total);
@@ -60,10 +86,9 @@ fn main() {
         "every transaction must retire (committed or aborted)"
     );
     println!(
-        "partition drill: AlgB, server 0 isolated over ticks {PARTITION_FROM}..{PARTITION_HEAL} \
-         (Queue policy), {} transactions retired in {} virtual ticks",
+        "{} transactions retired in {} virtual site-ticks",
         report.completed,
-        cluster.now()
+        cluster.now() / TICK
     );
 
     // Per-phase latency: bucket each transaction by *invocation* tick —
@@ -77,9 +102,9 @@ fn main() {
         ("after", Vec::new(), 0),
     ];
     for rec in history.completed() {
-        let phase = if rec.invoked_at < PARTITION_FROM {
+        let phase = if rec.invoked_at < PARTITION_FROM_TICKS * TICK {
             0
-        } else if rec.invoked_at < PARTITION_HEAL {
+        } else if rec.invoked_at < PARTITION_HEAL_TICKS * TICK {
             1
         } else {
             2
@@ -88,13 +113,13 @@ fn main() {
             phases[phase].2 += 1;
         } else {
             let resp = rec.responded_at.expect("completed record has a RESP");
-            phases[phase].1.push(resp - rec.invoked_at);
+            phases[phase].1.push((resp - rec.invoked_at) / TICK);
         }
     }
     for (name, latencies, aborted) in &mut phases {
         latencies.sort_unstable();
         println!(
-            "phase {name:>6}: {} committed, {} aborted, p99 latency {} ticks",
+            "phase {name:>6}: {} committed, {} aborted, p99 latency {} site-ticks",
             latencies.len(),
             aborted,
             p99(latencies)

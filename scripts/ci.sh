@@ -66,6 +66,12 @@
 #      rates come from the same run on the same host, so their ratio
 #      (slowdown_drop1_vs_clean) cancels host speed; above 5x the fault
 #      path has started serializing or retrying pathologically;
+#   8c. scenario-matrix guard: the smoke run must produce the `scenarios`
+#      section (>= 12 protocol x topology x workload cells, each with a
+#      SNOW verdict) and every cell's read p99 must be within 5x of the
+#      tracked artifact.  Scenario latencies are virtual site-ticks from
+#      pure per-message hashes — deterministic per seed — so a moved p99
+#      is a topology/protocol behaviour change, never host noise;
 #   9. striped-instrumentation guard: the tokio runtime's per-send
 #      transaction bookkeeping must stay striped by TxId — no global
 #      `Mutex<HashMap<TxId, …>>` field may reappear in
@@ -76,15 +82,23 @@
 #      end to end (observed open loop → metrics fold → Perfetto export →
 #      checker frontier);
 #  10b. fault-engine example: examples/partition_drill.rs must run end to
-#      end (partition a server mid-workload under the Queue policy, heal,
-#      per-phase p99, SNOW verdict over the scarred history);
+#      end (isolate a whole topology site mid-workload under the Queue
+#      policy, heal, per-phase p99, SNOW verdict over the scarred
+#      history);
 #  11. observability neutrality: the NullSink path must stay free — the
 #      unobserved 100k flood must be within 5% of the tracked artifact
 #      (cargo run -p snow-bench --release --bin obs_neutrality);
 #  12. virtual-time purity guard: crates/sim must never read the wall
 #      clock (`std::time` / `Instant`) — simulator event streams are a
 #      pure function of (config, seeds, shards), which is what makes the
-#      observability goldens and the determinism proptests meaningful.
+#      observability goldens and the determinism proptests meaningful;
+#  12b. latency-draw confinement: in crates/sim, stateful RNG draws
+#      (`random_range`) may only appear in scheduler.rs, and the
+#      `splitmix64` hash may only be defined in topology.rs (pure
+#      per-message latency draws) and fault.rs (per-message fault gates).
+#      A draw site anywhere else means some engine path started minting
+#      latencies of its own, which silently breaks the shard-count
+#      independence the scenario matrix is pinned on.
 #
 # Usage: scripts/ci.sh
 
@@ -282,6 +296,41 @@ if ! awk -v s="$fault_slowdown" 'BEGIN { exit !(s <= 5) }'; then
     exit 1
 fi
 echo "fault overhead ok (drop1pct/clean slowdown ${fault_slowdown}x)"
+
+echo "== scenario matrix (presence + per-cell p99 guard) =="
+scen_cells() { # <file>: "name read_p99" pairs from the scenarios section
+    grep -o '"scenario": "[a-z0-9_/]*/[a-z0-9_/]*"[^}]*"read_p99_ticks": [0-9]*' "$1" \
+        | sed 's/"scenario": "\([^"]*\)".*"read_p99_ticks": \([0-9]*\)/\1 \2/'
+}
+if ! grep -q '"scenarios"' "$smoke_json" \
+    || ! grep -q '"matrix_version"' "$smoke_json" \
+    || ! grep -q '"snow": "' "$smoke_json"; then
+    echo "smoke run produced no scenarios section (matrix + SNOW verdicts)" >&2
+    exit 1
+fi
+current_cells="$(scen_cells "$smoke_json")"
+tracked_cells="$(scen_cells BENCH_simcore.json)"
+if [ -z "$tracked_cells" ]; then
+    echo "no tracked scenarios section; regenerate with:" >&2
+    echo "  cargo run -p snow-bench --release --bin bench_json -- --section scenarios" >&2
+    exit 1
+fi
+cell_count="$(echo "$current_cells" | grep -c . || true)"
+if [ "$cell_count" -lt 12 ]; then
+    echo "scenario matrix shrank to ${cell_count} cells (floor is 12)" >&2
+    exit 1
+fi
+while read -r name cur; do
+    ref="$(echo "$tracked_cells" | awk -v n="$name" '$1 == n { print $2 }')"
+    [ -z "$ref" ] && continue # a new cell has no tracked baseline yet
+    if ! awk -v cur="$cur" -v ref="$ref" 'BEGIN { exit !(cur <= ref * 5) }'; then
+        echo "scenario ${name} read p99 regressed > 5x: tracked ${ref}, now ${cur} site-ticks" >&2
+        echo "(scenario latencies are deterministic virtual ticks: this is a" >&2
+        echo "behaviour change in the topology or protocol, not noise)" >&2
+        exit 1
+    fi
+done <<< "$current_cells"
+echo "scenario matrix ok (${cell_count} cells, per-cell p99 within 5x of tracked)"
 rm -f "$smoke_json"
 
 echo "== striped tx instrumentation (no global per-send mutex) =="
@@ -327,5 +376,26 @@ if [ -n "$wall_clock" ]; then
     exit 1
 fi
 echo "sim is wall-clock free"
+
+echo "== latency-draw confinement (scheduler.rs / topology.rs only) =="
+rng_strays="$(grep -rn --include='*.rs' '\brandom_range\b' crates/sim/src \
+    | grep -v '^crates/sim/src/scheduler.rs:' || true)"
+if [ -n "$rng_strays" ]; then
+    echo "stateful RNG draws outside crates/sim/src/scheduler.rs:" >&2
+    echo "$rng_strays" >&2
+    echo "Draw-order RNG state is shard-count-dependent by construction;" >&2
+    echo "new latency models belong in topology.rs as pure per-message hashes." >&2
+    exit 1
+fi
+hash_strays="$(grep -rn --include='*.rs' 'fn splitmix64' crates/sim/src \
+    | grep -v -e '^crates/sim/src/topology.rs:' -e '^crates/sim/src/fault.rs:' || true)"
+if [ -n "$hash_strays" ]; then
+    echo "splitmix64 defined outside topology.rs (latency draws) / fault.rs (fault gates):" >&2
+    echo "$hash_strays" >&2
+    echo "Per-message hashing has exactly two homes; a third definition site" >&2
+    echo "means an engine path started minting its own draws." >&2
+    exit 1
+fi
+echo "latency draws confined"
 
 echo "CI green"

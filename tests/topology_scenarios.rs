@@ -1,0 +1,154 @@
+//! The scenario matrix's correctness and determinism contract.
+//!
+//! Three pinned properties:
+//!
+//! 1. **Shard-count independence** — a scenario history is a pure function
+//!    of `(scenario, seed)`: the serial simulator and the parallel
+//!    simulator at any shard count produce bit-identical histories.  This
+//!    is the `TopologyScheduler` contract (stateless per-message latency
+//!    hashes) combined with the runner's consecutive-µtick invocation rule;
+//!    contrast with `LatencyScheduler`, whose draw-order RNG makes
+//!    latencies shard-count-*dependent* by design (see the rustdoc on
+//!    `snow_sim::scheduler::LatencyScheduler`).
+//! 2. **Certification** — every cell of the matrix produces a strictly
+//!    serializable history under `GraphChecker`, on every topology.  A WAN
+//!    doesn't just stretch latencies; reorderings across heavy-tailed links
+//!    are exactly where serializability bugs would surface.
+//! 3. **Report sanity** — the SLO reports the bench artifact carries are
+//!    internally consistent (p50 ≤ p99, verdict matches the checker, WAN
+//!    floors respected).
+
+use snow_checker::{GraphChecker, Verdict};
+use snow_protocols::ExecutorKind;
+use snow_workload::scenario::{
+    run_scenario, scenario_matrix, slo_report, Scenario, TopologyKind, WorkloadShape,
+};
+
+use proptest::proptest;
+use proptest::ProptestConfig;
+
+/// Serial vs 1-shard vs 4-shard: the same bytes, including virtual time.
+#[test]
+fn scenario_histories_are_identical_across_executors() {
+    for cell in [
+        Scenario {
+            protocol: snow_protocols::ProtocolKind::AlgB,
+            topology: TopologyKind::Wan3,
+            shape: WorkloadShape::SocialGraph,
+        },
+        Scenario {
+            protocol: snow_protocols::ProtocolKind::AlgC,
+            topology: TopologyKind::ClientRemote,
+            shape: WorkloadShape::FlashSale,
+        },
+    ] {
+        let serial = run_scenario(&cell, 0xBEEF, 4, ExecutorKind::SerialSim).unwrap();
+        let one = run_scenario(&cell, 0xBEEF, 4, ExecutorKind::ParallelSim { shards: 1 }).unwrap();
+        let four = run_scenario(&cell, 0xBEEF, 4, ExecutorKind::ParallelSim { shards: 4 }).unwrap();
+        assert_eq!(
+            serial.history,
+            one.history,
+            "{}: serial vs 1-shard diverged",
+            cell.name()
+        );
+        assert_eq!(
+            serial.history,
+            four.history,
+            "{}: serial vs 4-shard diverged",
+            cell.name()
+        );
+        assert_eq!(serial.duration_ticks, four.duration_ticks, "{}", cell.name());
+        assert!(
+            !serial.history.records.is_empty(),
+            "{}: vacuous parity",
+            cell.name()
+        );
+    }
+}
+
+/// Every cell of the matrix — all protocols × topologies × shapes — yields
+/// a strictly serializable history, and its SLO report is internally
+/// consistent.
+#[test]
+fn every_matrix_cell_is_certified_serializable() {
+    let cells = scenario_matrix();
+    assert!(cells.len() >= 12, "matrix shrank below the acceptance floor");
+    for cell in &cells {
+        let run = run_scenario(cell, 42, 3, ExecutorKind::SerialSim).unwrap();
+        assert!(
+            run.history.records.iter().all(|r| r.outcome.is_some()),
+            "{}: transaction left in flight",
+            cell.name()
+        );
+        let verdict = GraphChecker::new().check(&run.history);
+        assert!(
+            matches!(verdict, Verdict::Serializable(_)),
+            "{}: not certified: {verdict:?}",
+            cell.name()
+        );
+
+        let report = slo_report(cell, 42, 3).unwrap();
+        assert_eq!(report.scenario, cell.name());
+        assert!(report.committed > 0, "{}: nothing committed", cell.name());
+        assert!(report.read_p50 <= report.read_p99, "{}", cell.name());
+        assert_eq!(report.snow.len(), 4, "{}: SNOW verdict shape", cell.name());
+    }
+}
+
+/// WAN topologies must actually cost more than the single-DC floor — the
+/// whole point of the topology layer is that the latency columns of the
+/// paper's Fig. 1 become *derived* quantities.
+#[test]
+fn wan_reads_are_slower_than_single_dc_reads() {
+    for protocol in [
+        snow_protocols::ProtocolKind::AlgB,
+        snow_protocols::ProtocolKind::AlgC,
+    ] {
+        let shape = WorkloadShape::SocialGraph;
+        let lan = slo_report(
+            &Scenario { protocol, topology: TopologyKind::SingleDc, shape },
+            9,
+            3,
+        )
+        .unwrap();
+        let wan = slo_report(
+            &Scenario { protocol, topology: TopologyKind::ClientRemote, shape },
+            9,
+            3,
+        )
+        .unwrap();
+        assert!(
+            wan.read_p50 > lan.read_p50 * 2,
+            "{protocol:?}: WAN p50 {} vs LAN p50 {}",
+            wan.read_p50,
+            lan.read_p50
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// A scenario history is a pure function of `(scenario, seed)` — the
+    /// executor and its shard count contribute nothing.  Randomized over
+    /// cells, seeds and shard counts.
+    #[test]
+    fn scenario_histories_are_pure_functions_of_scenario_and_seed(
+        seed in 0u64..1_000_000,
+        cell_index in 0usize..18,
+        shards in 1usize..5,
+    ) {
+        let cells = scenario_matrix();
+        let cell = &cells[cell_index % cells.len()];
+        let serial = run_scenario(cell, seed, 2, ExecutorKind::SerialSim).unwrap();
+        let again = run_scenario(cell, seed, 2, ExecutorKind::SerialSim).unwrap();
+        assert_eq!(serial.history, again.history, "{}: serial replay diverged", cell.name());
+        let sharded =
+            run_scenario(cell, seed, 2, ExecutorKind::ParallelSim { shards }).unwrap();
+        assert_eq!(
+            serial.history,
+            sharded.history,
+            "{}: {shards}-shard run diverged from serial",
+            cell.name()
+        );
+    }
+}
